@@ -1,0 +1,307 @@
+package chiaroscuro
+
+// One benchmark per table/figure of the paper (run at CI scale; use
+// cmd/benchfig -scale small|paper for the full-size reproductions), plus
+// ablation benchmarks for the design decisions called out in DESIGN.md §4
+// and end-to-end protocol benchmarks.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math"
+	"math/big"
+	"strconv"
+	"testing"
+
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/dpkmeans"
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/experiments"
+	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per b.N iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	gen := experiments.Registry[id]
+	if gen == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, err := gen(experiments.Params{Scale: experiments.CI, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable2Parameters(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkFig2aCERInertia(b *testing.B)     { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bNUMEDInertia(b *testing.B)   { benchExperiment(b, "fig2b") }
+func BenchmarkFig2cCERCentroids(b *testing.B)   { benchExperiment(b, "fig2c") }
+func BenchmarkFig2dNUMEDCentroids(b *testing.B) { benchExperiment(b, "fig2d") }
+func BenchmarkFig2eCERPrePost(b *testing.B)     { benchExperiment(b, "fig2e") }
+func BenchmarkFig2fNUMEDPrePost(b *testing.B)   { benchExperiment(b, "fig2f") }
+func BenchmarkFig3aChurnInertia(b *testing.B)   { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bChurnSumError(b *testing.B)  { benchExperiment(b, "fig3b") }
+func BenchmarkFig4aSumLatency(b *testing.B)     { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bDecryptLatency(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFig5aLocalCosts(b *testing.B)     { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bBandwidth(b *testing.B)      { benchExperiment(b, "fig5b") }
+func BenchmarkFig6Points2D(b *testing.B)        { benchExperiment(b, "fig6") }
+
+// --- Cryptographic micro-benchmarks at the paper's 1024-bit key size
+// (Figure 5(a)'s per-operation costs).
+
+func djScheme(b *testing.B, keyBits int) *damgardjurik.Scheme {
+	b.Helper()
+	sch, err := damgardjurik.NewTestScheme(keyBits, 1, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sch
+}
+
+func BenchmarkDJEncrypt1024(b *testing.B) {
+	sch := djScheme(b, 1024)
+	m := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch.Encrypt(m)
+	}
+}
+
+func BenchmarkDJAdd1024(b *testing.B) {
+	sch := djScheme(b, 1024)
+	c := sch.Encrypt(big.NewInt(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch.Add(c, c)
+	}
+}
+
+func BenchmarkDJPartialDecrypt1024(b *testing.B) {
+	sch := djScheme(b, 1024)
+	c := sch.Encrypt(big.NewInt(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.PartialDecrypt(1+i%3, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDJCombine1024(b *testing.B) {
+	sch := djScheme(b, 1024)
+	c := sch.Encrypt(big.NewInt(42))
+	parts := make([]homenc.PartialDecryption, 3)
+	for i := range parts {
+		p, err := sch.PartialDecrypt(i+1, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.Combine(c, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: the deferred-division update rule of Algorithm 2 versus
+// plaintext push-pull halving (what a non-encrypted deployment would
+// do). Measures per-cycle cost at equal population.
+
+func BenchmarkAblationUpdateRulePlaintextHalving(b *testing.B) {
+	const n = 1024
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := gossip.NewSum(vals, 0)
+	e, err := sim.New(sim.Config{N: n, Seed: 1}, &sim.UniformSampler{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunCycle(s.Exchange)
+	}
+}
+
+func BenchmarkAblationUpdateRuleDeferredScaling(b *testing.B) {
+	const n = 1024
+	sch, err := plain.New(nil, 256, n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec := homenc.NewCodec(20)
+	initial := make([][]*big.Int, n)
+	for i := range initial {
+		initial[i] = []*big.Int{codec.Encode(float64(i))}
+	}
+	s, err := eesum.NewSum(sch, initial, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 1}, &sim.UniformSampler{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunCycle(s.Exchange)
+	}
+}
+
+// --- Ablation: SMA smoothing and the aberrant-mean filter (DESIGN.md §4
+// items 4 and 5). The benchmark reports the best pre-perturbation
+// inertia as a custom metric so the quality effect is visible next to
+// the cost.
+
+func ablationRun(b *testing.B, smooth bool, slack float64) {
+	b.Helper()
+	rng := randx.New(77, 77)
+	data, _ := datasets.GenerateCER(12000, rng)
+	seeds := datasets.SeedCentroids("cer", 10, rng)
+	var bestSum float64
+	for i := 0; i < b.N; i++ {
+		res, err := dpkmeans.Run(data, dpkmeans.Config{
+			InitCentroids: seeds,
+			Budget:        dp.Greedy{Eps: math.Ln2},
+			DMin:          datasets.CERMin, DMax: datasets.CERMax,
+			Smooth:        smooth,
+			RangeSlack:    slack,
+			MaxIterations: 8,
+			RNG:           randx.New(uint64(i)+1, 7),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, best := res.BestIteration()
+		bestSum += best.PreInertia
+	}
+	b.ReportMetric(bestSum/float64(b.N), "inertia")
+}
+
+func BenchmarkAblationSmoothingOn(b *testing.B)  { ablationRun(b, true, 1) }
+func BenchmarkAblationSmoothingOff(b *testing.B) { ablationRun(b, false, 1) }
+
+// A huge slack effectively disables the aberrant filter: noisy means
+// survive and drag the next iteration's partition.
+func BenchmarkAblationAberrantFilterOn(b *testing.B)  { ablationRun(b, true, 1) }
+func BenchmarkAblationAberrantFilterOff(b *testing.B) { ablationRun(b, true, 1e9) }
+
+// --- End-to-end protocol benchmarks.
+
+func BenchmarkEndToEndPlain64(b *testing.B) {
+	data, _ := GenerateCER(64, 5)
+	seeds := SeedCentroids("cer", 4, 6)
+	for i := 0; i < b.N; i++ {
+		scheme, err := NewSimulationScheme(256, 64, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run(data, scheme, NetworkOptions{
+			K: 4, InitCentroids: seeds,
+			DMin: CERMin, DMax: CERMax,
+			Epsilon: 1e4, MaxIterations: 2, Exchanges: 20,
+			Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgMessages, "msgs/node")
+	}
+}
+
+func BenchmarkEndToEndRealCrypto12(b *testing.B) {
+	data, _ := GenerateCER(12, 7)
+	seeds := SeedCentroids("cer", 2, 8)
+	for i := 0; i < b.N; i++ {
+		scheme, err := NewTestScheme(128, 4, 12, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run(data, scheme, NetworkOptions{
+			K: 2, InitCentroids: seeds,
+			DMin: CERMin, DMax: CERMax,
+			Epsilon: 1e4, MaxIterations: 1, Exchanges: 12,
+			FracBits: 24, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Centroids) == 0 {
+			b.Fatal("no centroids")
+		}
+	}
+}
+
+// --- Substrate benchmarks used for the EXPERIMENTS.md cost model.
+
+func BenchmarkGossipSumCycle100k(b *testing.B) {
+	const n = 100_000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	s := gossip.NewSum(vals, 0)
+	e, err := sim.New(sim.Config{N: n, Seed: 1}, &sim.UniformSampler{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunCycle(s.Exchange)
+	}
+}
+
+func BenchmarkAssignCER100k(b *testing.B) {
+	rng := randx.New(9, 9)
+	data, _ := datasets.GenerateCER(100_000, rng)
+	seeds := datasets.SeedCentroids("cer", 50, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Cluster(data, ClusterOptions{InitCentroids: seeds, MaxIterations: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkNoiseShareGeneration(b *testing.B) {
+	rng := randx.New(10, 10)
+	dim := 50 * 25 // one Figure-5-sized vector
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < dim; j++ {
+			_ = rng.NoiseShare(1_000_000, 1920/math.Ln2)
+		}
+	}
+	b.ReportMetric(float64(dim), "shares/op")
+}
+
+var sinkStr string
+
+func BenchmarkTableRender(b *testing.B) {
+	tab := &experiments.Table{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	for i := 0; i < 100; i++ {
+		tab.AddRow(strconv.Itoa(i), "value")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkStr = tab.String()
+	}
+}

@@ -1,0 +1,140 @@
+package chiaroscuro
+
+import (
+	"chiaroscuro/internal/dpkmeans"
+	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/randx"
+)
+
+// ClusterOptions parametrizes the centralized baselines.
+type ClusterOptions struct {
+	// InitCentroids seeds the clustering. Required.
+	InitCentroids []Series
+	// MaxIterations bounds the run (default 10, the paper's n_it^max).
+	MaxIterations int
+	// Threshold is the θ convergence bound on centroid movement
+	// (0 = run all iterations).
+	Threshold float64
+}
+
+// ClusterStats traces one iteration of a centralized run.
+type ClusterStats struct {
+	Iteration    int
+	Inertia      float64 // intra-cluster inertia (Definition 1)
+	Centroids    int     // live centroids
+	PostInertia  float64 // inertia against the released (perturbed) means; equals Inertia when unperturbed
+	EpsilonSpent float64
+}
+
+// ClusterResult is the outcome of a centralized run.
+type ClusterResult struct {
+	Centroids    []Series   // centroids after the last iteration
+	History      [][]Series // released centroids of every iteration (DP runs)
+	BestIter     int        // 1-based iteration with the lowest inertia (0 if none)
+	Stats        []ClusterStats
+	Converged    bool
+	TotalEpsilon float64
+}
+
+// Best returns the released centroids of the best (lowest-inertia)
+// iteration — the paper's methodology for reading a perturbed run, where
+// late iterations are expected to drown in noise under GREEDY budgets.
+// It falls back to the final centroids when no history is available.
+func (r *ClusterResult) Best() []Series {
+	if r.BestIter >= 1 && r.BestIter <= len(r.History) {
+		return r.History[r.BestIter-1]
+	}
+	return r.Centroids
+}
+
+// Cluster runs plain (non-private) centralized k-means — the paper's
+// "No perturbation" baseline.
+func Cluster(d *Dataset, opts ClusterOptions) (*ClusterResult, error) {
+	maxIt := opts.MaxIterations
+	if maxIt <= 0 {
+		maxIt = 10
+	}
+	res, err := kmeans.Run(d, kmeans.Config{
+		InitCentroids: opts.InitCentroids,
+		Threshold:     opts.Threshold,
+		MaxIterations: maxIt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterResult{Centroids: res.Centroids, Converged: res.Converged}
+	for _, s := range res.Stats {
+		out.Stats = append(out.Stats, ClusterStats{
+			Iteration:   s.Iteration,
+			Inertia:     s.IntraInertia,
+			Centroids:   s.Centroids,
+			PostInertia: s.IntraInertia,
+		})
+	}
+	return out, nil
+}
+
+// DPOptions parametrizes the differentially private centralized run —
+// the configuration the paper uses for its quality evaluation at
+// millions of series (Section 6.1, item 2).
+type DPOptions struct {
+	InitCentroids []Series
+	// Budget is the ε concentration strategy (Greedy, GreedyFloor,
+	// UniformFast). Required.
+	Budget Budget
+	// DMin, DMax bound each measure; they calibrate the Laplace scale
+	// through the Sum sensitivity n·max(|DMin|, |DMax|) (Definition 4).
+	DMin, DMax float64
+	// Smooth enables the circular moving-average smoothing of the
+	// perturbed means (Section 5.2; window = 20% of the series length).
+	Smooth bool
+	// MaxIterations bounds the run (default 10).
+	MaxIterations int
+	// Threshold is the θ convergence bound (0 = run all iterations).
+	Threshold float64
+	// Churn disconnects each series with this probability at every
+	// iteration (Section 6.1.5).
+	Churn float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// ClusterDP runs the perturbed centralized k-means: every iteration's
+// cluster sums and counts are released through the Laplace mechanism
+// under the budget strategy, then divided, smoothed, and filtered for
+// aberrant means exactly as the distributed protocol does.
+func ClusterDP(d *Dataset, opts DPOptions) (*ClusterResult, error) {
+	res, err := dpkmeans.Run(d, dpkmeans.Config{
+		InitCentroids: opts.InitCentroids,
+		Budget:        opts.Budget,
+		DMin:          opts.DMin,
+		DMax:          opts.DMax,
+		Smooth:        opts.Smooth,
+		MaxIterations: opts.MaxIterations,
+		Threshold:     opts.Threshold,
+		Churn:         opts.Churn,
+		KeepHistory:   true,
+		RNG:           randx.New(opts.Seed, 0xD9),
+	})
+	if err != nil {
+		return nil, err
+	}
+	best, _ := res.BestIteration()
+	out := &ClusterResult{
+		Centroids:    res.Centroids,
+		History:      res.History,
+		BestIter:     best,
+		Converged:    res.Converged,
+		TotalEpsilon: res.TotalEpsilon,
+	}
+	for _, s := range res.Stats {
+		out.Stats = append(out.Stats, ClusterStats{
+			Iteration:    s.Iteration,
+			Inertia:      s.PreInertia,
+			Centroids:    s.CentroidsOut,
+			PostInertia:  s.PostInertia,
+			EpsilonSpent: s.EpsilonSpent,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+// Command benchfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchfig [-scale ci|small|paper] [-seed N] [-csv] <id>|all
+//
+// Experiment ids: table2, fig2a..fig2f, fig3a, fig3b, fig4a, fig4b,
+// fig5a, fig5b, fig6. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chiaroscuro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "ci", "experiment scale: ci, small, or paper")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchfig [-scale ci|small|paper] [-seed N] [-csv] <id>|all\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.IDs(), " "))
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	params := experiments.Params{Scale: scale, Seed: *seed}
+
+	ids := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		gen, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(experiments.IDs(), " "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := gen(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+			fmt.Printf("# generated in %v at scale %s\n\n", time.Since(start).Round(time.Millisecond), scale)
+		}
+	}
+}

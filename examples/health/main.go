@@ -1,0 +1,97 @@
+// Health scenario: patients' tumor-growth series (the paper's NUMED
+// workload) are clustered into response cohorts — deep responders,
+// stable disease, late escape, progression — without any patient series
+// leaving its device unprotected.
+//
+//	go run ./examples/health
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chiaroscuro"
+)
+
+func main() {
+	const patients = 50000
+	data, _ := chiaroscuro.GenerateNUMED(patients, 21)
+	seeds := chiaroscuro.SeedCentroids("numed", 8, 22)
+
+	res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
+		InitCentroids: seeds,
+		Budget:        chiaroscuro.Greedy(math.Ln2),
+		DMin:          chiaroscuro.NUMEDMin,
+		DMax:          chiaroscuro.NUMEDMax,
+		Smooth:        true, // harmless on NUMED (balanced clusters), cf. Figure 2(b)
+		MaxIterations: 10,
+		Seed:          23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("private cohort analysis of %d patients (ε = %.3f spent)\n\n",
+		patients, res.TotalEpsilon)
+	fmt.Printf("tumor-size trajectories discovered (iteration %d, 20 weekly measures, mm):\n", res.BestIter)
+	for i, c := range res.Best() {
+		fmt.Printf("  cohort %d: %-18s start %5.1f → end %5.1f  (%+.1f mm, nadir week %d)\n",
+			i+1, classify(c), c[0], c[len(c)-1], c[len(c)-1]-c[0], nadirWeek(c))
+	}
+
+	fmt.Println("\nweekly profile of the largest shrinking cohort:")
+	for _, c := range res.Best() {
+		if classify(c) == "deep response" || classify(c) == "response" {
+			spark(c)
+			break
+		}
+	}
+}
+
+func classify(c chiaroscuro.Series) string {
+	delta := c[len(c)-1] - c[0]
+	nadir := c[nadirWeek(c)]
+	switch {
+	case delta < -0.3*c[0] && nadir < 0.5*c[0]:
+		return "deep response"
+	case delta < -2:
+		return "response"
+	case math.Abs(delta) <= 2:
+		return "stable disease"
+	case nadir < c[0]-1 && delta > 2:
+		return "late escape"
+	default:
+		return "progression"
+	}
+}
+
+func nadirWeek(c chiaroscuro.Series) int {
+	best, bestV := 0, math.Inf(1)
+	for w, v := range c {
+		if v < bestV {
+			best, bestV = w, v
+		}
+	}
+	return best
+}
+
+// spark prints a crude text profile of a trajectory.
+func spark(c chiaroscuro.Series) {
+	_, hi := 0.0, c.Max()
+	for w, v := range c {
+		bars := int(v / (hi + 1e-9) * 40)
+		fmt.Printf("  week %2d %6.2f %s\n", w+1, v, repeat('#', bars))
+	}
+}
+
+func repeat(ch byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

@@ -1,0 +1,49 @@
+// Quickstart: cluster 20,000 synthetic smart-meter series with
+// differential privacy in ~30 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chiaroscuro"
+)
+
+func main() {
+	// 100K daily electricity load curves (24 hourly readings in [0, 80]).
+	// DP noise has a fixed absolute magnitude, so more participants means
+	// better clusters — the paper runs 3M.
+	data, _ := chiaroscuro.GenerateCER(100000, 42)
+
+	// Initial centroids must be data-independent (privacy!): draw them
+	// from the same generator family, never from participant data.
+	seeds := chiaroscuro.SeedCentroids("cer", 8, 43)
+
+	// Cluster with the paper's settings: ε = ln 2, GREEDY budget
+	// concentration, moving-average smoothing of the noisy means.
+	res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
+		InitCentroids: seeds,
+		Budget:        chiaroscuro.Greedy(math.Ln2),
+		DMin:          chiaroscuro.CERMin,
+		DMax:          chiaroscuro.CERMax,
+		Smooth:        true,
+		MaxIterations: 10,
+		Seed:          44,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clustered %d series, spending ε = %.3f\n", data.Len(), res.TotalEpsilon)
+	for it, s := range res.Stats {
+		fmt.Printf("  iteration %2d: inertia %8.2f, %2d live centroids\n",
+			it+1, s.Inertia, s.Centroids)
+	}
+	fmt.Printf("\nbest iteration: %d, with %d usable consumption profiles\n",
+		res.BestIter, len(res.Best()))
+	fmt.Println("(late iterations drowning in noise is expected: the GREEDY budget")
+	fmt.Println("concentrates ε on the early, high-gain iterations — Section 5.1)")
+}

@@ -1,0 +1,102 @@
+// Smart-meter scenario (the paper's motivating example): a utility's
+// customers discover consumption profiles — and with them better price
+// plans — without any household's load curve ever leaving its device
+// unprotected.
+//
+// The example compares the three budget-concentration strategies of
+// Section 5.1 on the same data and interprets the resulting cluster
+// centroids (morning/evening peaks, night-heavy usage, ...).
+//
+//	go run ./examples/smartmeter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chiaroscuro"
+)
+
+func main() {
+	const households = 60000
+	data, _ := chiaroscuro.GenerateCER(households, 7)
+	seeds := chiaroscuro.SeedCentroids("cer", 10, 8)
+
+	fmt.Printf("private profiling of %d households (ε = ln 2 ≈ 0.693 total)\n\n", households)
+
+	type entry struct {
+		name   string
+		budget chiaroscuro.Budget
+	}
+	strategies := []entry{
+		{"GREEDY (G)", chiaroscuro.Greedy(math.Ln2)},
+		{"GREEDY_FLOOR (GF, floor 4)", chiaroscuro.GreedyFloor(math.Ln2, 4)},
+		{"UNIFORM_FAST (UF, 5 it.)", chiaroscuro.UniformFast(math.Ln2, 5)},
+	}
+
+	var best *chiaroscuro.ClusterResult
+	bestInertia := math.Inf(1)
+	for _, s := range strategies {
+		res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
+			InitCentroids: seeds,
+			Budget:        s.budget,
+			DMin:          chiaroscuro.CERMin,
+			DMax:          chiaroscuro.CERMax,
+			Smooth:        true,
+			MaxIterations: 10,
+			Seed:          9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		low := math.Inf(1)
+		for _, st := range res.Stats {
+			if st.Inertia < low {
+				low = st.Inertia
+			}
+		}
+		fmt.Printf("%-28s best inertia %8.2f at iteration %d (%d centroids), ε spent %.3f\n",
+			s.name, low, res.BestIter, len(res.Best()), res.TotalEpsilon)
+		if low < bestInertia {
+			bestInertia, best = low, res
+		}
+	}
+
+	fmt.Println("\nconsumption profiles discovered (best strategy, best iteration):")
+	for i, c := range best.Best() {
+		fmt.Printf("  profile %d: %s (daily total %.0f kWh, peak at %02d:00)\n",
+			i+1, describe(c), c.Sum(), argmax(c))
+	}
+	fmt.Println("\nno raw load curve was ever visible to any party: the released")
+	fmt.Println("centroids satisfy (ε,δ)-probabilistic differential privacy.")
+}
+
+// describe produces a human label from a daily load centroid.
+func describe(c chiaroscuro.Series) string {
+	peak := argmax(c)
+	switch {
+	case c.Sum() < 15:
+		return "frugal / mostly away"
+	case peak >= 17 && peak <= 21:
+		return "evening-peak household"
+	case peak >= 6 && peak <= 9:
+		return "morning-peak household"
+	case peak >= 11 && peak <= 15:
+		return "daytime usage (home or business)"
+	case peak >= 22 || peak <= 5:
+		return "night-heavy (storage heating?)"
+	default:
+		return "mixed usage"
+	}
+}
+
+func argmax(c chiaroscuro.Series) int {
+	best, bestV := 0, math.Inf(-1)
+	for h, v := range c {
+		if v > bestV {
+			best, bestV = h, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,493 @@
+// Package core assembles the complete Chiaroscuro execution sequence of
+// Section 4 of the paper: the Diptych data structure (Definition 6) and
+// the iterative protocol of Algorithms 1 and 3, fully distributed over a
+// simulated population of participants.
+//
+// Every iteration:
+//
+//  1. Assignment step — each participant assigns its own time-series to
+//     the closest cleartext (differentially private) centroid and builds
+//     its encrypted means contribution: its series in the chosen
+//     cluster's slots, a count of one, zeros elsewhere;
+//  2. Computation step (Algorithm 3) —
+//     a. the encrypted means and the encrypted noise-shares are summed
+//     by two EESum instances running in lockstep on the same gossip
+//     exchanges, alongside the cleartext participant counter;
+//     b. the noise surplus correction is agreed on by min-identifier
+//     dissemination and applied;
+//     c. the perturbed encrypted means are decrypted epidemically with
+//     τ distinct key-shares;
+//  3. Convergence step — each participant divides sums by counts,
+//     smooths (Section 5.2), drops aberrant means (footnote 8), and
+//     checks the θ / iteration-cap termination criterion locally.
+//
+// The paper's security analysis (Appendix B) holds structurally here:
+// everything that travels between participants is either
+// homomorphically encrypted (means, noise), differentially private
+// (decrypted perturbed means), or data-independent (weights, epochs,
+// counters, correction identifiers).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/sim"
+	"chiaroscuro/internal/timeseries"
+)
+
+// Diptych is the twofold data structure of Definition 6: cleartext
+// differentially-private centroids on one side, encrypted means on the
+// other. Each participant holds one.
+type Diptych struct {
+	// Centroids is the cleartext, perturbed centroid set C (nil entries
+	// are lost means).
+	Centroids []timeseries.Series
+	// Means is the participant's encrypted means state M: the k·(n+1)
+	// EESum vector holding E(σ_sum) and E(σ_count) per cluster, plus
+	// the cleartext weight ω (inside the EESum state).
+	Means *eesum.Sum
+}
+
+// Config parametrizes a Chiaroscuro network run.
+type Config struct {
+	K             int                 // number of clusters
+	InitCentroids []timeseries.Series // C_init (data-independent seeds)
+	DMin, DMax    float64             // per-measure range (Sum sensitivity)
+
+	Epsilon  float64   // total privacy budget ε (paper: ln 2)
+	Budget   dp.Budget // concentration strategy (default Greedy{ε})
+	SumShare float64   // per-iteration ε split between sums and counts
+
+	MaxIterations int     // n_it^max (default 10)
+	Threshold     float64 // θ convergence threshold (0 = run all iterations)
+
+	Smooth      bool    // SMA smoothing (Section 5.2)
+	SMAFraction float64 // window fraction (default 0.2)
+	CountFloor  float64 // aberrant filter on perturbed counts (default 1)
+	RangeSlack  float64 // aberrant filter slack (default 1)
+
+	NoiseShares int     // nν (default: population size)
+	Exchanges   int     // ne gossip cycles per sum phase (default: Theorem 3)
+	EmaxTarget  float64 // gossip error target for the Theorem 3 default (default 1e-6)
+
+	FracBits uint   // fixed-point fractional bits (default homenc.DefaultFracBits)
+	Seed     uint64 // simulation seed
+
+	Churn      float64 // per-cycle disconnection probability
+	MidFailure bool    // corrupt in-flight exchanges under churn
+
+	Sampler sim.Sampler // peer sampling (default uniform)
+
+	// TraceQuality computes the (omniscient) pre-perturbation inertia of
+	// every iteration for evaluation purposes. It reads all series,
+	// which a real deployment could not; it never feeds back into the
+	// protocol.
+	TraceQuality bool
+
+	// DeviantTolerance enables the Section 4.4 malicious-behavior check:
+	// after each decryption, participants whose decoded centroids
+	// deviate from the consensus (coordinate-wise median) by more than
+	// this distance are flagged in the trace. Zero disables the check.
+	DeviantTolerance float64
+}
+
+// IterationTrace records one iteration of the distributed protocol.
+type IterationTrace struct {
+	Iteration     int
+	CentroidsIn   int // live centroids used for assignment
+	CentroidsOut  int // centroids surviving perturbation + filters
+	EpsilonSpent  float64
+	SumCycles     int     // gossip cycles of the means/noise sum phase
+	DissCycles    int     // cycles of the correction dissemination
+	DecryptCycles int     // cycles of the epidemic decryption
+	Agreement     float64 // max cross-participant distance between decoded centroids
+	Deviants      []int   // participants flagged by the Section 4.4 cross-check
+	PreInertia    float64 // only when Config.TraceQuality
+	PostInertia   float64 // only when Config.TraceQuality
+}
+
+// Result is the outcome of a full protocol run.
+type Result struct {
+	Centroids    []timeseries.Series // final centroids (participant 0's view)
+	Traces       []IterationTrace
+	TotalEpsilon float64
+	Converged    bool
+	AvgMessages  float64 // average gossip messages sent per participant
+	AvgBytes     float64 // average bytes sent per participant
+}
+
+// Network is a simulated Chiaroscuro deployment: one participant per
+// series of the dataset.
+type Network struct {
+	cfg      Config
+	sch      homenc.Scheme
+	codec    homenc.Codec
+	data     *timeseries.Dataset
+	np       int
+	engine   *sim.Engine
+	rng      *randx.RNG
+	acct     *dp.Accountant
+	shareIdx []int
+
+	// tamper, when set by tests, corrupts the decoded views before the
+	// Section 4.4 cross-check runs — the fault-injection hook for
+	// exercising deviant detection.
+	tamper func(views [][]timeseries.Series)
+}
+
+// NewNetwork validates the configuration and builds the deployment.
+// Every participant owns one series of data and one key-share of sch
+// (participant i holds share i+1), so sch.NumShares() must be at least
+// data.Len().
+func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Network, error) {
+	np := data.Len()
+	if np < 2 {
+		return nil, errors.New("core: need at least 2 participants")
+	}
+	if len(kmeans.Compact(cfg.InitCentroids)) == 0 {
+		return nil, kmeans.ErrNoCentroids
+	}
+	for _, c := range cfg.InitCentroids {
+		if c != nil && len(c) != data.Dim() {
+			return nil, errors.New("core: centroid length does not match series length")
+		}
+	}
+	if sch.NumShares() < np {
+		return nil, fmt.Errorf("core: scheme has %d key-shares for %d participants", sch.NumShares(), np)
+	}
+	if cfg.Epsilon <= 0 {
+		return nil, errors.New("core: epsilon must be positive")
+	}
+	if cfg.Budget == nil {
+		cfg.Budget = dp.Greedy{Eps: cfg.Epsilon}
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10
+	}
+	if cfg.NoiseShares <= 0 {
+		cfg.NoiseShares = np
+	}
+	if cfg.EmaxTarget <= 0 {
+		cfg.EmaxTarget = 1e-6
+	}
+	if cfg.Exchanges <= 0 {
+		cfg.Exchanges = dp.Theorem3Exchanges(np, 1, cfg.EmaxTarget, 0.005)
+	}
+	if cfg.CountFloor == 0 {
+		cfg.CountFloor = 1
+	}
+	if cfg.RangeSlack == 0 {
+		cfg.RangeSlack = 1
+	}
+	sampler := cfg.Sampler
+	if sampler == nil {
+		sampler = &sim.UniformSampler{}
+	}
+	engine, err := sim.New(sim.Config{
+		N:            np,
+		Seed:         cfg.Seed,
+		Churn:        cfg.Churn,
+		MidFailure:   cfg.MidFailure,
+		MessageBytes: sch.CiphertextBytes() * (cfg.K*(data.Dim()+1) + 1),
+	}, sampler)
+	if err != nil {
+		return nil, err
+	}
+	codec := homenc.NewCodec(cfg.FracBits)
+	nw := &Network{
+		cfg:    cfg,
+		sch:    sch,
+		codec:  codec,
+		data:   data,
+		np:     np,
+		engine: engine,
+		rng:    randx.New(cfg.Seed, 0xD1F7),
+		acct:   &dp.Accountant{Cap: cfg.Epsilon * (1 + 1e-9)},
+	}
+	nw.shareIdx = make([]int, np)
+	for i := range nw.shareIdx {
+		nw.shareIdx[i] = i + 1
+	}
+	// Plaintext headroom: the EESum epoch grows by one per exchange a
+	// node participates in, with cascades across a cycle. Require a
+	// comfortable margin so a full run cannot overflow.
+	if space := sch.PlaintextSpace(); space != nil {
+		bound := nw.sumAbsBound()
+		needed := 8*cfg.Exchanges + 64
+		if have := headroomBits(space, bound); have < needed {
+			return nil, fmt.Errorf("core: plaintext space too small: %d epochs of headroom, need ~%d (raise key bits or the scheme degree s)", have, needed)
+		}
+	}
+	return nw, nil
+}
+
+// sumAbsBound upper-bounds the absolute encoded value any EESum slot can
+// reach before epoch scaling: the global sum of measures plus the
+// worst-case noise magnitude (taken very generously at 64 λ_max).
+func (nw *Network) sumAbsBound() *big.Int {
+	maxMeasure := math.Max(math.Abs(nw.cfg.DMin), math.Abs(nw.cfg.DMax))
+	sens := dp.SumSensitivity(nw.data.Dim(), nw.cfg.DMin, nw.cfg.DMax)
+	// Smallest per-iteration ε the strategy will ever use bounds λ.
+	minEps := nw.cfg.Epsilon
+	for it := 1; it <= nw.cfg.MaxIterations; it++ {
+		if e := nw.cfg.Budget.Epsilon(it); e > 0 && e < minEps {
+			minEps = e
+		}
+	}
+	lambdaMax := sens / (minEps / 2)
+	bound := float64(nw.np)*maxMeasure + 64*lambdaMax
+	return nw.codec.Encode(bound)
+}
+
+func headroomBits(space, bound *big.Int) int {
+	half := new(big.Int).Rsh(space, 1)
+	if bound.Sign() <= 0 {
+		return half.BitLen()
+	}
+	q := new(big.Int).Quo(half, bound)
+	return q.BitLen() - 1
+}
+
+// Run executes the full protocol until convergence or the iteration cap
+// (Section 4.2.4) and returns participant 0's final view.
+func (nw *Network) Run() (*Result, error) {
+	centroids := kmeans.Compact(nw.cfg.InitCentroids)
+	res := &Result{}
+	for it := 1; it <= nw.cfg.MaxIterations; it++ {
+		epsIter := nw.cfg.Budget.Epsilon(it)
+		if epsIter <= 0 {
+			break // privacy budget exhausted
+		}
+		if err := nw.acct.Spend(epsIter); err != nil {
+			return nil, err
+		}
+		trace, next, err := nw.iterate(it, centroids, epsIter)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalEpsilon += epsIter
+		res.Traces = append(res.Traces, *trace)
+		if len(next) == 0 {
+			break // noise overwhelmed every centroid
+		}
+		if nw.cfg.Threshold > 0 && len(next) == len(centroids) &&
+			kmeans.MaxShift(centroids, next) <= nw.cfg.Threshold {
+			centroids = next
+			res.Converged = true
+			break
+		}
+		centroids = next
+	}
+	res.Centroids = centroids
+	res.AvgMessages = nw.engine.AvgMessages()
+	res.AvgBytes = nw.engine.AvgBytes()
+	return res, nil
+}
+
+// iterate runs one full Chiaroscuro iteration (Algorithms 1 and 3).
+func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float64) (*IterationTrace, []timeseries.Series, error) {
+	k := len(centroids)
+	n := nw.data.Dim()
+	dim := k * (n + 1)
+	trace := &IterationTrace{Iteration: it, CentroidsIn: k, EpsilonSpent: epsIter}
+
+	// --- Assignment step (local, cleartext): every participant builds
+	// its encrypted means contribution.
+	initial := make([][]*big.Int, nw.np)
+	zero := big.NewInt(0)
+	oneEnc := nw.codec.Encode(1)
+	for i := 0; i < nw.np; i++ {
+		row := nw.data.Row(i)
+		best, bestD2 := 0, math.Inf(1)
+		for c, ctr := range centroids {
+			if d2 := row.Dist2(ctr); d2 < bestD2 {
+				best, bestD2 = c, d2
+			}
+		}
+		vec := make([]*big.Int, dim)
+		for j := range vec {
+			vec[j] = zero
+		}
+		base := best * (n + 1)
+		for j, v := range row {
+			vec[base+j] = nw.codec.Encode(v)
+		}
+		vec[base+n] = oneEnc
+		initial[i] = vec
+	}
+	meansSum, err := eesum.NewSum(nw.sch, initial, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The Diptych of Definition 6: cleartext perturbed centroids on one
+	// side, the encrypted means state on the other. Every participant
+	// conceptually holds one; the simulation shares the centroid slice
+	// and indexes the EESum per participant.
+	dip := Diptych{Centroids: centroids, Means: meansSum}
+	means := dip.Means
+
+	// --- Noise configuration: the sum coordinates use the time-series
+	// Sum sensitivity, the count coordinates sensitivity 1; the
+	// iteration budget is split between them (disjoint clusters compose
+	// in parallel, so one cluster's release prices them all).
+	epsSum, epsCount := dp.SplitIteration(epsIter, nw.cfg.SumShare)
+	sens := dp.SumSensitivity(n, nw.cfg.DMin, nw.cfg.DMax)
+	lambdas := make([]float64, dim)
+	for c := 0; c < k; c++ {
+		base := c * (n + 1)
+		for j := 0; j < n; j++ {
+			lambdas[base+j] = dp.LaplaceScale(sens, epsSum)
+		}
+		lambdas[base+n] = dp.LaplaceScale(1, epsCount)
+	}
+	noise, err := eesum.NewNoiseGen(nw.sch, nw.codec, eesum.NoiseConfig{
+		Lambdas: lambdas,
+		NShares: nw.cfg.NoiseShares,
+	}, nw.np, nw.rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- Algorithm 3 (a)+(b): means and noise sums run in lockstep on
+	// the same gossip exchanges, the counter piggybacking.
+	nw.engine.RunCycles(nw.cfg.Exchanges, func(a, b sim.NodeID, full bool) {
+		means.Exchange(a, b, full)
+		noise.Exchange(a, b, full)
+	})
+	trace.SumCycles = nw.cfg.Exchanges
+
+	// Noise correction: propose, disseminate (min identifier), apply.
+	if err := noise.PrepareCorrections(nw.rng); err != nil {
+		return nil, nil, err
+	}
+	diss := 0
+	for ; diss < 4*nw.cfg.Exchanges && !noise.CorrectionConverged(); diss++ {
+		nw.engine.RunCycle(noise.ExchangeCorrection)
+	}
+	trace.DissCycles = diss
+	for i := 0; i < nw.np; i++ {
+		if err := noise.ApplyCorrection(i); err != nil {
+			return nil, nil, err
+		}
+		if err := noise.PerturbMeans(i, means); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// --- Algorithm 3 (c): epidemic decryption of the perturbed means.
+	states := make([]eesum.DecState, nw.np)
+	for i := range states {
+		states[i] = eesum.DecState{CTs: means.Ciphertexts(i), Omega: means.Omega(i)}
+	}
+	dec, err := eesum.NewDecryption(nw.sch, states, nw.shareIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace.DecryptCycles = dec.RunUntilDone(nw.engine, 64*nw.cfg.Exchanges)
+	if !dec.AllDone() {
+		return nil, nil, errors.New("core: epidemic decryption did not complete")
+	}
+
+	// --- Convergence step inputs: every participant decodes its own
+	// perturbed means and post-processes locally.
+	perCentroids := make([][]timeseries.Series, nw.np)
+	for i := 0; i < nw.np; i++ {
+		vals, err := dec.Values(i, nw.codec)
+		if err != nil {
+			return nil, nil, err
+		}
+		perCentroids[i] = nw.postprocess(vals, k, n)
+	}
+	if nw.tamper != nil {
+		nw.tamper(perCentroids)
+	}
+	trace.Agreement = crossAgreement(perCentroids)
+	if nw.cfg.DeviantTolerance > 0 {
+		trace.Deviants = DetectDeviants(perCentroids, nw.cfg.DeviantTolerance)
+	}
+
+	next := kmeans.Compact(perCentroids[0])
+	trace.CentroidsOut = len(next)
+
+	if nw.cfg.TraceQuality {
+		nw.traceQuality(trace, centroids, perCentroids[0])
+	}
+	return trace, next, nil
+}
+
+// postprocess turns a decoded k·(n+1) value vector into centroids:
+// divide sums by counts, smooth, and apply the aberrant filters
+// (Section 5.2 and footnote 8).
+func (nw *Network) postprocess(vals []float64, k, n int) []timeseries.Series {
+	out := make([]timeseries.Series, k)
+	rangeWidth := nw.cfg.DMax - nw.cfg.DMin
+	lo := nw.cfg.DMin - nw.cfg.RangeSlack*rangeWidth
+	hi := nw.cfg.DMax + nw.cfg.RangeSlack*rangeWidth
+	var window int
+	if nw.cfg.Smooth {
+		frac := nw.cfg.SMAFraction
+		if frac <= 0 {
+			frac = 0.2
+		}
+		window = int(math.Round(frac * float64(n)))
+	}
+	for c := 0; c < k; c++ {
+		base := c * (n + 1)
+		count := vals[base+n]
+		if count < nw.cfg.CountFloor {
+			continue // lost mean
+		}
+		mean := make(timeseries.Series, n)
+		for j := 0; j < n; j++ {
+			mean[j] = vals[base+j] / count
+		}
+		if nw.cfg.Smooth && window > 0 {
+			mean = mean.SMA(window)
+		}
+		if !mean.InRange(lo, hi) {
+			continue // aberrant mean
+		}
+		out[c] = mean
+	}
+	return out
+}
+
+// crossAgreement returns the maximum distance between corresponding
+// centroids across participants — the empirical check of the paper's
+// unicity argument (all participants converge to the same view up to
+// gossip error).
+func crossAgreement(views [][]timeseries.Series) float64 {
+	var worst float64
+	ref := views[0]
+	for _, v := range views[1:] {
+		for c := range ref {
+			if ref[c] == nil || c >= len(v) || v[c] == nil {
+				continue
+			}
+			if d := ref[c].Dist(v[c]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// traceQuality computes the omniscient evaluation metrics (never part of
+// the protocol): pre-perturbation inertia of the iteration's partition
+// and post-perturbation inertia against the released centroids.
+func (nw *Network) traceQuality(trace *IterationTrace, centroids, released []timeseries.Series) {
+	a, err := kmeans.Assign(nw.data, centroids)
+	if err != nil {
+		return
+	}
+	trace.PreInertia = a.InertiaAgainst(a.Means())
+	trace.PostInertia = a.InertiaAgainst(released)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"chiaroscuro/internal/timeseries"
+)
+
+// DetectDeviants implements the malicious-behavior detection sketched in
+// Section 4.4 of the paper: because every honest participant decodes
+// (approximately) the same perturbed centroids, systematically comparing
+// the decrypted values across participants exposes "lying" nodes. The
+// consensus reference is the coordinate-wise median of all views, which
+// honest majorities cannot be displaced from; a participant whose view
+// deviates from the consensus by more than tol (Euclidean distance on
+// any centroid) is flagged.
+//
+// views[i] is participant i's decoded centroid set (nil entries are lost
+// means and must be nil for everyone — disagreeing on liveness is itself
+// deviant). The returned indices are sorted.
+func DetectDeviants(views [][]timeseries.Series, tol float64) []int {
+	if len(views) == 0 {
+		return nil
+	}
+	k := len(views[0])
+	consensus := consensusCentroids(views, k)
+	var deviants []int
+	for i, view := range views {
+		if isDeviant(view, consensus, k, tol) {
+			deviants = append(deviants, i)
+		}
+	}
+	sort.Ints(deviants)
+	return deviants
+}
+
+// consensusCentroids builds the coordinate-wise median view. A centroid
+// slot is live in the consensus when a majority of participants report
+// it live.
+func consensusCentroids(views [][]timeseries.Series, k int) []timeseries.Series {
+	out := make([]timeseries.Series, k)
+	for c := 0; c < k; c++ {
+		live := 0
+		var dim int
+		for _, v := range views {
+			if c < len(v) && v[c] != nil {
+				live++
+				dim = len(v[c])
+			}
+		}
+		if live*2 <= len(views) {
+			continue // majority says the centroid is lost
+		}
+		med := make(timeseries.Series, dim)
+		col := make([]float64, 0, live)
+		for j := 0; j < dim; j++ {
+			col = col[:0]
+			for _, v := range views {
+				if c < len(v) && v[c] != nil && j < len(v[c]) {
+					col = append(col, v[c][j])
+				}
+			}
+			sort.Float64s(col)
+			med[j] = col[len(col)/2]
+		}
+		out[c] = med
+	}
+	return out
+}
+
+func isDeviant(view, consensus []timeseries.Series, k int, tol float64) bool {
+	for c := 0; c < k; c++ {
+		var mine, ref timeseries.Series
+		if c < len(view) {
+			mine = view[c]
+		}
+		if c < len(consensus) {
+			ref = consensus[c]
+		}
+		switch {
+		case mine == nil && ref == nil:
+			continue
+		case mine == nil || ref == nil:
+			return true // disagrees with the majority on liveness
+		case len(mine) != len(ref):
+			return true
+		case mine.Dist(ref) > tol:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/timeseries"
+)
+
+func honestViews(n, k int) [][]timeseries.Series {
+	views := make([][]timeseries.Series, n)
+	for i := range views {
+		view := make([]timeseries.Series, k)
+		for c := 0; c < k; c++ {
+			view[c] = timeseries.Series{float64(c), float64(c) * 2}
+		}
+		views[i] = view
+	}
+	return views
+}
+
+func TestDetectDeviantsHonest(t *testing.T) {
+	views := honestViews(9, 3)
+	if got := DetectDeviants(views, 1e-6); got != nil {
+		t.Errorf("honest views flagged: %v", got)
+	}
+	if got := DetectDeviants(nil, 1); got != nil {
+		t.Errorf("empty views flagged: %v", got)
+	}
+}
+
+func TestDetectDeviantsValueLiar(t *testing.T) {
+	views := honestViews(9, 3)
+	views[4][1] = timeseries.Series{100, 100} // lies about centroid 1
+	got := DetectDeviants(views, 0.5)
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("deviants = %v, want [4]", got)
+	}
+}
+
+func TestDetectDeviantsLivenessLiar(t *testing.T) {
+	views := honestViews(7, 2)
+	views[2][0] = nil // claims a live centroid is lost
+	got := DetectDeviants(views, 0.5)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("deviants = %v, want [2]", got)
+	}
+	// And the converse: everyone says lost, one claims alive.
+	views2 := honestViews(7, 2)
+	for i := range views2 {
+		views2[i][1] = nil
+	}
+	views2[5][1] = timeseries.Series{1, 1}
+	got2 := DetectDeviants(views2, 0.5)
+	if len(got2) != 1 || got2[0] != 5 {
+		t.Errorf("deviants = %v, want [5]", got2)
+	}
+}
+
+func TestDetectDeviantsToleratesGossipError(t *testing.T) {
+	// Honest participants differ by tiny gossip approximation error;
+	// tolerance must absorb it.
+	views := honestViews(8, 2)
+	for i := range views {
+		views[i][0] = timeseries.Series{0 + float64(i)*1e-7, 0}
+	}
+	if got := DetectDeviants(views, 1e-3); got != nil {
+		t.Errorf("gossip-level noise flagged: %v", got)
+	}
+}
+
+func TestDetectDeviantsMinorityLiars(t *testing.T) {
+	// Up to a minority of coordinated liars cannot displace the median
+	// consensus: all three are flagged, no honest node is.
+	views := honestViews(9, 2)
+	for _, liar := range []int{1, 4, 7} {
+		views[liar][0] = timeseries.Series{-50, -50}
+	}
+	got := DetectDeviants(views, 0.5)
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 7 {
+		t.Errorf("deviants = %v, want [1 4 7]", got)
+	}
+}
+
+func TestDeviantDetectionEndToEnd(t *testing.T) {
+	// Full protocol with a tampering participant injected between
+	// decryption and the Section 4.4 cross-check.
+	const np, n, k = 24, 4, 2
+	data, centers := blobs(np, n, k, 71)
+	sch, err := plain.New(nil, 256, np, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(data, sch, Config{
+		K:             k,
+		InitCentroids: offSeeds(centers, 2),
+		DMin:          0, DMax: 60,
+		Epsilon:       1e6,
+		MaxIterations: 2,
+		Exchanges:     25,
+		Seed:          72,
+
+		DeviantTolerance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.tamper = func(views [][]timeseries.Series) {
+		if views[7][0] != nil {
+			views[7][0] = timeseries.Series{999, 999, 999, 999}
+		}
+	}
+	res, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		if len(tr.Deviants) != 1 || tr.Deviants[0] != 7 {
+			t.Errorf("iteration %d: deviants = %v, want [7]", tr.Iteration, tr.Deviants)
+		}
+	}
+}
+
+func TestDeviantDetectionHonestRun(t *testing.T) {
+	const np, n, k = 16, 4, 2
+	data, centers := blobs(np, n, k, 73)
+	sch, err := plain.New(nil, 256, np, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(data, sch, Config{
+		K:             k,
+		InitCentroids: offSeeds(centers, 2),
+		DMin:          0, DMax: 60,
+		Epsilon:       1e6,
+		MaxIterations: 2,
+		Exchanges:     25,
+		Seed:          74,
+
+		DeviantTolerance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		if len(tr.Deviants) != 0 {
+			t.Errorf("iteration %d: honest run flagged %v", tr.Iteration, tr.Deviants)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package datasets
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"chiaroscuro/internal/timeseries"
+)
+
+// WriteCSV writes a dataset as CSV, one series per row.
+func WriteCSV(w io.Writer, d *timeseries.Dataset) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, d.Dim())
+	for i := 0; i < d.Len(); i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV. All rows must have the
+// same number of fields.
+func ReadCSV(r io.Reader) (*timeseries.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var d *timeseries.Dataset
+	var row timeseries.Series
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d == nil {
+			d = timeseries.NewDataset(len(rec))
+			row = make(timeseries.Series, len(rec))
+		}
+		if len(rec) != d.Dim() {
+			return nil, timeseries.ErrRagged
+		}
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: bad float %q: %w", f, err)
+			}
+			row[j] = v
+		}
+		d.Append(row)
+	}
+	if d == nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return d, nil
+}
+
+// SaveCSV writes the dataset to the named file.
+func SaveCSV(path string, d *timeseries.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteCSV(bw, d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a dataset from the named file.
+func LoadCSV(path string) (*timeseries.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(bufio.NewReaderSize(f, 1<<20))
+}

@@ -1,0 +1,284 @@
+package dpkmeans
+
+import (
+	"math"
+	"testing"
+
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/timeseries"
+)
+
+func cerSample(t testing.TB, n int) (*timeseries.Dataset, []timeseries.Series) {
+	t.Helper()
+	rng := randx.New(10, 10)
+	d, _ := datasets.GenerateCER(n, rng)
+	seeds := datasets.SeedCentroids("cer", 20, rng)
+	return d, seeds
+}
+
+func TestUnperturbedMatchesKMeans(t *testing.T) {
+	d, seeds := cerSample(t, 3000)
+	res, err := Run(d, Config{
+		InitCentroids: seeds,
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		MaxIterations: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := kmeans.Run(d, kmeans.Config{
+		InitCentroids: seeds,
+		Threshold:     0,
+		MaxIterations: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	// Sandwich property of Lloyd's algorithm: for the same (unperturbed)
+	// trajectory, the PRE inertia of iteration i (fixed partition, fresh
+	// means) lies between plain k-means' inertia at iteration i (same
+	// partition, old centroids — means can only improve it) and at
+	// iteration i+1 (same means, re-assigned partition — re-assignment
+	// can only improve it).
+	for i := 0; i < len(res.Stats); i++ {
+		got := res.Stats[i].PreInertia
+		upper := ref.Stats[i].IntraInertia
+		if got > upper+1e-9 {
+			t.Errorf("iteration %d: PRE inertia %v above same-partition bound %v", i+1, got, upper)
+		}
+		if i+1 < len(ref.Stats) {
+			lower := ref.Stats[i+1].IntraInertia
+			if got < lower-1e-9 {
+				t.Errorf("iteration %d: PRE inertia %v below re-assigned bound %v", i+1, got, lower)
+			}
+		}
+	}
+	if res.TotalEpsilon != 0 {
+		t.Errorf("no-budget run spent ε=%v", res.TotalEpsilon)
+	}
+}
+
+func TestPerturbedQualityOrdering(t *testing.T) {
+	// The central quality claim (Figure 2a): the perturbed clustering
+	// still learns real structure — its best inertia sits well below the
+	// dataset's full inertia — while never beating the unperturbed run.
+	// DP noise magnitude is independent of the dataset size, so this
+	// needs enough series for the signal to dominate (the paper used 3M;
+	// 50K with k=10 gives the same signal-to-noise regime).
+	rng := randx.New(10, 10)
+	d, _ := datasets.GenerateCER(50000, rng)
+	seeds := datasets.SeedCentroids("cer", 10, rng)
+	full := d.FullInertia()
+
+	clean, err := Run(d, Config{
+		InitCentroids: seeds,
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		MaxIterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Run(d, Config{
+		InitCentroids: seeds,
+		Budget:        dp.Greedy{Eps: math.Ln2},
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		Smooth:        true,
+		MaxIterations: 10,
+		RNG:           randx.New(11, 11),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestClean := clean.BestIteration()
+	_, bestG := g.BestIteration()
+	if bestG.PreInertia < bestClean.PreInertia*0.99 {
+		t.Errorf("perturbed (%v) beat unperturbed (%v)?", bestG.PreInertia, bestClean.PreInertia)
+	}
+	if bestG.PreInertia > full {
+		t.Errorf("perturbed inertia %v above dataset inertia %v", bestG.PreInertia, full)
+	}
+	// The paper's shape: the private clustering captures real structure
+	// (well below the no-clustering upper bound).
+	if bestG.PreInertia > 0.85*full {
+		t.Errorf("perturbed inertia %v too close to dataset inertia %v (no structure learned)",
+			bestG.PreInertia, full)
+	}
+}
+
+func TestBudgetIsRespected(t *testing.T) {
+	d, seeds := cerSample(t, 2000)
+	for _, b := range []dp.Budget{
+		dp.Greedy{Eps: math.Ln2},
+		dp.GreedyFloor{Eps: math.Ln2, Floor: 4},
+		dp.UniformFast{Eps: math.Ln2, Limit: 5},
+	} {
+		res, err := Run(d, Config{
+			InitCentroids: seeds,
+			Budget:        b,
+			DMin:          datasets.CERMin, DMax: datasets.CERMax,
+			MaxIterations: 10,
+			RNG:           randx.New(12, 12),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if res.TotalEpsilon > math.Ln2*(1+1e-9) {
+			t.Errorf("%s spent ε=%v > ln2", b.Name(), res.TotalEpsilon)
+		}
+	}
+}
+
+func TestUFStopsAtLimit(t *testing.T) {
+	d, seeds := cerSample(t, 1000)
+	res, err := Run(d, Config{
+		InitCentroids: seeds,
+		Budget:        dp.UniformFast{Eps: math.Ln2, Limit: 5},
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		MaxIterations: 10,
+		RNG:           randx.New(13, 13),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) > 5 {
+		t.Errorf("UF(5) ran %d iterations", len(res.Stats))
+	}
+}
+
+func TestCentroidAttritionUnderNoise(t *testing.T) {
+	// With a tiny budget the noise must overwhelm most centroids (the
+	// effect behind Figure 2(c)): fewer centroids survive than with a
+	// comfortable budget.
+	d, seeds := cerSample(t, 4000)
+	run := func(eps float64) int {
+		res, err := Run(d, Config{
+			InitCentroids: seeds,
+			Budget:        dp.Greedy{Eps: eps},
+			DMin:          datasets.CERMin, DMax: datasets.CERMax,
+			Smooth:        true,
+			MaxIterations: 8,
+			RNG:           randx.New(14, 14),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Stats) == 0 {
+			return 0
+		}
+		return res.Stats[len(res.Stats)-1].CentroidsOut
+	}
+	generous := run(50)   // effectively no noise
+	starved := run(0.001) // crushing noise
+	if starved >= generous {
+		t.Errorf("starved budget kept %d centroids, generous kept %d", starved, generous)
+	}
+}
+
+func TestSmoothingHelpsOnCER(t *testing.T) {
+	// Figure 2(a): SMA smoothing lowers (or at least does not degrade)
+	// the best pre-perturbation inertia on the concentrated CER data.
+	// Averaged over seeds to keep the test robust.
+	rng := randx.New(10, 10)
+	d, _ := datasets.GenerateCER(30000, rng)
+	seeds := datasets.SeedCentroids("cer", 10, rng)
+	var withSMA, withoutSMA float64
+	const reps = 3
+	for r := 0; r < reps; r++ {
+		for _, smooth := range []bool{true, false} {
+			res, err := Run(d, Config{
+				InitCentroids: seeds,
+				Budget:        dp.Greedy{Eps: math.Ln2},
+				DMin:          datasets.CERMin, DMax: datasets.CERMax,
+				Smooth:        smooth,
+				MaxIterations: 8,
+				RNG:           randx.New(20+uint64(r), 20),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, best := res.BestIteration()
+			if smooth {
+				withSMA += best.PreInertia
+			} else {
+				withoutSMA += best.PreInertia
+			}
+		}
+	}
+	if withSMA > withoutSMA*1.15 {
+		t.Errorf("smoothing hurt: SMA %v vs raw %v", withSMA/reps, withoutSMA/reps)
+	}
+}
+
+func TestChurnRun(t *testing.T) {
+	d, seeds := cerSample(t, 4000)
+	res, err := Run(d, Config{
+		InitCentroids: seeds,
+		Budget:        dp.Greedy{Eps: math.Ln2},
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		Smooth:        true,
+		MaxIterations: 6,
+		Churn:         0.25,
+		RNG:           randx.New(15, 15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Stats {
+		frac := float64(s.ActiveSeries) / float64(d.Len())
+		if frac < 0.65 || frac > 0.85 {
+			t.Errorf("iteration %d: active fraction %v, want ~0.75", s.Iteration, frac)
+		}
+	}
+}
+
+func TestPostInertiaAtLeastPre(t *testing.T) {
+	// POST uses the same partition with worse (perturbed) representatives,
+	// so POST >= PRE always (the mean minimizes the squared distance).
+	d, seeds := cerSample(t, 3000)
+	res, err := Run(d, Config{
+		InitCentroids: seeds,
+		Budget:        dp.Greedy{Eps: math.Ln2},
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		Smooth:        true,
+		MaxIterations: 8,
+		RNG:           randx.New(16, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Stats {
+		if s.CentroidsOut == s.CentroidsIn && s.PostInertia < s.PreInertia-1e-9 {
+			t.Errorf("iteration %d: POST %v < PRE %v with no centroid loss",
+				s.Iteration, s.PostInertia, s.PreInertia)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	d, seeds := cerSample(t, 100)
+	if _, err := Run(timeseries.NewDataset(24), Config{InitCentroids: seeds}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := Run(d, Config{}); err == nil {
+		t.Error("no centroids should error")
+	}
+	if _, err := Run(d, Config{InitCentroids: seeds, Budget: dp.Greedy{Eps: 1}}); err == nil {
+		t.Error("budget without RNG should error")
+	}
+	if _, err := Run(d, Config{InitCentroids: seeds, Churn: 0.5}); err == nil {
+		t.Error("churn without RNG should error")
+	}
+}
+
+func TestBestIterationEmpty(t *testing.T) {
+	r := &Result{}
+	if it, _ := r.BestIteration(); it != 0 {
+		t.Errorf("BestIteration on empty result = %d", it)
+	}
+}

@@ -1,0 +1,90 @@
+package dpkmeans
+
+import (
+	"chiaroscuro/internal/timeseries"
+	"math"
+	"testing"
+
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/randx"
+)
+
+// TestQualityDropTermination exercises the footnote-9 smarter criterion:
+// with a GREEDY budget whose late iterations drown in noise, the
+// quality-monitored run must stop earlier than the fixed-cap run, and it
+// must never stop later.
+func TestQualityDropTermination(t *testing.T) {
+	rng := randx.New(60, 60)
+	data, _ := datasets.GenerateCER(20000, rng)
+	seeds := datasets.SeedCentroids("cer", 10, rng)
+	base := Config{
+		InitCentroids: seeds,
+		Budget:        dp.Greedy{Eps: math.Ln2},
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		Smooth:        true,
+		MaxIterations: 10,
+		RNG:           randx.New(61, 61),
+	}
+	capped, err := Run(data, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart := base
+	smart.RNG = randx.New(61, 61) // same noise stream
+	smart.StopOnQualityDrop = true
+	smart.QualityPatience = 2
+	monitored, err := Run(data, smart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(monitored.Stats) > len(capped.Stats) {
+		t.Errorf("monitored run took %d iterations, cap-only %d", len(monitored.Stats), len(capped.Stats))
+	}
+	if len(monitored.Stats) == 0 {
+		t.Fatal("monitored run recorded nothing")
+	}
+	// The monitor must have actually recorded inter-cluster inertia.
+	for _, s := range monitored.Stats {
+		if s.EpsilonSpent > 0 && s.InterInertia <= 0 && s.CentroidsOut > 0 {
+			t.Errorf("iteration %d: no inter-inertia recorded", s.Iteration)
+		}
+	}
+	// Budget still respected.
+	if monitored.TotalEpsilon > math.Ln2*(1+1e-9) {
+		t.Errorf("monitored run spent ε=%v", monitored.TotalEpsilon)
+	}
+}
+
+// TestQualityMonitorUnperturbedNoStop: with no budget the criterion is
+// inert (nothing is noisy; the monitor only guards perturbed runs).
+func TestQualityMonitorUnperturbedNoStop(t *testing.T) {
+	rng := randx.New(62, 62)
+	data, _ := datasets.GenerateCER(5000, rng)
+	seeds := datasets.SeedCentroids("cer", 6, rng)
+	res, err := Run(data, Config{
+		InitCentroids: seeds,
+		DMin:          datasets.CERMin, DMax: datasets.CERMax,
+		MaxIterations:     6,
+		StopOnQualityDrop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 6 {
+		t.Errorf("unperturbed monitored run stopped at %d iterations", len(res.Stats))
+	}
+}
+
+func TestInterInertiaHelper(t *testing.T) {
+	g := timeseries.Series{0, 0}
+	means := []timeseries.Series{{3, 4}, nil, {0, 0}}
+	counts := []float64{10, 0, 30}
+	// q = (10/40)·25 + (30/40)·0 = 6.25
+	if got := interInertia(means, counts, g); math.Abs(got-6.25) > 1e-12 {
+		t.Errorf("interInertia = %v, want 6.25", got)
+	}
+	if got := interInertia(means, []float64{0, 0, 0}, g); got != 0 {
+		t.Errorf("zero-count interInertia = %v, want 0", got)
+	}
+}

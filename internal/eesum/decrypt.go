@@ -1,0 +1,326 @@
+package eesum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/sim"
+)
+
+// DecState is one participant's input to the epidemic decryption: its
+// converged ciphertext vector and the epidemic weight that decodes it.
+// The epidemic sum guarantees every participant's state decodes to
+// (approximately) the same values, which is what lets a less advanced
+// participant adopt a more advanced one's state wholesale.
+type DecState struct {
+	CTs   []homenc.Ciphertext
+	Omega *big.Int
+}
+
+// Decryption is the epidemic decryption protocol of Section 4.2.3.
+// Every participant owns one key-share (identified by its share index)
+// and accumulates partial decryptions of the ciphertext vector it
+// currently holds. During an exchange the less advanced side adopts the
+// more advanced side's whole state — ciphertexts, weight, and partials,
+// which remain mutually consistent — and each side then applies its own
+// key-share to the other's current ciphertexts if absent. A node is done
+// once τ distinct key-shares have been applied.
+type Decryption struct {
+	sch       homenc.Scheme
+	threshold int
+
+	ownIdx []int
+	states []DecState
+	parts  []map[int][]homenc.PartialDecryption // node -> shareIdx -> per-element partials
+}
+
+// NewDecryption starts the protocol. states[i] is participant i's
+// converged state; shareIdx[i] its key-share index (1-based, distinct).
+func NewDecryption(sch homenc.Scheme, states []DecState, shareIdx []int) (*Decryption, error) {
+	if len(states) != len(shareIdx) || len(states) == 0 {
+		return nil, errors.New("eesum: states and share indices must align and be non-empty")
+	}
+	dim := len(states[0].CTs)
+	if dim == 0 {
+		return nil, errors.New("eesum: empty ciphertext vector")
+	}
+	seen := make(map[int]bool, len(shareIdx))
+	for i, idx := range shareIdx {
+		if idx < 1 || idx > sch.NumShares() {
+			return nil, fmt.Errorf("eesum: key-share index %d out of range", idx)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("eesum: duplicate key-share index %d", idx)
+		}
+		seen[idx] = true
+		if len(states[i].CTs) != dim {
+			return nil, errors.New("eesum: ragged ciphertext vectors")
+		}
+	}
+	d := &Decryption{
+		sch:       sch,
+		threshold: sch.Threshold(),
+		ownIdx:    append([]int(nil), shareIdx...),
+		states:    append([]DecState(nil), states...),
+		parts:     make([]map[int][]homenc.PartialDecryption, len(states)),
+	}
+	for i := range d.parts {
+		d.parts[i] = make(map[int][]homenc.PartialDecryption, d.threshold)
+	}
+	return d, nil
+}
+
+// apply computes the key-share of node from over node to's current
+// ciphertexts and stores it in to's set (at most once per share,
+// Section 4.2.3).
+func (d *Decryption) apply(to, from sim.NodeID) {
+	if len(d.parts[to]) >= d.threshold {
+		return
+	}
+	idx := d.ownIdx[from]
+	if _, dup := d.parts[to][idx]; dup {
+		return
+	}
+	ps := make([]homenc.PartialDecryption, len(d.states[to].CTs))
+	for j, c := range d.states[to].CTs {
+		p, err := d.sch.PartialDecrypt(idx, c)
+		if err != nil {
+			return // invalid share index; already validated, cannot happen
+		}
+		ps[j] = p
+	}
+	d.parts[to][idx] = ps
+}
+
+// Exchange performs one epidemic decryption exchange.
+func (d *Decryption) Exchange(a, b sim.NodeID, full bool) {
+	// Latency optimization (Section 4.2.3): the less advanced side
+	// erases its partially-decrypted state and adopts the more advanced
+	// side's — ciphertexts, weight and partials move together so the
+	// set stays consistent with the ciphertexts it decrypts.
+	if len(d.parts[b]) > len(d.parts[a]) {
+		d.adopt(a, b)
+	} else if full && len(d.parts[a]) > len(d.parts[b]) {
+		d.adopt(b, a)
+	}
+	// Each side applies its own key-share to the other's ciphertexts,
+	// and to its own state.
+	d.apply(a, b)
+	d.apply(a, a)
+	if full {
+		d.apply(b, a)
+		d.apply(b, b)
+	}
+}
+
+func (d *Decryption) adopt(to, from sim.NodeID) {
+	d.states[to] = d.states[from]
+	dst := make(map[int][]homenc.PartialDecryption, d.threshold)
+	for k, v := range d.parts[from] {
+		if len(dst) == d.threshold {
+			break
+		}
+		dst[k] = v
+	}
+	d.parts[to] = dst
+}
+
+// Done reports whether node i gathered τ distinct key-shares.
+func (d *Decryption) Done(i sim.NodeID) bool { return len(d.parts[i]) >= d.threshold }
+
+// AllDone reports whether every node finished.
+func (d *Decryption) AllDone() bool {
+	for i := range d.parts {
+		if !d.Done(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilDone drives the engine until every node finished or maxCycles
+// elapsed, returning the cycles used.
+func (d *Decryption) RunUntilDone(e *sim.Engine, maxCycles int) int {
+	for c := 0; c < maxCycles; c++ {
+		if d.AllDone() {
+			return c
+		}
+		e.RunCycle(d.Exchange)
+	}
+	return maxCycles
+}
+
+// Plaintexts combines node i's accumulated partials into the plaintext
+// vector of the state it currently holds. It fails below the threshold.
+func (d *Decryption) Plaintexts(i sim.NodeID) ([]*big.Int, error) {
+	if !d.Done(i) {
+		return nil, errors.New("eesum: decryption incomplete")
+	}
+	out := make([]*big.Int, len(d.states[i].CTs))
+	for j, c := range d.states[i].CTs {
+		parts := make([]homenc.PartialDecryption, 0, d.threshold)
+		for _, ps := range d.parts[i] {
+			parts = append(parts, ps[j])
+			if len(parts) == d.threshold {
+				break
+			}
+		}
+		m, err := d.sch.Combine(c, parts)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = m
+	}
+	return out, nil
+}
+
+// Values decodes node i's decrypted plaintexts into floats using the
+// weight of the state node i currently holds.
+func (d *Decryption) Values(i sim.NodeID, codec homenc.Codec) ([]float64, error) {
+	ms, err := d.Plaintexts(i)
+	if err != nil {
+		return nil, err
+	}
+	omega := d.states[i].Omega
+	if omega == nil || omega.Sign() == 0 {
+		return nil, errors.New("eesum: zero weight; estimate undefined")
+	}
+	out := make([]float64, len(ms))
+	for j, m := range ms {
+		out[j] = codec.Decode(homenc.Centered(m, d.sch.PlaintextSpace()), omega)
+	}
+	return out, nil
+}
+
+// DecryptionLatency is the counting-only model of the epidemic
+// decryption used for the large-population latency experiment (Figure
+// 4(b)), where what matters is how many exchanges each node needs to
+// gather τ distinct key-shares, not the crypto itself.
+//
+// Exact mode tracks the actual identifier sets (memory ∝ n·τ — the same
+// platform limitation the paper reports at one million participants).
+// Mean-field mode tracks only set sizes, approximating membership tests
+// probabilistically; it scales to millions of nodes.
+type DecryptionLatency struct {
+	Threshold int
+	Exact     bool
+
+	n     int
+	count []int32
+	sets  []map[int32]struct{} // exact mode only
+	rng   interface{ Float64() float64 }
+}
+
+// NewDecryptionLatency builds the latency model for n nodes, each owning
+// key-share i (0-based here; identity is all that matters).
+func NewDecryptionLatency(n, threshold int, exact bool, rng interface{ Float64() float64 }) (*DecryptionLatency, error) {
+	if threshold < 1 || threshold > n {
+		return nil, fmt.Errorf("eesum: threshold %d out of range for %d nodes", threshold, n)
+	}
+	dl := &DecryptionLatency{
+		Threshold: threshold,
+		Exact:     exact,
+		n:         n,
+		count:     make([]int32, n),
+		rng:       rng,
+	}
+	if exact {
+		dl.sets = make([]map[int32]struct{}, n)
+		for i := range dl.sets {
+			dl.sets[i] = map[int32]struct{}{int32(i): {}}
+			dl.count[i] = 1
+		}
+	} else {
+		for i := range dl.count {
+			dl.count[i] = 1 // own share
+		}
+	}
+	return dl, nil
+}
+
+// Exchange mirrors Decryption.Exchange at the counting level.
+func (dl *DecryptionLatency) Exchange(a, b sim.NodeID, full bool) {
+	if dl.Exact {
+		if dl.count[b] > dl.count[a] {
+			dl.adopt(a, b)
+		} else if full && dl.count[a] > dl.count[b] {
+			dl.adopt(b, a)
+		}
+		dl.insert(a, int32(b))
+		if full {
+			dl.insert(b, int32(a))
+		}
+		return
+	}
+	// Mean-field: adopt the larger count, then gain the peer's share
+	// with probability 1 - count/n (chance it was not yet collected).
+	if dl.count[b] > dl.count[a] {
+		dl.count[a] = dl.count[b]
+	} else if full && dl.count[a] > dl.count[b] {
+		dl.count[b] = dl.count[a]
+	}
+	th := int32(dl.Threshold)
+	if dl.count[a] < th && dl.rng.Float64() > float64(dl.count[a])/float64(dl.n) {
+		dl.count[a]++
+	}
+	if full && dl.count[b] < th && dl.rng.Float64() > float64(dl.count[b])/float64(dl.n) {
+		dl.count[b]++
+	}
+}
+
+func (dl *DecryptionLatency) adopt(to, from sim.NodeID) {
+	dst := make(map[int32]struct{}, len(dl.sets[from]))
+	for k := range dl.sets[from] {
+		if len(dst) == dl.Threshold {
+			break
+		}
+		dst[k] = struct{}{}
+	}
+	dl.sets[to] = dst
+	dl.count[to] = int32(len(dst))
+	dl.insert(to, int32(to))
+}
+
+func (dl *DecryptionLatency) insert(node sim.NodeID, share int32) {
+	if dl.count[node] >= int32(dl.Threshold) {
+		return
+	}
+	if _, ok := dl.sets[node][share]; ok {
+		return
+	}
+	dl.sets[node][share] = struct{}{}
+	dl.count[node]++
+}
+
+// Done reports whether node i gathered enough shares.
+func (dl *DecryptionLatency) Done(i sim.NodeID) bool {
+	return dl.count[i] >= int32(dl.Threshold)
+}
+
+// FractionDone returns the fraction of nodes that finished.
+func (dl *DecryptionLatency) FractionDone() float64 {
+	done := 0
+	for i := range dl.count {
+		if dl.Done(i) {
+			done++
+		}
+	}
+	return float64(done) / float64(dl.n)
+}
+
+// ExpectedDecryptMessages is the closed-form "Tendencies" estimate for
+// Figure 4(b): collecting tau distinct key-shares out of a population of
+// n by meeting uniformly random peers is a coupon-collector partial sum,
+//
+//	E[messages] ≈ n · ln(n / (n - tau)),
+//
+// which is ≈ tau for tau ≪ n and grows superlinearly as tau approaches n.
+func ExpectedDecryptMessages(n, tau int) float64 {
+	if tau >= n {
+		return math.Inf(1)
+	}
+	return float64(n) * math.Log(float64(n)/float64(n-tau))
+}

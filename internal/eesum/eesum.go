@@ -1,0 +1,195 @@
+// Package eesum implements the encrypted epidemic protocols of Section
+// 4.2 of the paper:
+//
+//   - EESum (Algorithm 2): the gossip sum over additively-homomorphic
+//     ciphertexts. Divisions are deferred — instead of halving at each
+//     exchange, both sides rescale to a common power-of-two epoch, add
+//     homomorphically, and keep an integer weight that cancels the
+//     scaling at decode time;
+//   - epidemic noise generation (Section 4.2.2): each participant
+//     contributes a Laplace noise-share (Definition 5), the shares are
+//     EESum-aggregated alongside a cleartext participant counter, and a
+//     min-identifier correction dissemination removes the surplus
+//     shares;
+//   - epidemic decryption (Section 4.2.3): each participant applies its
+//     own key-share to the converged ciphertexts and gossips the set of
+//     partial decryptions until τ distinct key-shares are gathered.
+package eesum
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/sim"
+)
+
+// Sum is the EESum protocol state for a population of nodes, each
+// holding a vector of dim encrypted values, an integer weight, and an
+// exchange epoch. The logical value of node i is ct_i / (ω_i · 2^f) —
+// the power-of-two epoch scaling is common to numerator and denominator
+// and cancels.
+type Sum struct {
+	sch homenc.Scheme
+	dim int
+
+	ct    [][]homenc.Ciphertext
+	omega []*big.Int
+	epoch []int
+}
+
+// NewSum encrypts each node's initial plaintext vector and assigns the
+// epidemic weight 1 to weightNode (0 elsewhere), per Section 3.2.
+func NewSum(sch homenc.Scheme, initial [][]*big.Int, weightNode int) (*Sum, error) {
+	n := len(initial)
+	if n < 2 {
+		return nil, errors.New("eesum: need at least 2 nodes")
+	}
+	if weightNode < 0 || weightNode >= n {
+		return nil, fmt.Errorf("eesum: weight node %d out of range", weightNode)
+	}
+	dim := len(initial[0])
+	s := &Sum{
+		sch:   sch,
+		dim:   dim,
+		ct:    make([][]homenc.Ciphertext, n),
+		omega: make([]*big.Int, n),
+		epoch: make([]int, n),
+	}
+	for i, vec := range initial {
+		if len(vec) != dim {
+			return nil, errors.New("eesum: ragged initial vectors")
+		}
+		cts := make([]homenc.Ciphertext, dim)
+		for j, v := range vec {
+			cts[j] = sch.Encrypt(v)
+		}
+		s.ct[i] = cts
+		s.omega[i] = big.NewInt(0)
+	}
+	s.omega[weightNode] = big.NewInt(1)
+	return s, nil
+}
+
+// Dim returns the vector length per node.
+func (s *Sum) Dim() int { return s.dim }
+
+// Epoch returns node i's exchange epoch (the deferred-division exponent).
+func (s *Sum) Epoch(i sim.NodeID) int { return s.epoch[i] }
+
+// Exchange is the local update rule of Algorithm 2, applied element-wise
+// to the ciphertext vectors:
+//
+//	if epochs differ, the lower side is scaled by 2^diff (ciphertext
+//	exponentiation, weight shift);
+//	both sides then hold E(v_a)+hE(v_b), ω_a+ω_b, max(e_a,e_b)+1.
+//
+// When full is false only the initiator applies the update (mid-exchange
+// churn corruption, Section 6.1.5).
+func (s *Sum) Exchange(a, b sim.NodeID, full bool) {
+	ea, eb := s.epoch[a], s.epoch[b]
+	cta, ctb := s.ct[a], s.ct[b]
+	oa, ob := s.omega[a], s.omega[b]
+	// Scale the staler side to the fresher epoch.
+	if ea < eb {
+		cta = scaleVec(s.sch, cta, uint(eb-ea))
+		oa = new(big.Int).Lsh(oa, uint(eb-ea))
+	} else if eb < ea {
+		ctb = scaleVec(s.sch, ctb, uint(ea-eb))
+		ob = new(big.Int).Lsh(ob, uint(ea-eb))
+	}
+	sum := make([]homenc.Ciphertext, s.dim)
+	for j := 0; j < s.dim; j++ {
+		sum[j] = s.sch.Add(cta[j], ctb[j])
+	}
+	omega := new(big.Int).Add(oa, ob)
+	epoch := max(ea, eb) + 1
+
+	s.ct[a], s.omega[a], s.epoch[a] = sum, omega, epoch
+	if full {
+		// The two sides share ciphertext values (immutable), but not the
+		// slice, so later in-place rescaling of one cannot corrupt the other.
+		cpy := make([]homenc.Ciphertext, s.dim)
+		copy(cpy, sum)
+		s.ct[b], s.omega[b], s.epoch[b] = cpy, new(big.Int).Set(omega), epoch
+	}
+}
+
+func scaleVec(sch homenc.Scheme, in []homenc.Ciphertext, shift uint) []homenc.Ciphertext {
+	k := new(big.Int).Lsh(big.NewInt(1), shift)
+	out := make([]homenc.Ciphertext, len(in))
+	for j, c := range in {
+		out[j] = sch.ScalarMul(c, k)
+	}
+	return out
+}
+
+// AddEncrypted homomorphically adds an encrypted vector (already scaled
+// by the node's own weight) into node i's state — the "encrypted
+// perturbation" step of Algorithm 3 (line 7). The caller provides
+// plaintext integers v; what is added is E(v · ω_i), so the decoded
+// estimate shifts by exactly v.
+func (s *Sum) AddEncrypted(i sim.NodeID, v []*big.Int) error {
+	if len(v) != s.dim {
+		return errors.New("eesum: dimension mismatch")
+	}
+	for j, x := range v {
+		scaled := new(big.Int).Mul(x, s.omega[i])
+		s.ct[i][j] = s.sch.Add(s.ct[i][j], s.sch.Encrypt(scaled))
+	}
+	return nil
+}
+
+// Ciphertexts returns node i's current encrypted vector (shared; do not
+// mutate).
+func (s *Sum) Ciphertexts(i sim.NodeID) []homenc.Ciphertext { return s.ct[i] }
+
+// Omega returns node i's integer weight (shared; do not mutate).
+func (s *Sum) Omega(i sim.NodeID) *big.Int { return s.omega[i] }
+
+// EstimateWith decodes node i's estimate of the global sum using an
+// arbitrary decryption oracle (the non-threshold Decrypt in tests, the
+// epidemic threshold decryption in the full protocol). codec translates
+// fixed-point plaintexts; the weight ω_i divides out the 2^epoch scale.
+func (s *Sum) EstimateWith(i sim.NodeID, codec homenc.Codec, decrypt func(homenc.Ciphertext) (*big.Int, error)) ([]float64, error) {
+	if s.omega[i].Sign() == 0 {
+		return nil, errors.New("eesum: estimate undefined (zero weight)")
+	}
+	out := make([]float64, s.dim)
+	for j, c := range s.ct[i] {
+		raw, err := decrypt(c)
+		if err != nil {
+			return nil, err
+		}
+		centered := homenc.Centered(raw, s.sch.PlaintextSpace())
+		out[j] = codec.Decode(centered, s.omega[i])
+	}
+	return out, nil
+}
+
+// HeadroomExchanges returns how many exchanges are safe before the
+// scaled plaintexts could overflow half the plaintext space (values must
+// stay centered-representable). sumAbsBound is an upper bound on the
+// absolute value of the global (fixed-point encoded) sum. A scheme
+// without a plaintext bound returns maxInt.
+func (s *Sum) HeadroomExchanges(sumAbsBound *big.Int) int {
+	space := s.sch.PlaintextSpace()
+	if space == nil {
+		return int(^uint(0) >> 1)
+	}
+	half := new(big.Int).Rsh(space, 1)
+	if sumAbsBound.Sign() <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	// Largest e with sumAbsBound · 2^e < half.
+	q := new(big.Int).Quo(half, sumAbsBound)
+	return q.BitLen() - 1
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

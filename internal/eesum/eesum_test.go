@@ -1,0 +1,270 @@
+package eesum
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/sim"
+)
+
+func plainScheme(t testing.TB, n int) homenc.Scheme {
+	t.Helper()
+	s, err := plain.New(nil, 256, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newEngine(t testing.TB, n int, churn float64) *sim.Engine {
+	t.Helper()
+	e, err := sim.New(sim.Config{N: n, Seed: 21, Churn: churn}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// plainDecrypt returns a decryption oracle for the plain scheme.
+func plainDecrypt(c homenc.Ciphertext) (*big.Int, error) { return c.V, nil }
+
+func TestEESumConvergesPlain(t *testing.T) {
+	const n = 64
+	codec := homenc.NewCodec(20)
+	sch := plainScheme(t, n)
+	initial := make([][]*big.Int, n)
+	var want0, want1 float64
+	for i := 0; i < n; i++ {
+		v0 := float64(i%5) + 0.25
+		v1 := -float64(i % 3)
+		want0 += v0
+		want1 += v1
+		initial[i] = []*big.Int{codec.Encode(v0), codec.Encode(v1)}
+	}
+	s, err := NewSum(sch, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, n, 0)
+	e.RunCycles(25, s.Exchange)
+	for i := 0; i < n; i++ {
+		est, err := s.EstimateWith(i, codec, plainDecrypt)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if math.Abs(est[0]-want0) > 1e-5*math.Abs(want0) {
+			t.Fatalf("node %d dim 0: estimate %v, want %v", i, est[0], want0)
+		}
+		if math.Abs(est[1]-want1) > 1e-5*math.Abs(want1) {
+			t.Fatalf("node %d dim 1: estimate %v, want %v", i, est[1], want1)
+		}
+	}
+}
+
+func TestEESumConvergesDamgardJurik(t *testing.T) {
+	// The real thing, end to end: 16 nodes, 128-bit key, threshold 3.
+	const n = 16
+	sch, err := damgardjurik.NewTestScheme(128, 1, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := homenc.NewCodec(16)
+	initial := make([][]*big.Int, n)
+	var want float64
+	for i := 0; i < n; i++ {
+		v := float64(i) + 0.5
+		want += v
+		initial[i] = []*big.Int{codec.Encode(v)}
+	}
+	s, err := NewSum(sch, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, n, 0)
+	// Epochs cascade ~4 per cycle, so 18 cycles stay well inside the
+	// ~103-epoch headroom of a 128-bit key with these encodings.
+	e.RunCycles(18, s.Exchange)
+	maxEpoch := 0
+	for i := 0; i < n; i++ {
+		if s.Epoch(i) > maxEpoch {
+			maxEpoch = s.Epoch(i)
+		}
+	}
+	if head := s.HeadroomExchanges(codec.Encode(want)); maxEpoch > head {
+		t.Fatalf("test exceeded plaintext headroom: epoch %d > %d", maxEpoch, head)
+	}
+	djDecrypt := func(c homenc.Ciphertext) (*big.Int, error) { return sch.Decrypt(c), nil }
+	for _, node := range []int{0, 7, 15} {
+		est, err := s.EstimateWith(node, codec, djDecrypt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The residual is gossip approximation error, not crypto error.
+		if math.Abs(est[0]-want) > 1e-3*want {
+			t.Errorf("node %d: estimate %v, want %v", node, est[0], want)
+		}
+	}
+}
+
+func TestEESumEpochScaling(t *testing.T) {
+	// Force an exchange between nodes at different epochs and verify the
+	// scaling rule keeps logical values consistent (Appendix C.2.1).
+	codec := homenc.NewCodec(10)
+	sch := plainScheme(t, 4)
+	initial := [][]*big.Int{
+		{codec.Encode(8)}, {codec.Encode(0)}, {codec.Encode(0)}, {codec.Encode(0)},
+	}
+	s, err := NewSum(sch, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0,1 exchange twice; node 2 stays at epoch 0; then 0-2 exchange.
+	s.Exchange(0, 1, true)
+	s.Exchange(0, 1, true)
+	if s.Epoch(0) != 2 || s.Epoch(2) != 0 {
+		t.Fatalf("epochs = %d, %d", s.Epoch(0), s.Epoch(2))
+	}
+	s.Exchange(0, 2, true)
+	if s.Epoch(0) != 3 || s.Epoch(2) != 3 {
+		t.Fatalf("after mixed exchange, epochs = %d, %d", s.Epoch(0), s.Epoch(2))
+	}
+	// Total logical mass must still be 8: logical value of node i is
+	// dec/(2^epoch)... sum over nodes of dec_i/2^epoch_i.
+	var total float64
+	for i := 0; i < 4; i++ {
+		dec, _ := plainDecrypt(s.Ciphertexts(i)[0])
+		total += codec.Decode(dec, nil) / math.Pow(2, float64(s.Epoch(i)))
+	}
+	if math.Abs(total-8) > 1e-9 {
+		t.Errorf("logical mass = %v, want 8", total)
+	}
+}
+
+func TestEESumMidFailureBreaksMass(t *testing.T) {
+	codec := homenc.NewCodec(10)
+	sch := plainScheme(t, 2)
+	s, err := NewSum(sch, [][]*big.Int{{codec.Encode(4)}, {codec.Encode(0)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Exchange(0, 1, false) // responder never applied its half
+	dec0, _ := plainDecrypt(s.Ciphertexts(0)[0])
+	dec1, _ := plainDecrypt(s.Ciphertexts(1)[0])
+	l0 := codec.Decode(dec0, nil) / math.Pow(2, float64(s.Epoch(0)))
+	l1 := codec.Decode(dec1, nil) / math.Pow(2, float64(s.Epoch(1)))
+	if math.Abs(l0+l1-4) < 1e-12 {
+		t.Error("half-exchange conserved mass; churn corruption not modeled")
+	}
+}
+
+func TestAddEncryptedShiftsEstimate(t *testing.T) {
+	const n = 8
+	codec := homenc.NewCodec(16)
+	sch := plainScheme(t, n)
+	initial := make([][]*big.Int, n)
+	for i := range initial {
+		initial[i] = []*big.Int{codec.Encode(1)}
+	}
+	s, err := NewSum(sch, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, n, 0)
+	e.RunCycles(12, s.Exchange)
+	before, err := s.EstimateWith(3, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEncrypted(3, []*big.Int{codec.Encode(2.5)}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.EstimateWith(3, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after[0]-before[0]-2.5) > 1e-4 {
+		t.Errorf("AddEncrypted shifted estimate by %v, want 2.5", after[0]-before[0])
+	}
+}
+
+func TestEstimateUndefinedZeroWeight(t *testing.T) {
+	codec := homenc.NewCodec(8)
+	sch := plainScheme(t, 2)
+	s, err := NewSum(sch, [][]*big.Int{{big.NewInt(1)}, {big.NewInt(2)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EstimateWith(1, codec, plainDecrypt); err == nil {
+		t.Error("zero-weight node estimate should fail")
+	}
+}
+
+func TestNewSumErrors(t *testing.T) {
+	sch := plainScheme(t, 2)
+	if _, err := NewSum(sch, [][]*big.Int{{big.NewInt(1)}}, 0); err == nil {
+		t.Error("single node must fail")
+	}
+	if _, err := NewSum(sch, [][]*big.Int{{big.NewInt(1)}, {big.NewInt(1)}}, 5); err == nil {
+		t.Error("bad weight node must fail")
+	}
+	if _, err := NewSum(sch, [][]*big.Int{{big.NewInt(1)}, {big.NewInt(1), big.NewInt(2)}}, 0); err == nil {
+		t.Error("ragged vectors must fail")
+	}
+}
+
+func TestHeadroomExchanges(t *testing.T) {
+	sch, err := plain.New(new(big.Int).Lsh(big.NewInt(1), 64), 0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSum(sch, [][]*big.Int{{big.NewInt(1)}, {big.NewInt(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// space 2^64, half 2^63, bound 2^13 -> max epoch <= 49.
+	h := s.HeadroomExchanges(new(big.Int).Lsh(big.NewInt(1), 13))
+	if h != 49 && h != 50 {
+		t.Errorf("headroom = %d, want ~50", h)
+	}
+	unlimited, err := NewSum(plainScheme(t, 2), [][]*big.Int{{big.NewInt(1)}, {big.NewInt(1)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.HeadroomExchanges(big.NewInt(1000)) < 1<<30 {
+		t.Error("unbounded scheme should have unlimited headroom")
+	}
+}
+
+func TestEESumOverflowSafety(t *testing.T) {
+	// Running more cycles than the headroom allows on a tiny plaintext
+	// space must corrupt estimates — this test documents why protocol
+	// drivers must respect HeadroomExchanges.
+	space := new(big.Int).Lsh(big.NewInt(1), 32)
+	sch, err := plain.New(space, 0, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := homenc.NewCodec(8)
+	const n = 8
+	initial := make([][]*big.Int, n)
+	for i := range initial {
+		initial[i] = []*big.Int{codec.Encode(100)}
+	}
+	s, err := NewSum(sch, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headroom := s.HeadroomExchanges(codec.Encode(800))
+	e := newEngine(t, n, 0)
+	e.RunCycles(headroom*2, s.Exchange) // way past safety
+	est, err := s.EstimateWith(0, codec, func(c homenc.Ciphertext) (*big.Int, error) {
+		return homenc.Centered(c.V, space), nil
+	})
+	if err == nil && math.Abs(est[0]-800) < 1 {
+		t.Skip("estimate survived overflow (possible but unlikely); headroom is conservative")
+	}
+}

@@ -1,0 +1,182 @@
+package eesum
+
+import (
+	"errors"
+	"math/big"
+
+	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/sim"
+)
+
+// NoiseConfig parametrizes the epidemic noise generation of Section
+// 4.2.2.
+type NoiseConfig struct {
+	// Lambdas holds the Laplace scale of each of the Dim() variables
+	// (already compensated per Lemma 2). Algorithm 3 perturbs k·(n+1)
+	// values per iteration: the k·n sum measures share one scale, the k
+	// counts another.
+	Lambdas []float64
+	NShares int // nν: assumed lower bound on contributing participants
+}
+
+// Dim returns the number of Laplace variables to produce.
+func (c NoiseConfig) Dim() int { return len(c.Lambdas) }
+
+// UniformLambdas builds a NoiseConfig scale vector with a single scale.
+func UniformLambdas(dim int, lambda float64) []float64 {
+	ls := make([]float64, dim)
+	for i := range ls {
+		ls[i] = lambda
+	}
+	return ls
+}
+
+// NoiseGen runs the collaborative noise generation: an EESum over
+// locally generated noise-share vectors, a cleartext epidemic counter of
+// actual contributors, and a min-identifier dissemination of the surplus
+// correction.
+type NoiseGen struct {
+	cfg   NoiseConfig
+	codec homenc.Codec
+
+	Enc *Sum        // encrypted sum of noise-share vectors
+	Ctr *gossip.Sum // cleartext count of contributing participants
+
+	corID  []uint64    // per-node correction identifier
+	corVec [][]float64 // per-node correction proposal
+	n      int
+}
+
+// NewNoiseGen draws every node's noise-share vector (Definition 5),
+// encrypts it into an EESum, and initializes the participant counter.
+// rng must be the experiment's deterministic source; per-node streams
+// are derived from it.
+func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, rng *randx.RNG) (*NoiseGen, error) {
+	if cfg.Dim() < 1 || cfg.NShares < 1 {
+		return nil, errors.New("eesum: invalid noise configuration")
+	}
+	for _, l := range cfg.Lambdas {
+		if l <= 0 {
+			return nil, errors.New("eesum: non-positive Laplace scale")
+		}
+	}
+	initial := make([][]*big.Int, n)
+	for i := 0; i < n; i++ {
+		vec := make([]*big.Int, cfg.Dim())
+		for j := 0; j < cfg.Dim(); j++ {
+			vec[j] = codec.Encode(rng.NoiseShare(cfg.NShares, cfg.Lambdas[j]))
+		}
+		initial[i] = vec
+	}
+	enc, err := NewSum(sch, initial, 0)
+	if err != nil {
+		return nil, err
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return &NoiseGen{
+		cfg:   cfg,
+		codec: codec,
+		Enc:   enc,
+		Ctr:   gossip.NewSum(ones, 0),
+		n:     n,
+	}, nil
+}
+
+// Exchange runs one combined gossip exchange: the encrypted noise sum
+// and the cleartext counter travel in the same message (the paper runs
+// them "in background" in parallel).
+func (g *NoiseGen) Exchange(a, b sim.NodeID, full bool) {
+	g.Enc.Exchange(a, b, full)
+	g.Ctr.Exchange(a, b, full)
+}
+
+// PrepareCorrections computes each node's local surplus estimate and
+// correction proposal (Section 4.2.2): if the counter says ctr > nν
+// participants contributed, the node draws ctr−nν extra noise-shares
+// summed into a correction vector, tagged with a random identifier.
+// It must be called after the sum phase has converged.
+func (g *NoiseGen) PrepareCorrections(rng *randx.RNG) error {
+	g.corID = make([]uint64, g.n)
+	g.corVec = make([][]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		est, ok := g.Ctr.Estimate(i)
+		if !ok {
+			// A node without a defined counter estimate proposes the
+			// identity correction with the worst identifier.
+			g.corID[i] = ^uint64(0)
+			g.corVec[i] = make([]float64, g.cfg.Dim())
+			continue
+		}
+		surplus := int(est+0.5) - g.cfg.NShares
+		vec := make([]float64, g.cfg.Dim())
+		for extra := 0; extra < surplus; extra++ {
+			for j := 0; j < g.cfg.Dim(); j++ {
+				vec[j] += rng.NoiseShare(g.cfg.NShares, g.cfg.Lambdas[j])
+			}
+		}
+		g.corID[i] = rng.Uint64()
+		g.corVec[i] = vec
+	}
+	return nil
+}
+
+// ExchangeCorrection is the min-identifier dissemination step: both
+// sides keep the proposal with the smallest identifier.
+func (g *NoiseGen) ExchangeCorrection(a, b sim.NodeID, full bool) {
+	if g.corID[b] < g.corID[a] {
+		g.corID[a], g.corVec[a] = g.corID[b], g.corVec[b]
+	} else if full && g.corID[a] < g.corID[b] {
+		g.corID[b], g.corVec[b] = g.corID[a], g.corVec[a]
+	}
+}
+
+// CorrectionConverged reports whether all nodes agree on the correction.
+func (g *NoiseGen) CorrectionConverged() bool {
+	for _, id := range g.corID[1:] {
+		if id != g.corID[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyCorrection homomorphically subtracts the agreed correction from
+// node i's encrypted noise state, so that the final noise is (in
+// expectation) the sum of exactly nν noise-shares.
+func (g *NoiseGen) ApplyCorrection(i sim.NodeID) error {
+	if g.corVec == nil {
+		return errors.New("eesum: corrections not prepared")
+	}
+	v := make([]*big.Int, g.cfg.Dim())
+	for j, x := range g.corVec[i] {
+		v[j] = new(big.Int).Neg(g.codec.Encode(x))
+	}
+	return g.Enc.AddEncrypted(i, v)
+}
+
+// PerturbMeans adds node i's converged encrypted noise into node i's
+// encrypted means state (Algorithm 3 line 7: M.s = M.s +h N.s). Both
+// states must have compatible dimensions; their weights may differ, so
+// the noise estimate is rebased onto the means' weight... which is not
+// possible homomorphically without a division. Instead, the protocol
+// keeps means and noise as a pair and adds the *estimates* after
+// decryption; see core.Participant. This helper exists for the common
+// case where both EESums ran in lockstep on the same engine and hold
+// identical weights: then ciphertexts add directly.
+func (g *NoiseGen) PerturbMeans(i sim.NodeID, means *Sum) error {
+	if means.Dim() != g.Enc.Dim() {
+		return errors.New("eesum: dimension mismatch between means and noise")
+	}
+	if means.Omega(i).Cmp(g.Enc.Omega(i)) != 0 || means.Epoch(i) != g.Enc.Epoch(i) {
+		return errors.New("eesum: means and noise states not in lockstep")
+	}
+	for j := 0; j < means.Dim(); j++ {
+		means.ct[i][j] = means.sch.Add(means.ct[i][j], g.Enc.ct[i][j])
+	}
+	return nil
+}

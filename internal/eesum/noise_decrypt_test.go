@@ -1,0 +1,383 @@
+package eesum
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/sim"
+)
+
+func TestNoiseGenExactPopulation(t *testing.T) {
+	// With nν equal to the true population, no correction is needed and
+	// the aggregated noise must be Laplace(λ): check the variance over
+	// repeated runs.
+	const n = 24
+	const lambda = 5.0
+	const trials = 120
+	codec := homenc.NewCodec(24)
+	var sum2 float64
+	rng := randx.New(31, 31)
+	for trial := 0; trial < trials; trial++ {
+		sch := plainScheme(t, n)
+		g, err := NewNoiseGen(sch, codec, NoiseConfig{Lambdas: UniformLambdas(1, lambda), NShares: n}, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := sim.New(sim.Config{N: n, Seed: uint64(trial), MessageBytes: 1}, &sim.UniformSampler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RunCycles(15, g.Exchange)
+		if err := g.PrepareCorrections(rng); err != nil {
+			t.Fatal(err)
+		}
+		// Surplus should be zero: corrections are all-zero vectors.
+		for i := 0; i < n; i++ {
+			if g.corVec[i][0] != 0 {
+				t.Fatalf("trial %d: node %d proposed nonzero correction %v with exact nν", trial, i, g.corVec[i][0])
+			}
+		}
+		est, err := g.Enc.EstimateWith(0, codec, plainDecrypt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum2 += est[0] * est[0]
+	}
+	variance := sum2 / trials
+	want := 2 * lambda * lambda
+	if math.Abs(variance-want)/want > 0.45 {
+		t.Errorf("aggregated noise variance = %v, want ~%v (Lemma 1)", variance, want)
+	}
+}
+
+func TestNoiseGenSurplusCorrection(t *testing.T) {
+	// With nν below the true population, the counter detects the surplus,
+	// every node proposes a correction, dissemination agrees on one, and
+	// applying it changes the encrypted noise state.
+	const n = 32
+	const nShares = 20 // under-estimate of the population
+	codec := homenc.NewCodec(24)
+	sch := plainScheme(t, n)
+	rng := randx.New(32, 32)
+	g, err := NewNoiseGen(sch, codec, NoiseConfig{Lambdas: UniformLambdas(2, 1), NShares: nShares}, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 7}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(20, g.Exchange)
+	// Counter must be near n at every node.
+	for i := 0; i < n; i++ {
+		ctr, ok := g.Ctr.Estimate(i)
+		if !ok || math.Abs(ctr-n) > 0.01 {
+			t.Fatalf("node %d: counter estimate %v (ok=%v), want %d", i, ctr, ok, n)
+		}
+	}
+	if err := g.PrepareCorrections(rng); err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for i := 0; i < n; i++ {
+		if g.corVec[i][0] != 0 || g.corVec[i][1] != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("no node proposed a surplus correction despite nν < population")
+	}
+	// Disseminate and check unicity.
+	e2, err := sim.New(sim.Config{N: n, Seed: 8}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 50 && !g.CorrectionConverged(); c++ {
+		e2.RunCycle(g.ExchangeCorrection)
+	}
+	if !g.CorrectionConverged() {
+		t.Fatal("correction dissemination did not converge")
+	}
+	winner := g.corID[0]
+	for i := 1; i < n; i++ {
+		if g.corID[i] != winner {
+			t.Fatalf("node %d holds id %d, want %d (unicity broken)", i, g.corID[i], winner)
+		}
+	}
+	// Applying the correction shifts node 0's estimate by -correction.
+	before, err := g.Enc.EstimateWith(0, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ApplyCorrection(0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := g.Enc.EstimateWith(0, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		wantShift := -g.corVec[0][d]
+		if math.Abs((after[d]-before[d])-wantShift) > 1e-4 {
+			t.Errorf("dim %d: correction shifted by %v, want %v", d, after[d]-before[d], wantShift)
+		}
+	}
+}
+
+func TestPerturbMeansLockstep(t *testing.T) {
+	// Means and noise EESums driven by the same engine exchanges stay in
+	// lockstep, so ciphertexts add directly (Algorithm 3, line 7).
+	const n = 16
+	codec := homenc.NewCodec(20)
+	sch := plainScheme(t, n)
+	rng := randx.New(33, 33)
+	meansInit := make([][]*big.Int, n)
+	for i := range meansInit {
+		meansInit[i] = []*big.Int{codec.Encode(float64(i))}
+	}
+	means, err := NewSum(sch, meansInit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewNoiseGen(sch, codec, NoiseConfig{Lambdas: UniformLambdas(1, 2), NShares: n}, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 9}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(12, func(a, b sim.NodeID, full bool) {
+		means.Exchange(a, b, full)
+		g.Exchange(a, b, full)
+	})
+	meanEst, err := means.EstimateWith(4, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseEst, err := g.Enc.EstimateWith(4, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PerturbMeans(4, means); err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := means.EstimateWith(4, codec, plainDecrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perturbed[0]-(meanEst[0]+noiseEst[0])) > 1e-6 {
+		t.Errorf("perturbed = %v, want mean %v + noise %v", perturbed[0], meanEst[0], noiseEst[0])
+	}
+}
+
+func TestPerturbMeansOutOfLockstep(t *testing.T) {
+	codec := homenc.NewCodec(20)
+	sch := plainScheme(t, 4)
+	init := [][]*big.Int{{big.NewInt(1)}, {big.NewInt(1)}, {big.NewInt(1)}, {big.NewInt(1)}}
+	means, _ := NewSum(sch, init, 0)
+	g, err := NewNoiseGen(sch, codec, NoiseConfig{Lambdas: UniformLambdas(1, 1), NShares: 4}, 4, randx.New(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	means.Exchange(0, 1, true) // means moved, noise did not
+	if err := g.PerturbMeans(0, means); err == nil {
+		t.Error("out-of-lockstep perturbation must fail")
+	}
+}
+
+func TestEpidemicDecryptionPlain(t *testing.T) {
+	const n = 12
+	sch, err := plain.New(nil, 0, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]DecState, n)
+	idx := make([]int, n)
+	for i := range idx {
+		// Every node holds its own (here: identical) converged state.
+		states[i] = DecState{
+			CTs:   []homenc.Ciphertext{sch.Encrypt(big.NewInt(77)), sch.Encrypt(big.NewInt(-3))},
+			Omega: big.NewInt(1),
+		}
+		idx[i] = i + 1
+	}
+	d, err := NewDecryption(sch, states, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 10}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 0
+	for ; cycles < 100 && !d.AllDone(); cycles++ {
+		e.RunCycle(d.Exchange)
+	}
+	if !d.AllDone() {
+		t.Fatal("epidemic decryption did not complete")
+	}
+	for _, node := range []int{0, 5, 11} {
+		ms, err := d.Plaintexts(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[0].Cmp(big.NewInt(77)) != 0 || ms[1].Cmp(big.NewInt(-3)) != 0 {
+			t.Errorf("node %d decrypted %v/%v", node, ms[0], ms[1])
+		}
+	}
+}
+
+func TestEpidemicDecryptionDamgardJurik(t *testing.T) {
+	// Full stack: EESum over DJ + epidemic threshold decryption, no
+	// trusted decryptor anywhere.
+	const n = 10
+	sch, err := damgardjurik.NewTestScheme(128, 1, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := homenc.NewCodec(16)
+	initial := make([][]*big.Int, n)
+	var want float64
+	for i := 0; i < n; i++ {
+		v := float64(i) * 1.5
+		want += v
+		initial[i] = []*big.Int{codec.Encode(v)}
+	}
+	s, err := NewSum(sch, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 11}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(20, s.Exchange)
+
+	// Every node decrypts its own converged state epidemically.
+	states := make([]DecState, n)
+	idx := make([]int, n)
+	for i := range idx {
+		states[i] = DecState{CTs: s.Ciphertexts(i), Omega: s.Omega(i)}
+		idx[i] = i + 1
+	}
+	d, err := NewDecryption(sch, states, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles := d.RunUntilDone(e, 100); cycles >= 100 {
+		t.Fatal("epidemic decryption did not complete")
+	}
+	for _, node := range []int{0, 2, 9} {
+		vals, err := d.Values(node, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tolerance covers gossip approximation error; the crypto is exact.
+		if math.Abs(vals[0]-want) > 1e-3*want {
+			t.Errorf("node %d: epidemic threshold decrypt = %v, want %v", node, vals[0], want)
+		}
+	}
+}
+
+func TestDecryptionErrors(t *testing.T) {
+	sch, _ := plain.New(nil, 0, 5, 2)
+	st := func() DecState {
+		return DecState{CTs: []homenc.Ciphertext{sch.Encrypt(big.NewInt(1))}, Omega: big.NewInt(1)}
+	}
+	if _, err := NewDecryption(sch, nil, nil); err == nil {
+		t.Error("empty states must fail")
+	}
+	if _, err := NewDecryption(sch, []DecState{st()}, []int{9}); err == nil {
+		t.Error("bad share index must fail")
+	}
+	if _, err := NewDecryption(sch, []DecState{st(), st()}, []int{1, 1}); err == nil {
+		t.Error("duplicate share index must fail")
+	}
+	if _, err := NewDecryption(sch, []DecState{{}}, []int{1}); err == nil {
+		t.Error("empty ciphertext vector must fail")
+	}
+	if _, err := NewDecryption(sch, []DecState{st(), {CTs: []homenc.Ciphertext{sch.Encrypt(big.NewInt(1)), sch.Encrypt(big.NewInt(2))}}}, []int{1, 2}); err == nil {
+		t.Error("ragged ciphertext vectors must fail")
+	}
+	d, err := NewDecryption(sch, []DecState{st(), st(), st()}, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Plaintexts(0); err == nil {
+		t.Error("plaintexts before threshold must fail")
+	}
+}
+
+func TestDecryptionLatencyExactCompletes(t *testing.T) {
+	const n, tau = 200, 20
+	rng := randx.New(41, 41)
+	dl, err := NewDecryptionLatency(n, tau, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 12}, &sim.UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 0
+	for ; cycles < 500 && dl.FractionDone() < 1; cycles++ {
+		e.RunCycle(dl.Exchange)
+	}
+	if dl.FractionDone() < 1 {
+		t.Fatal("exact latency sim never completed")
+	}
+	// Roughly linear in tau: with adoption the completion should take
+	// O(tau) cycles, far below the 500 cap.
+	if cycles > 200 {
+		t.Errorf("completion took %d cycles for tau=%d", cycles, tau)
+	}
+}
+
+func TestDecryptionLatencyMeanFieldTracksExact(t *testing.T) {
+	const n, tau = 400, 40
+	run := func(exact bool) float64 {
+		rng := randx.New(42, 42)
+		dl, err := NewDecryptionLatency(n, tau, exact, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := sim.New(sim.Config{N: n, Seed: 13}, &sim.UniformSampler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 2000; c++ {
+			e.RunCycle(dl.Exchange)
+			if dl.FractionDone() >= 1 {
+				break
+			}
+		}
+		return e.AvgMessages()
+	}
+	exact, mf := run(true), run(false)
+	if mf < exact/3 || mf > exact*3 {
+		t.Errorf("mean-field messages %v vs exact %v: models diverge", mf, exact)
+	}
+}
+
+func TestExpectedDecryptMessages(t *testing.T) {
+	// ≈ tau for tau << n.
+	if got := ExpectedDecryptMessages(1_000_000, 100); math.Abs(got-100) > 1 {
+		t.Errorf("E[msgs] = %v, want ~100", got)
+	}
+	// Superlinear as tau -> n.
+	if got := ExpectedDecryptMessages(1000, 900); got < 2000 {
+		t.Errorf("E[msgs] = %v, want superlinear blowup", got)
+	}
+	if !math.IsInf(ExpectedDecryptMessages(10, 10), 1) {
+		t.Error("tau = n must be infinite")
+	}
+	if _, err := NewDecryptionLatency(10, 11, true, randx.New(1, 1)); err == nil {
+		t.Error("threshold > n must fail")
+	}
+}

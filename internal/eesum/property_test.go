@@ -1,0 +1,101 @@
+package eesum
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"chiaroscuro/internal/homenc"
+	plainpkg "chiaroscuro/internal/homenc/plain"
+)
+
+// TestExchangeConservesLogicalMassQuick is the Appendix C.2.1 correctness
+// argument as a property test: for ANY sequence of full exchanges between
+// any pairs, the sum over nodes of dec_i / 2^epoch_i (the logical mass)
+// is invariant — the deferred-division update rule is arithmetically
+// equivalent to push-pull halving.
+func TestExchangeConservesLogicalMassQuick(t *testing.T) {
+	codec := homenc.NewCodec(16)
+	f := func(vals [6]int16, pairs [12]uint8) bool {
+		sch, err := plainSchemeQuick(len(vals))
+		if err != nil {
+			return false
+		}
+		initial := make([][]*big.Int, len(vals))
+		var want float64
+		for i, v := range vals {
+			x := float64(v) / 8
+			want += x
+			initial[i] = []*big.Int{codec.Encode(x)}
+		}
+		s, err := NewSum(sch, initial, 0)
+		if err != nil {
+			return false
+		}
+		for _, p := range pairs {
+			a := int(p) % len(vals)
+			b := int(p>>3) % len(vals)
+			if a == b {
+				continue
+			}
+			s.Exchange(a, b, true)
+		}
+		var mass float64
+		for i := range vals {
+			dec := s.Ciphertexts(i)[0].V
+			mass += codec.Decode(dec, nil) / math.Pow(2, float64(s.Epoch(i)))
+		}
+		return math.Abs(mass-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightMassConservedQuick: the cleartext integer weights carry the
+// same invariant — Σ ω_i / 2^epoch_i stays exactly 1.
+func TestWeightMassConservedQuick(t *testing.T) {
+	f := func(pairs [16]uint8) bool {
+		const n = 5
+		sch, err := plainSchemeQuick(n)
+		if err != nil {
+			return false
+		}
+		initial := make([][]*big.Int, n)
+		for i := range initial {
+			initial[i] = []*big.Int{big.NewInt(1)}
+		}
+		s, err := NewSum(sch, initial, 0)
+		if err != nil {
+			return false
+		}
+		for _, p := range pairs {
+			a := int(p) % n
+			b := int(p>>4) % n
+			if a == b {
+				continue
+			}
+			s.Exchange(a, b, true)
+		}
+		var mass float64
+		for i := 0; i < n; i++ {
+			w, _ := new(big.Float).SetInt(s.Omega(i)).Float64()
+			mass += w / math.Pow(2, float64(s.Epoch(i)))
+		}
+		return math.Abs(mass-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func plainSchemeQuick(n int) (homenc.Scheme, error) {
+	return newPlainForTest(n)
+}
+
+// newPlainForTest builds a plain scheme without importing the package
+// again in each property.
+func newPlainForTest(n int) (homenc.Scheme, error) {
+	return plainpkg.New(nil, 0, n, 1)
+}

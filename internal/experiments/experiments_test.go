@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func ciParams() Params { return Params{Scale: CI, Seed: 1} }
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"ci": CI, "small": Small, "PAPER": Paper} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("big"); err == nil {
+		t.Error("unknown scale must fail")
+	}
+	if CI.String() != "ci" || Small.String() != "small" || Paper.String() != "paper" {
+		t.Error("Scale.String")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation",
+		"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
+		"fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6",
+		"table2", "thm3",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("registry[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Note("note %d", 7)
+	text := tab.String()
+	if !strings.Contains(text, "== x — T ==") || !strings.Contains(text, "# note 7") {
+		t.Errorf("rendered table missing parts:\n%s", text)
+	}
+	csv := tab.CSV()
+	if csv != "a,bb\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Table2(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 12 {
+		t.Errorf("table2 has %d rows", len(tab.Rows))
+	}
+	// The Theorem 3 worked example must reproduce the paper's 47.
+	found := false
+	for _, row := range tab.Rows {
+		if strings.Contains(row[1], "Theorem 3") && row[3] == "47" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Theorem 3 example row missing or wrong")
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	tab, err := Fig2a(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 10 { // iteration + 9 strategies
+		t.Fatalf("fig2a has %d columns", len(tab.Columns))
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("fig2a has %d rows", len(tab.Rows))
+	}
+	// The unperturbed curve must be non-increasing.
+	prev := 1e18
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		if v > prev*(1+1e-9) {
+			t.Errorf("unperturbed inertia increased: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	// UF(5) variants stop after 5 iterations.
+	for i, col := range tab.Columns {
+		if strings.HasPrefix(col, "UF_SMA (5") {
+			if tab.Rows[6][i] != "-" {
+				t.Errorf("UF(5) column %q shows data at iteration 7: %q", col, tab.Rows[6][i])
+			}
+		}
+	}
+}
+
+func TestFig2cCentroidAttrition(t *testing.T) {
+	tab, err := Fig2c(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the G (no smoothing) column: centroid counts must be
+	// non-increasing over iterations where present.
+	gCol := -1
+	for i, c := range tab.Columns {
+		if c == "G" {
+			gCol = i
+		}
+	}
+	if gCol < 0 {
+		t.Fatal("no G column")
+	}
+	prev := 1e18
+	for _, row := range tab.Rows {
+		if row[gCol] == "-" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[gCol], 64)
+		if v > prev+1e-9 {
+			t.Errorf("G centroid count increased: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFig2ePrePostOrdering(t *testing.T) {
+	tab, err := Fig2e(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	measurable := 0
+	for _, row := range tab.Rows {
+		if row[2] == "-" {
+			continue // noise killed every centroid at CI scale
+		}
+		pre, err1 := strconv.ParseFloat(row[1], 64)
+		post, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad PRE/POST cells %v", row)
+		}
+		if post < pre*(1-1e-9) {
+			t.Errorf("%s: POST %v < PRE %v", row[0], post, pre)
+		}
+		measurable++
+	}
+	if measurable < 4 {
+		t.Errorf("only %d strategies had measurable POST", measurable)
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	tab, err := Fig3a(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 5 || len(tab.Rows) != 10 {
+		t.Errorf("fig3a shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}
+
+func TestFig3bErrorsSmall(t *testing.T) {
+	tab, err := Fig3b(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			// The drift floor scales ~1/√population: at the CI grid
+			// (1K–10K nodes) it sits orders above the paper's
+			// million-node <0.1%, but must stay a small fraction.
+			if v < 0 || v > 0.25 {
+				t.Errorf("churn sum error %v out of the expected band", v)
+			}
+		}
+	}
+}
+
+func TestFig4aLogGrowth(t *testing.T) {
+	tab, err := Fig4a(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Messages at 10K must be within a small additive band of 1K for
+	// the uniform sampler (log growth), at the tightest error target.
+	var at1k, at10k float64
+	for _, row := range tab.Rows {
+		if row[1] != "uniform" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[2])
+		}
+		switch row[0] {
+		case "1000":
+			at1k = v
+		case "10000":
+			at10k = v
+		}
+	}
+	if at1k == 0 || at10k == 0 {
+		t.Fatal("missing populations in fig4a")
+	}
+	if at10k > at1k*2 {
+		t.Errorf("messages grow too fast with population: %v -> %v", at1k, at10k)
+	}
+	if at10k > 150 {
+		t.Errorf("messages per node %v too high (paper: under ~100)", at10k)
+	}
+}
+
+func TestFig4bLinearInTau(t *testing.T) {
+	tab, err := Fig4b(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At population 10K, the tendency for tau fraction 1e-2 must be ~10x
+	// the one for 1e-3.
+	var t3, t2 float64
+	for _, row := range tab.Rows {
+		if row[0] != "10000" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad tendency %q", row[3])
+		}
+		switch row[1] {
+		case "0.001":
+			t3 = v
+		case "0.01":
+			t2 = v
+		}
+	}
+	if t3 == 0 || t2 == 0 {
+		t.Fatal("missing tau rows in fig4b")
+	}
+	if ratio := t2 / t3; ratio < 8 || ratio > 12 {
+		t.Errorf("tendency ratio %v, want ~10 (linear in tau)", ratio)
+	}
+}
+
+func TestFig5aOrdering(t *testing.T) {
+	tab, err := Fig5a(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(op string) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == op {
+				v, err := strconv.ParseFloat(row[3], 64) // avg column
+				if err != nil {
+					t.Fatalf("bad avg for %s: %q", op, row[3])
+				}
+				return v
+			}
+		}
+		t.Fatalf("missing row %s", op)
+		return 0
+	}
+	add := get("Add")
+	enc := get("Encrypt")
+	dec := get("Decrypt (τ partials)") + get("Decrypt (combine)")
+	if !(add < enc && enc < dec) {
+		t.Errorf("cost ordering broken: add=%v enc=%v dec=%v (want add < enc < dec)", add, enc, dec)
+	}
+}
+
+func TestFig5bAccounting(t *testing.T) {
+	tab, err := Fig5b(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig5b rows = %d", len(tab.Rows))
+	}
+	paper, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	ours, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if ours <= paper {
+		t.Errorf("exact accounting (%v kB) should exceed the paper's (%v kB)", ours, paper)
+	}
+	// At the paper's scale the first row reproduces ~125 kB.
+	tabP, err := Fig5b(Params{Scale: Paper, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperKB, _ := strconv.ParseFloat(tabP.Rows[0][1], 64)
+	if paperKB < 115 || paperKB > 135 {
+		t.Errorf("paper-accounting bandwidth %v kB, want ~125 (Figure 5b)", paperKB)
+	}
+}
+
+func TestFig6Capture(t *testing.T) {
+	tab, err := Fig6(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig6 rows = %d", len(tab.Rows))
+	}
+	clearW5, _ := strconv.Atoi(tab.Rows[0][3])
+	privW5, _ := strconv.Atoi(tab.Rows[1][3])
+	if clearW5 < 40 {
+		t.Errorf("clear k-means captured only %d/50 clusters", clearW5)
+	}
+	// At CI scale (30K points) the per-cluster DP noise is 25x the
+	// paper's 750K-point setting, so the capture bar is proportionate.
+	if privW5 < 10 {
+		t.Errorf("chiaroscuro captured only %d/50 clusters within r=5", privW5)
+	}
+	if privW5 > clearW5 {
+		t.Errorf("perturbed (%d) cannot beat clear (%d)", privW5, clearW5)
+	}
+}
+
+func TestTheoreticalSumError(t *testing.T) {
+	if theoreticalSumError(10) >= theoreticalSumError(5) {
+		t.Error("error must decay with cycles")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	tab, err := Ablation(ciParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("ablation rows = %d, want 6", len(tab.Rows))
+	}
+	get := func(name string, col int) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == name {
+				v, err := strconv.ParseFloat(row[col], 64)
+				if err != nil {
+					t.Fatalf("bad cell %q for %s", row[col], name)
+				}
+				return v
+			}
+		}
+		t.Fatalf("missing variant %s", name)
+		return 0
+	}
+	baseEps := get("baseline (G_SMA, filter, split .5)", 5)
+	if baseEps > math.Ln2*(1+1e-9) {
+		t.Errorf("baseline overspent ε: %v", baseEps)
+	}
+	// The smarter termination must not run longer than the baseline.
+	if get("smarter termination (footnote 9)", 4) > get("baseline (G_SMA, filter, split .5)", 4) {
+		t.Error("footnote-9 termination ran longer than the fixed cap")
+	}
+}

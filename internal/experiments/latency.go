@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/sim"
+)
+
+// Fig3b measures the relative error of the epidemic sum after a fixed
+// message budget (~100 messages per participant) under per-exchange
+// churn .1/.25/.5, across population sizes.
+func Fig3b(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "fig3b",
+		Title:   "Churn-Enabled: Relative Error of the Epidemic Sum (100 Messages per Participant)",
+		Columns: []string{"population", "churn .1", "churn .25", "churn .5"},
+	}
+	const cycles = 50 // 2 messages per node per cycle ⇒ ~100 messages
+	// The residual drift is heavy-tailed (an early corruption of the
+	// weight-holding node dominates whole runs), so the median over more
+	// repetitions is the meaningful statistic at sub-paper populations.
+	reps := 3 * p.Scale.repetitions()
+	for _, np := range p.Scale.populations() {
+		row := []string{fmt.Sprintf("%d", np)}
+		for _, churn := range []float64{0.1, 0.25, 0.5} {
+			errs := make([]float64, 0, reps)
+			for rep := 0; rep < reps; rep++ {
+				e, err := sim.New(sim.Config{
+					N:          np,
+					Seed:       p.Seed + uint64(rep)*97,
+					Churn:      churn,
+					MidFailure: true,
+				}, &sim.UniformSampler{})
+				if err != nil {
+					return nil, err
+				}
+				vals := make([]float64, np)
+				for i := range vals {
+					vals[i] = 1 // the paper's setting: local data = 1
+				}
+				s := gossip.NewSum(vals, 0)
+				e.RunCycles(cycles, s.Exchange)
+				errs = append(errs, s.MeanRelError(float64(np)))
+			}
+			row = append(row, f(median(errs)))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("mid-exchange failure window 5%% of a cycle; error is the residual mass drift")
+	t.Note("median over %d runs (the drift distribution is heavy-tailed)", reps)
+	return t, nil
+}
+
+func median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Fig4a measures the messages per node the epidemic sum needs to reach
+// absolute approximation errors 0.001..1, plus the dissemination latency
+// of the min-identifier broadcast, across populations. Both the
+// idealized uniform sampler ("tendencies") and the Newscast bounded view
+// ("realistic") are reported.
+func Fig4a(p Params) (*Table, error) {
+	t := &Table{
+		ID:    "fig4a",
+		Title: "Epidemic Sum and Dissemination: Messages per Node vs Population",
+		Columns: []string{
+			"population", "sampler",
+			"err ±0.001", "err ±0.01", "err ±0.1", "err ±1", "dissemination",
+		},
+	}
+	targets := []float64{0.001, 0.01, 0.1, 1}
+	for _, np := range p.Scale.populations() {
+		for _, realistic := range []bool{false, true} {
+			if realistic && np > 300_000 {
+				continue // bounded-view state at >300K nodes exceeds the platform budget
+			}
+			row := []string{fmt.Sprintf("%d", np), samplerName(realistic)}
+			for _, target := range targets {
+				e, err := newEngine(np, p.Seed, realistic)
+				if err != nil {
+					return nil, err
+				}
+				vals := make([]float64, np)
+				for i := range vals {
+					vals[i] = 1
+				}
+				s := gossip.NewSum(vals, 0)
+				s.RunUntil(e, float64(np), target, 200)
+				row = append(row, f(e.AvgMessages()))
+			}
+			// Dissemination latency of the smallest-identifier value.
+			e, err := newEngine(np, p.Seed+1, realistic)
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]uint64, np)
+			vals := make([]float64, np)
+			rng := randx.New(p.Seed, 0xD155)
+			for i := range ids {
+				ids[i] = rng.Uint64()
+			}
+			d := gossip.NewDissemination(ids, vals)
+			d.RunUntilConverged(e, 200)
+			row = append(row, f(e.AvgMessages()))
+			t.AddRow(row...)
+		}
+	}
+	t.Note("messages grow logarithmically with the population (Theorem 3)")
+	return t, nil
+}
+
+func samplerName(realistic bool) string {
+	if realistic {
+		return "newscast-30"
+	}
+	return "uniform"
+}
+
+func newEngine(np int, seed uint64, realistic bool) (*sim.Engine, error) {
+	var sampler sim.Sampler = &sim.UniformSampler{}
+	if realistic {
+		sampler = &sim.NewscastSampler{ViewSize: 30}
+	}
+	return sim.New(sim.Config{N: np, Seed: seed}, sampler)
+}
+
+// Fig4b measures the messages per peer the epidemic decryption needs to
+// gather τ distinct key-shares, for τ = 0.001%..10% of the population.
+// Exact simulation runs where the n·τ state fits the platform (the same
+// limitation the paper reports at one million participants); the
+// closed-form coupon-collector tendency covers the full grid.
+func Fig4b(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "fig4b",
+		Title:   "Epidemic Decryption: Messages per Peer vs Key-Share Threshold",
+		Columns: []string{"population", "tau fraction", "tau", "tendency", "simulated"},
+	}
+	fractions := []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	// Total simulated exchange budget per cell, mirroring the paper's
+	// platform limit.
+	var exchangeBudget float64
+	switch p.Scale {
+	case CI:
+		exchangeBudget = 2e6
+	case Small:
+		exchangeBudget = 5e7
+	default:
+		exchangeBudget = 5e8
+	}
+	for _, np := range p.Scale.populations() {
+		for _, frac := range fractions {
+			tau := int(frac * float64(np))
+			if tau < 1 {
+				continue // threshold below one share is meaningless
+			}
+			tendency := eesum.ExpectedDecryptMessages(np, tau)
+			row := []string{fmt.Sprintf("%d", np), f(frac), fmt.Sprintf("%d", tau)}
+			// Expected total exchanges ≈ np·tendency/2.
+			if float64(np)*tendency/2 > exchangeBudget {
+				row = append(row, f(tendency), "- (platform limit)")
+				t.AddRow(row...)
+				continue
+			}
+			exact := float64(np)*float64(tau) < 5e7 // state budget
+			rng := randx.New(p.Seed, 0xDEC)
+			dl, err := eesum.NewDecryptionLatency(np, tau, exact, rng)
+			if err != nil {
+				return nil, err
+			}
+			e, err := sim.New(sim.Config{N: np, Seed: p.Seed + uint64(tau)}, &sim.UniformSampler{})
+			if err != nil {
+				return nil, err
+			}
+			maxCycles := int(4*tendency) + 200
+			for c := 0; c < maxCycles; c++ {
+				e.RunCycle(dl.Exchange)
+				if dl.FractionDone() >= 1 {
+					break
+				}
+			}
+			mode := "exact"
+			if !exact {
+				mode = "mean-field"
+			}
+			row = append(row, f(tendency), fmt.Sprintf("%s (%s)", f(e.AvgMessages()), mode))
+			t.AddRow(row...)
+		}
+	}
+	t.Note("tendency: coupon-collector bound n·ln(n/(n-τ)) ≈ τ for τ ≪ n")
+	t.Note("linear growth in τ, matching the paper; cells beyond the exchange budget mirror the paper's platform limit")
+	return t, nil
+}
+
+// theoreticalSumError estimates the push-pull error decay for sanity
+// notes (exported for tests).
+func theoreticalSumError(cycles int) float64 {
+	// Variance reduction ≈ (2√e)^-1 per cycle (Jelasity et al. 2005).
+	return math.Pow(1/(2*math.Sqrt(math.E)), float64(cycles))
+}

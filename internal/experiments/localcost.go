@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/randx"
+)
+
+// meansSetDims mirrors Figure 5's sizing: 50 means of 20 measures each
+// (plus the encrypted count per mean, as the Diptych carries).
+const (
+	figure5Means    = 50
+	figure5Measures = 20
+)
+
+// Fig5a measures the local times for encrypting a set of means,
+// homomorphically adding two sets, partially decrypting one set (the
+// per-exchange work of the epidemic decryption), and combining τ partial
+// decryptions — the per-participant costs of Section 6.3.1.
+func Fig5a(p Params) (*Table, error) {
+	sch, err := damgardjurik.NewTestScheme(p.Scale.keyBits(), 1, 5, 3)
+	if err != nil {
+		return nil, err
+	}
+	dim := figure5Means * (figure5Measures + 1)
+	codec := homenc.NewCodec(0)
+	rng := randx.New(p.Seed, 0xF15A)
+
+	plain := make([]*big.Int, dim)
+	for i := range plain {
+		plain[i] = codec.Encode(rng.Uniform(0, 80))
+	}
+
+	// Encrypt one set.
+	encTimes := make([]time.Duration, dim)
+	cts := make([]homenc.Ciphertext, dim)
+	for i, m := range plain {
+		start := time.Now()
+		cts[i] = sch.Encrypt(m)
+		encTimes[i] = time.Since(start)
+	}
+	// Add two sets.
+	addTimes := make([]time.Duration, dim)
+	for i := range cts {
+		start := time.Now()
+		sch.Add(cts[i], cts[(i+1)%dim])
+		addTimes[i] = time.Since(start)
+	}
+	// Partial decryption of one set (one key-share pass).
+	partTimes := make([]time.Duration, dim)
+	parts := make([][]homenc.PartialDecryption, dim)
+	for i, c := range cts {
+		start := time.Now()
+		ps := make([]homenc.PartialDecryption, 0, sch.Threshold())
+		for idx := 1; idx <= sch.Threshold(); idx++ {
+			pd, err := sch.PartialDecrypt(idx, c)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, pd)
+		}
+		partTimes[i] = time.Since(start)
+		parts[i] = ps
+	}
+	// Combine τ partials into plaintexts.
+	combTimes := make([]time.Duration, dim)
+	for i, c := range cts {
+		start := time.Now()
+		if _, err := sch.Combine(c, parts[i]); err != nil {
+			return nil, err
+		}
+		combTimes[i] = time.Since(start)
+	}
+
+	t := &Table{
+		ID:      "fig5a",
+		Title:   "Local Times for One Set of 50 Means (20 Measures per Mean)",
+		Columns: []string{"operation", "min (s)", "max (s)", "avg (s)", "set total (s)"},
+	}
+	t.AddRow(statRow("Encrypt", encTimes)...)
+	t.AddRow(statRow("Add", addTimes)...)
+	t.AddRow(statRow("Decrypt (τ partials)", partTimes)...)
+	t.AddRow(statRow("Decrypt (combine)", combTimes)...)
+	t.Note("key size %d bits, s=1, threshold τ=%d of %d shares", p.Scale.keyBits(), sch.Threshold(), sch.NumShares())
+	t.Note("the paper's 'Decrypt' aggregates partial decryption and combination; Add ≪ Decrypt by ~2 orders of magnitude")
+	return t, nil
+}
+
+func statRow(op string, ds []time.Duration) []string {
+	min, max := time.Duration(math.MaxInt64), time.Duration(0)
+	var total time.Duration
+	for _, d := range ds {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		total += d
+	}
+	avg := total / time.Duration(len(ds))
+	return []string{
+		op,
+		fmt.Sprintf("%.3g", min.Seconds()),
+		fmt.Sprintf("%.3g", max.Seconds()),
+		fmt.Sprintf("%.3g", avg.Seconds()),
+		fmt.Sprintf("%.3g", total.Seconds()),
+	}
+}
+
+// Fig5b reports the bandwidth for transferring one set of encrypted
+// means, in the paper's accounting (one key-length per encrypted value)
+// and in this implementation's exact accounting ((s+1)·key bits per
+// Damgård–Jurik ciphertext), plus per-exchange protocol volumes.
+func Fig5b(p Params) (*Table, error) {
+	sch, err := damgardjurik.NewTestScheme(p.Scale.keyBits(), 1, 5, 3)
+	if err != nil {
+		return nil, err
+	}
+	dim := figure5Means * (figure5Measures + 1)
+	ctBytes := sch.CiphertextBytes()
+	setBytes := dim * ctBytes
+	paperAccounting := figure5Means * figure5Measures * p.Scale.keyBits() / 8
+
+	t := &Table{
+		ID:      "fig5b",
+		Title:   "Bandwidth for Transferring One Set of 50 Means (kB)",
+		Columns: []string{"accounting", "kB per set", "kB per sum exchange (2 sets)", "kB per decrypt exchange (4 sets)"},
+	}
+	t.AddRow("paper (key-bits per value, sums only)",
+		f(float64(paperAccounting)/1024),
+		f(float64(2*paperAccounting)/1024),
+		f(float64(4*paperAccounting)/1024))
+	t.AddRow("this implementation ((s+1)·key-bits, sums+counts)",
+		f(float64(setBytes)/1024),
+		f(float64(2*setBytes)/1024),
+		f(float64(4*setBytes)/1024))
+	t.Note("key size %d bits; ciphertext %d bytes; %d encrypted values per set", p.Scale.keyBits(), ctBytes, dim)
+	t.Note("at a humble 1 Mb/s uplink, one set transfers in ~%.1f s", float64(setBytes*8)/1e6)
+	return t, nil
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/dpkmeans"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/timeseries"
+)
+
+// strategySpec names one curve of Figure 2.
+type strategySpec struct {
+	label  string
+	budget func(eps float64) dp.Budget // nil = no perturbation
+	smooth bool
+	maxIt  int
+}
+
+// cerStrategies are the nine curves of Figures 2(a)/2(c).
+func cerStrategies() []strategySpec {
+	return []strategySpec{
+		{"No perturbation", nil, false, 10},
+		{"UF_SMA (10 it.)", func(e float64) dp.Budget { return dp.UniformFast{Eps: e, Limit: 10} }, true, 10},
+		{"UF (10 it.)", func(e float64) dp.Budget { return dp.UniformFast{Eps: e, Limit: 10} }, false, 10},
+		{"UF_SMA (5 it.)", func(e float64) dp.Budget { return dp.UniformFast{Eps: e, Limit: 5} }, true, 5},
+		{"UF (5 it.)", func(e float64) dp.Budget { return dp.UniformFast{Eps: e, Limit: 5} }, false, 5},
+		{"G_SMA", func(e float64) dp.Budget { return dp.Greedy{Eps: e} }, true, 10},
+		{"G", func(e float64) dp.Budget { return dp.Greedy{Eps: e} }, false, 10},
+		{"GF_SMA (4 it./floor)", func(e float64) dp.Budget { return dp.GreedyFloor{Eps: e, Floor: 4} }, true, 10},
+		{"GF (4 it./floor)", func(e float64) dp.Budget { return dp.GreedyFloor{Eps: e, Floor: 4} }, false, 10},
+	}
+}
+
+// numedStrategies are the five curves of Figures 2(b)/2(d) (the paper
+// omits the non-smoothed variants on NUMED: they coincide with SMA).
+func numedStrategies() []strategySpec {
+	return []strategySpec{
+		{"No perturbation", nil, false, 10},
+		{"UF_SMA (10 it.)", func(e float64) dp.Budget { return dp.UniformFast{Eps: e, Limit: 10} }, true, 10},
+		{"UF_SMA (5 it.)", func(e float64) dp.Budget { return dp.UniformFast{Eps: e, Limit: 5} }, true, 5},
+		{"G_SMA", func(e float64) dp.Budget { return dp.Greedy{Eps: e} }, true, 10},
+		{"GF_SMA (4 it./floor)", func(e float64) dp.Budget { return dp.GreedyFloor{Eps: e, Floor: 4} }, true, 10},
+	}
+}
+
+// qualityRun is the averaged trace of one strategy.
+type qualityRun struct {
+	label     string
+	inertia   []float64 // per iteration (0 = absent)
+	centroids []float64
+	bestPre   float64
+	bestPost  float64
+}
+
+// qualityResult bundles everything Figures 2(a)-2(f) need for one dataset.
+type qualityResult struct {
+	dataset      string
+	fullInertia  float64
+	initialK     int
+	runs         []qualityRun
+	seriesCount  int
+	seriesLength int
+}
+
+// runQuality executes the Figure 2 protocol for one dataset kind.
+func runQuality(kind string, p Params, specs []strategySpec, churn float64) (*qualityResult, error) {
+	rng := randx.New(p.Seed, 0xF162)
+	var data *timeseries.Dataset
+	var dmin, dmax float64
+	switch kind {
+	case "cer":
+		data, _ = datasets.GenerateCER(p.Scale.cerSize(), rng)
+		dmin, dmax = datasets.CERMin, datasets.CERMax
+	case "numed":
+		data, _ = datasets.GenerateNUMED(p.Scale.numedSize(), rng)
+		dmin, dmax = datasets.NUMEDMin, datasets.NUMEDMax
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", kind)
+	}
+	k := p.Scale.k()
+	seeds := datasets.SeedCentroids(kind, k, rng)
+	reps := p.Scale.repetitions()
+	const maxIt = 10
+	eps := math.Ln2 // the paper's ε
+
+	res := &qualityResult{
+		dataset:      kind,
+		fullInertia:  data.FullInertia(),
+		initialK:     k,
+		seriesCount:  data.Len(),
+		seriesLength: data.Dim(),
+	}
+	for _, spec := range specs {
+		run := qualityRun{
+			label:     spec.label,
+			inertia:   make([]float64, maxIt),
+			centroids: make([]float64, maxIt),
+		}
+		var sumBestPre, sumBestPost float64
+		counts := make([]int, maxIt)
+		for rep := 0; rep < reps; rep++ {
+			cfg := dpkmeans.Config{
+				InitCentroids: seeds,
+				DMin:          dmin, DMax: dmax,
+				Smooth:        spec.smooth,
+				MaxIterations: spec.maxIt,
+				Churn:         churn,
+				RNG:           randx.New(p.Seed+uint64(rep)+1, 0xF162),
+			}
+			if spec.budget != nil {
+				cfg.Budget = spec.budget(eps)
+			}
+			out, err := dpkmeans.Run(data, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, st := range out.Stats {
+				i := st.Iteration - 1
+				run.inertia[i] += st.PreInertia
+				run.centroids[i] += float64(st.CentroidsOut)
+				counts[i]++
+			}
+			_, best := out.BestIteration()
+			sumBestPre += best.PreInertia
+			sumBestPost += best.PostInertia
+		}
+		for i := range run.inertia {
+			if counts[i] > 0 {
+				run.inertia[i] /= float64(counts[i])
+				run.centroids[i] /= float64(counts[i])
+			}
+		}
+		run.bestPre = sumBestPre / float64(reps)
+		run.bestPost = sumBestPost / float64(reps)
+		res.runs = append(res.runs, run)
+	}
+	return res, nil
+}
+
+// evolutionTable renders iterations × strategies for either inertia or
+// centroid counts.
+func evolutionTable(id, title string, q *qualityResult, metric string) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Columns = append([]string{"iteration"}, labels(q)...)
+	const maxIt = 10
+	for it := 0; it < maxIt; it++ {
+		row := []string{fmt.Sprintf("%d", it+1)}
+		for _, r := range q.runs {
+			var v float64
+			if metric == "inertia" {
+				v = r.inertia[it]
+			} else {
+				v = r.centroids[it]
+			}
+			if v == 0 {
+				row = append(row, "-") // strategy stopped (budget/iteration cap)
+			} else {
+				row = append(row, f(v))
+			}
+		}
+		t.AddRow(row...)
+	}
+	if metric == "inertia" {
+		t.Note("dataset inertia (constant upper bound): %s", f(q.fullInertia))
+	} else {
+		t.Note("initial number of centroids: %d", q.initialK)
+	}
+	t.Note("%s: %d series of length %d, ε=ln2, averaged over runs", q.dataset, q.seriesCount, q.seriesLength)
+	return t
+}
+
+func labels(q *qualityResult) []string {
+	out := make([]string, len(q.runs))
+	for i, r := range q.runs {
+		out[i] = r.label
+	}
+	return out
+}
+
+// prePostTable renders Figures 2(e)/2(f): lowest pre-perturbation
+// inertia and its post-perturbation counterpart per strategy.
+func prePostTable(id, title string, q *qualityResult) *Table {
+	t := &Table{ID: id, Title: title, Columns: []string{"strategy", "PRE", "POST"}}
+	for _, r := range q.runs {
+		post := f(r.bestPost)
+		if r.bestPost == 0 && r.bestPre > 0 {
+			post = "-" // every released centroid died: POST unmeasurable
+		}
+		t.AddRow(r.label, f(r.bestPre), post)
+	}
+	t.Note("PRE: lowest pre-perturbation intra-cluster inertia over the run")
+	t.Note("POST: inertia of the same partition against the released perturbed means (no re-assignment)")
+	t.Note("'-' means the noise overwhelmed every centroid at that scale")
+	return t
+}
+
+// Fig2a is the CER pre-perturbation inertia evolution.
+func Fig2a(p Params) (*Table, error) {
+	q, err := runQuality("cer", p, cerStrategies(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return evolutionTable("fig2a", "CER: Evolution of the Pre-Perturbation Intra-Cluster Inertia", q, "inertia"), nil
+}
+
+// Fig2b is the NUMED pre-perturbation inertia evolution.
+func Fig2b(p Params) (*Table, error) {
+	q, err := runQuality("numed", p, numedStrategies(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return evolutionTable("fig2b", "NUMED: Evolution of the Pre-Perturbation Intra-Cluster Inertia", q, "inertia"), nil
+}
+
+// Fig2c is the CER surviving-centroid evolution.
+func Fig2c(p Params) (*Table, error) {
+	q, err := runQuality("cer", p, cerStrategies(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return evolutionTable("fig2c", "CER: Evolution of the Number of Centroids", q, "centroids"), nil
+}
+
+// Fig2d is the NUMED surviving-centroid evolution.
+func Fig2d(p Params) (*Table, error) {
+	q, err := runQuality("numed", p, numedStrategies(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return evolutionTable("fig2d", "NUMED: Evolution of the Number of Centroids", q, "centroids"), nil
+}
+
+// Fig2e is the CER PRE/POST comparison at the best iteration.
+func Fig2e(p Params) (*Table, error) {
+	q, err := runQuality("cer", p, cerStrategies(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return prePostTable("fig2e", "CER: Lowest Pre-Perturbation Inertia and Corresponding Post-Perturbation Inertia", q), nil
+}
+
+// Fig2f is the NUMED PRE/POST comparison.
+func Fig2f(p Params) (*Table, error) {
+	q, err := runQuality("numed", p, numedStrategies(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return prePostTable("fig2f", "NUMED: Lowest Pre-Perturbation Inertia and Corresponding Post-Perturbation Inertia", q), nil
+}
+
+// Fig3a is the churn-enabled CER inertia evolution (G_SMA under
+// per-iteration churn 0 / .1 / .25 / .5).
+func Fig3a(p Params) (*Table, error) {
+	churns := []float64{0, 0.1, 0.25, 0.5}
+	gsma := []strategySpec{{
+		"G_SMA",
+		func(e float64) dp.Budget { return dp.Greedy{Eps: e} },
+		true, 10,
+	}}
+	t := &Table{
+		ID:      "fig3a",
+		Title:   "Churn-Enabled: Evolution of the Pre-Perturbation Intra-Cluster Inertia (CER)",
+		Columns: []string{"iteration", "no churn", "churn .1", "churn .25", "churn .5"},
+	}
+	var series [][]float64
+	var full float64
+	for _, churn := range churns {
+		q, err := runQuality("cer", p, gsma, churn)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, q.runs[0].inertia)
+		full = q.fullInertia
+	}
+	for it := 0; it < 10; it++ {
+		row := []string{fmt.Sprintf("%d", it+1)}
+		for _, s := range series {
+			if s[it] == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, f(s[it]))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Note("dataset inertia (constant upper bound): %s", f(full))
+	t.Note("churn = probability each series is disconnected at each iteration")
+	return t, nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"chiaroscuro/internal/dp"
+)
+
+// Table2 echoes the experimental parameters actually used at the given
+// scale, mirroring the paper's Table 2.
+func Table2(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Experimental Parameters",
+		Columns: []string{"group", "parameter", "paper", "this run"},
+	}
+	s := p.Scale
+	t.AddRow("Dataset", "Number of time-series", "3M (CER), 1.2M (NUMED)",
+		fmt.Sprintf("%d (CER), %d (NUMED)", s.cerSize(), s.numedSize()))
+	t.AddRow("Dataset", "Size of time-series", "24 (CER), 20 (NUMED)", "24 (CER), 20 (NUMED)")
+	t.AddRow("Privacy", "Key size", "1024 bits", fmt.Sprintf("%d bits", s.keyBits()))
+	t.AddRow("Privacy", "Key-shares threshold", "0.001%–10%", "0.001%–10% (fig4b grid)")
+	t.AddRow("Privacy", "Privacy budget", "ε = 0.69", fmt.Sprintf("ε = %.4f (ln 2)", math.Ln2))
+	t.AddRow("Privacy", "Nb of noise-shares", "nν = 100%", "nν = population size")
+	t.AddRow("k-means", "Initial nb of centroids", "k = 50", fmt.Sprintf("k = %d", s.k()))
+	t.AddRow("GOSSIP", "Size of the local view", "30", "30 (newscast sampler)")
+	t.AddRow("GOSSIP", "Churn", "10%–50%", "10%–50% (fig3a/fig3b)")
+	t.AddRow("Quality", "Floor size (GF)", "4", "4")
+	t.AddRow("Quality", "Max nb of iterations", "5 (UF only), 10", "5 (UF only), 10")
+	t.AddRow("Quality", "Moving average (SMA)", "20%", "20%")
+	ne := dp.Theorem3Exchanges(1_000_000, 1, 1e-12, 1-dp.DeltaAtom(0.995, 480))
+	t.AddRow("GOSSIP", "Exchanges (Theorem 3 example)", "47", fmt.Sprintf("%d", ne))
+	t.Note("scale preset: %s", s)
+	return t, nil
+}

@@ -1,0 +1,163 @@
+// Package gossip implements the plaintext epidemic aggregation
+// algorithms of Section 3.2: the push-pull averaging sum of Kempe et
+// al. / Jelasity et al. (each participant holds a local state (σ, ω)
+// whose ratio σ/ω converges to the global sum exponentially fast) and
+// the min-identifier epidemic dissemination used to agree on the noise
+// correction (Section 4.2.2).
+//
+// The encrypted counterpart (EESum, Algorithm 2) lives in package eesum;
+// this package is the cleartext machinery used for the epidemic counter,
+// for the dissemination of corrections, and for the large-scale latency
+// experiments of Figures 3(b) and 4(a).
+package gossip
+
+import (
+	"math"
+
+	"chiaroscuro/internal/sim"
+)
+
+// Sum is the epidemic sum protocol state for a population. Node i holds
+// (Sigma[i], Omega[i]); the local estimate of the global sum is
+// Sigma[i]/Omega[i]. Exactly one participant must start with ω = 1 and
+// the rest with ω = 0 (Section 3.2, footnote 5).
+type Sum struct {
+	Sigma []float64
+	Omega []float64
+}
+
+// NewSum initializes the protocol with each node's local value. The
+// weight 1 is assigned to weightNode.
+func NewSum(values []float64, weightNode int) *Sum {
+	s := &Sum{
+		Sigma: make([]float64, len(values)),
+		Omega: make([]float64, len(values)),
+	}
+	copy(s.Sigma, values)
+	s.Omega[weightNode] = 1
+	return s
+}
+
+// Exchange is the push-pull averaging update: both sides set their state
+// to the pairwise average, which preserves total mass. When full is
+// false (the responder disconnected mid-exchange, Section 6.1.5) only
+// the initiator updates — the paper's churn-induced corruption: total
+// mass is no longer conserved, producing the residual error Figure 3(b)
+// measures.
+func (s *Sum) Exchange(a, b sim.NodeID, full bool) {
+	ms := (s.Sigma[a] + s.Sigma[b]) / 2
+	mw := (s.Omega[a] + s.Omega[b]) / 2
+	s.Sigma[a], s.Omega[a] = ms, mw
+	if full {
+		s.Sigma[b], s.Omega[b] = ms, mw
+	}
+}
+
+// Estimate returns node i's local estimate σ_i/ω_i of the global sum,
+// and whether it is defined (ω_i > 0).
+func (s *Sum) Estimate(i sim.NodeID) (float64, bool) {
+	if s.Omega[i] <= 0 {
+		return 0, false
+	}
+	return s.Sigma[i] / s.Omega[i], true
+}
+
+// MaxAbsError returns the maximum |estimate - want| over nodes with a
+// defined estimate, plus the fraction of nodes whose estimate is defined.
+func (s *Sum) MaxAbsError(want float64) (maxErr float64, defined float64) {
+	var nDef int
+	for i := range s.Sigma {
+		est, ok := s.Estimate(i)
+		if !ok {
+			continue
+		}
+		nDef++
+		if e := math.Abs(est - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, float64(nDef) / float64(len(s.Sigma))
+}
+
+// MeanRelError returns the average relative error of the defined
+// estimates with respect to want (which must be non-zero).
+func (s *Sum) MeanRelError(want float64) float64 {
+	var sum float64
+	var n int
+	for i := range s.Sigma {
+		if est, ok := s.Estimate(i); ok {
+			sum += math.Abs(est-want) / math.Abs(want)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// RunUntil runs cycles of the sum protocol on the engine until the
+// maximum absolute error over defined estimates drops to target or
+// maxCycles is reached. It returns the number of cycles executed.
+func (s *Sum) RunUntil(e *sim.Engine, want, target float64, maxCycles int) int {
+	for c := 0; c < maxCycles; c++ {
+		e.RunCycle(s.Exchange)
+		if err, def := s.MaxAbsError(want); def == 1 && err <= target {
+			return c + 1
+		}
+	}
+	return maxCycles
+}
+
+// Dissemination is the min-identifier epidemic broadcast of Section
+// 4.2.2: every participant proposes a (value, identifier) pair; at each
+// exchange both sides keep the pair with the smallest identifier. All
+// nodes converge to the globally smallest identifier's value — the
+// unicity property the noise correction requires.
+type Dissemination struct {
+	ID    []uint64
+	Value []float64 // opaque payload (experiments use a scalar; the protocol layer carries vectors)
+}
+
+// NewDissemination initializes the broadcast with each node's proposal.
+func NewDissemination(ids []uint64, values []float64) *Dissemination {
+	d := &Dissemination{
+		ID:    make([]uint64, len(ids)),
+		Value: make([]float64, len(values)),
+	}
+	copy(d.ID, ids)
+	copy(d.Value, values)
+	return d
+}
+
+// Exchange keeps the smallest identifier on both sides (initiator only,
+// when full is false).
+func (d *Dissemination) Exchange(a, b sim.NodeID, full bool) {
+	if d.ID[b] < d.ID[a] {
+		d.ID[a], d.Value[a] = d.ID[b], d.Value[b]
+	} else if full && d.ID[a] < d.ID[b] {
+		d.ID[b], d.Value[b] = d.ID[a], d.Value[a]
+	}
+}
+
+// Converged reports whether every node holds the same identifier.
+func (d *Dissemination) Converged() bool {
+	for _, id := range d.ID[1:] {
+		if id != d.ID[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilConverged runs cycles until convergence or maxCycles, and
+// returns the number of cycles executed.
+func (d *Dissemination) RunUntilConverged(e *sim.Engine, maxCycles int) int {
+	for c := 0; c < maxCycles; c++ {
+		e.RunCycle(d.Exchange)
+		if d.Converged() {
+			return c + 1
+		}
+	}
+	return maxCycles
+}

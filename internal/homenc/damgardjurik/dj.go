@@ -1,0 +1,368 @@
+// Package damgardjurik implements the Damgård–Jurik generalization of
+// the Paillier cryptosystem (PKC 2001), the concrete scheme the paper
+// instantiates (Section 3.3.1): semantically secure, additively
+// homomorphic, with non-interactive threshold decryption.
+//
+//   - Public key: an RSA modulus n = p·q (p, q safe primes) and the
+//     degree s; plaintexts live in Z_{n^s}, ciphertexts in Z*_{n^(s+1)}.
+//   - Encryption: E(m) = (1+n)^m · r^(n^s) mod n^(s+1).
+//   - Homomorphic addition is ciphertext multiplication; scalar
+//     multiplication is ciphertext exponentiation.
+//   - The decryption exponent d (d ≡ 1 mod n^s, d ≡ 0 mod p'q') is
+//     Shamir-shared over Z_{n^s·p'q'}; a partial decryption is
+//     c_i = c^(2Δ·s_i) with Δ = ℓ!, and any τ distinct partials combine
+//     through integer Lagrange coefficients, followed by the iterative
+//     discrete-log algorithm on (1+n)-powers.
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/shamir"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey holds the public parameters and derived constants.
+type PublicKey struct {
+	N *big.Int // RSA modulus p·q
+	S int      // plaintext space degree: messages mod N^S
+
+	NS  *big.Int // N^S, the plaintext modulus
+	NS1 *big.Int // N^(S+1), the ciphertext modulus
+}
+
+func newPublicKey(n *big.Int, s int) *PublicKey {
+	ns := new(big.Int).Set(n)
+	for i := 1; i < s; i++ {
+		ns.Mul(ns, n)
+	}
+	ns1 := new(big.Int).Mul(ns, n)
+	return &PublicKey{N: new(big.Int).Set(n), S: s, NS: ns, NS1: ns1}
+}
+
+// Scheme is a complete threshold Damgård–Jurik instance. For simulation
+// convenience it holds every key-share; a deployed participant would
+// hold only its own (the protocol layer only ever passes an index).
+// Methods are safe for concurrent use when Random is crypto/rand.Reader.
+type Scheme struct {
+	*PublicKey
+
+	nShares   int
+	threshold int
+	delta     *big.Int       // Δ = nShares!
+	combInv   *big.Int       // (4Δ²)^(-1) mod N^S
+	shares    []shamir.Share // Shamir shares of d over Z_{N^S · p'q'}
+
+	d *big.Int // the full decryption exponent (kept for direct Decrypt)
+
+	Random io.Reader // entropy source for Encrypt (crypto/rand if nil)
+}
+
+// GenerateKey creates a fresh threshold Damgård–Jurik scheme with an
+// RSA modulus of the given bit length (so p and q are bits/2-bit safe
+// primes — for bits >= 1024 this takes a while; tests use the
+// precomputed safe primes exposed by KnownSafePrimes). random may be nil
+// for crypto/rand.
+func GenerateKey(random io.Reader, bits, s, nShares, threshold int) (*Scheme, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	if bits < 32 {
+		return nil, errors.New("damgardjurik: modulus below 32 bits")
+	}
+	p, err := safePrime(random, bits/2)
+	if err != nil {
+		return nil, err
+	}
+	var q *big.Int
+	for {
+		q, err = safePrime(random, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if q.Cmp(p) != 0 {
+			break
+		}
+	}
+	return NewFromPrimes(random, p, q, s, nShares, threshold)
+}
+
+// NewFromPrimes builds a scheme from two distinct safe primes p = 2p'+1,
+// q = 2q'+1. random is used for the Shamir sharing polynomial (nil =
+// crypto/rand).
+func NewFromPrimes(random io.Reader, p, q *big.Int, s, nShares, threshold int) (*Scheme, error) {
+	if s < 1 {
+		return nil, errors.New("damgardjurik: s must be >= 1")
+	}
+	if threshold < 1 || nShares < threshold {
+		return nil, fmt.Errorf("damgardjurik: invalid threshold %d of %d", threshold, nShares)
+	}
+	if p.Cmp(q) == 0 {
+		return nil, errors.New("damgardjurik: p and q must differ")
+	}
+	pp := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1) // p' = (p-1)/2
+	qp := new(big.Int).Rsh(new(big.Int).Sub(q, one), 1) // q'
+	for _, pr := range []*big.Int{p, q, pp, qp} {
+		if !pr.ProbablyPrime(24) {
+			return nil, errors.New("damgardjurik: p and q must be safe primes")
+		}
+	}
+	n := new(big.Int).Mul(p, q)
+	pk := newPublicKey(n, s)
+	mbar := new(big.Int).Mul(pp, qp) // p'q'
+
+	// d ≡ 1 mod N^S and d ≡ 0 mod p'q' by CRT:
+	// d = m̄ · (m̄^{-1} mod N^S).
+	mbarInv := new(big.Int).ModInverse(mbar, pk.NS)
+	if mbarInv == nil {
+		return nil, errors.New("damgardjurik: gcd(p'q', n^s) != 1")
+	}
+	d := new(big.Int).Mul(mbar, mbarInv)
+
+	// Share d over Z_{N^S · m̄}.
+	shareMod := new(big.Int).Mul(pk.NS, mbar)
+	shares, err := shamir.Split(new(big.Int).Mod(d, shareMod), shareMod, threshold, nShares, random)
+	if err != nil {
+		return nil, err
+	}
+
+	delta := shamir.Delta(nShares)
+	// (4Δ²)^{-1} mod N^S — Δ = ℓ! is coprime to n for ℓ < p.
+	fourD2 := new(big.Int).Mul(delta, delta)
+	fourD2.Lsh(fourD2, 2)
+	combInv := new(big.Int).ModInverse(fourD2, pk.NS)
+	if combInv == nil {
+		return nil, errors.New("damgardjurik: 4Δ² not invertible mod n^s (nShares too large?)")
+	}
+
+	return &Scheme{
+		PublicKey: pk,
+		nShares:   nShares,
+		threshold: threshold,
+		delta:     delta,
+		combInv:   combInv,
+		shares:    shares,
+		d:         d,
+		Random:    random,
+	}, nil
+}
+
+// Name implements homenc.Scheme.
+func (s *Scheme) Name() string { return "damgard-jurik" }
+
+// PlaintextSpace implements homenc.Scheme.
+func (s *Scheme) PlaintextSpace() *big.Int { return s.NS }
+
+// NumShares implements homenc.Scheme.
+func (s *Scheme) NumShares() int { return s.nShares }
+
+// Threshold implements homenc.Scheme.
+func (s *Scheme) Threshold() int { return s.threshold }
+
+// CiphertextBytes implements homenc.Scheme.
+func (s *Scheme) CiphertextBytes() int { return (s.NS1.BitLen() + 7) / 8 }
+
+// powOnePlusN computes (1+n)^m mod n^(s+1) through the binomial
+// expansion: Σ_{i=0..s} C(m, i)·n^i, which is exact because n^(s+1)
+// kills every higher term. This is dramatically cheaper than a modular
+// exponentiation for the large m the protocol produces.
+func (s *Scheme) powOnePlusN(m *big.Int) *big.Int {
+	mr := new(big.Int).Mod(m, s.NS) // (1+n) has order n^s, so reduce first
+	acc := big.NewInt(1)
+	bin := big.NewInt(1)  // C(m, i) mod n^(s+1)
+	npow := big.NewInt(1) // n^i
+	for i := 1; i <= s.S; i++ {
+		// C(m,i) = C(m,i-1)·(m-i+1)/i; the quotient is an integer, so
+		// multiplying by i^{-1} mod n^(s+1) (i is coprime to n) yields
+		// the correct residue.
+		f := new(big.Int).Sub(mr, big.NewInt(int64(i-1)))
+		bin.Mul(bin, f)
+		bin.Mod(bin, s.NS1)
+		inv := new(big.Int).ModInverse(big.NewInt(int64(i)), s.NS1)
+		bin.Mul(bin, inv)
+		bin.Mod(bin, s.NS1)
+		npow.Mul(npow, s.N)
+		term := new(big.Int).Mul(bin, npow)
+		acc.Add(acc, term)
+		acc.Mod(acc, s.NS1)
+	}
+	return acc
+}
+
+// Encrypt implements homenc.Scheme: E(m) = (1+n)^m · r^(n^s) mod n^(s+1).
+func (s *Scheme) Encrypt(m *big.Int) homenc.Ciphertext {
+	r := s.randomUnit()
+	r.Exp(r, s.NS, s.NS1)
+	c := s.powOnePlusN(m)
+	c.Mul(c, r)
+	c.Mod(c, s.NS1)
+	return homenc.Ciphertext{V: c}
+}
+
+func (s *Scheme) randomUnit() *big.Int {
+	random := s.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		r, err := rand.Int(random, s.N)
+		if err != nil {
+			panic("damgardjurik: entropy source failed: " + err.Error())
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, s.N).Cmp(one) == 0 {
+			return r
+		}
+	}
+}
+
+// Add implements homenc.Scheme: E(a) +h E(b) = E(a)·E(b) mod n^(s+1).
+func (s *Scheme) Add(a, b homenc.Ciphertext) homenc.Ciphertext {
+	c := new(big.Int).Mul(a.V, b.V)
+	c.Mod(c, s.NS1)
+	return homenc.Ciphertext{V: c}
+}
+
+// ScalarMul implements homenc.Scheme: k ·h E(a) = E(a)^k mod n^(s+1).
+func (s *Scheme) ScalarMul(a homenc.Ciphertext, k *big.Int) homenc.Ciphertext {
+	if k.Sign() < 0 {
+		panic("damgardjurik: negative scalar")
+	}
+	return homenc.Ciphertext{V: new(big.Int).Exp(a.V, k, s.NS1)}
+}
+
+// dLog recovers i from a = (1+n)^i mod n^(s+1), 0 <= i < n^s, using the
+// iterative algorithm of Damgård–Jurik (PKC 2001, Section 3).
+func (s *Scheme) dLog(a *big.Int) *big.Int {
+	i := new(big.Int)
+	nj := new(big.Int).Set(s.N) // n^j
+	for j := 1; j <= s.S; j++ {
+		nj1 := new(big.Int).Mul(nj, s.N) // n^(j+1)
+		// t1 = L(a mod n^(j+1)) = (a mod n^(j+1) - 1) / n
+		t1 := new(big.Int).Mod(a, nj1)
+		t1.Sub(t1, one)
+		t1.Div(t1, s.N)
+		t1.Mod(t1, nj)
+		t2 := new(big.Int).Set(i)
+		ii := new(big.Int).Set(i)
+		kfact := big.NewInt(1)
+		npow := big.NewInt(1) // n^(k-1)
+		for k := 2; k <= j; k++ {
+			ii.Sub(ii, one)
+			t2.Mul(t2, ii)
+			t2.Mod(t2, nj)
+			npow.Mul(npow, s.N)
+			kfact.Mul(kfact, big.NewInt(int64(k)))
+			// t1 -= t2 · n^(k-1) / k!   (division = inverse mod n^j)
+			inv := new(big.Int).ModInverse(kfact, nj)
+			sub := new(big.Int).Mul(t2, npow)
+			sub.Mul(sub, inv)
+			t1.Sub(t1, sub)
+			t1.Mod(t1, nj)
+		}
+		i = t1
+		nj = nj1
+	}
+	return i
+}
+
+// Decrypt recovers the plaintext using the full exponent d — the
+// non-threshold path, handy for tests and local-cost measurements.
+// It computes c^(2d) (the factor 2 annihilates the random component)
+// and divides the discrete log by 2.
+func (s *Scheme) Decrypt(c homenc.Ciphertext) *big.Int {
+	e := new(big.Int).Lsh(s.d, 1)
+	a := new(big.Int).Exp(c.V, e, s.NS1)
+	m := s.dLog(a)
+	twoInv := new(big.Int).ModInverse(big.NewInt(2), s.NS)
+	m.Mul(m, twoInv)
+	return m.Mod(m, s.NS)
+}
+
+// PartialDecrypt implements homenc.Scheme: c_i = c^(2Δ·s_i) mod n^(s+1).
+func (s *Scheme) PartialDecrypt(index int, c homenc.Ciphertext) (homenc.PartialDecryption, error) {
+	if index < 1 || index > s.nShares {
+		return homenc.PartialDecryption{}, fmt.Errorf("damgardjurik: key-share index %d out of range", index)
+	}
+	e := new(big.Int).Lsh(s.delta, 1) // 2Δ
+	e.Mul(e, s.shares[index-1].Y)
+	return homenc.PartialDecryption{
+		Index: index,
+		V:     new(big.Int).Exp(c.V, e, s.NS1),
+	}, nil
+}
+
+// Combine implements homenc.Scheme: it merges >= Threshold distinct
+// partial decryptions into the plaintext,
+//
+//	c' = Π c_i^(2μ_i) = c^(4Δ²d) = (1+n)^(4Δ²·m)  mod n^(s+1),
+//
+// then m = dLog(c') · (4Δ²)^{-1} mod n^s.
+func (s *Scheme) Combine(c homenc.Ciphertext, parts []homenc.PartialDecryption) (*big.Int, error) {
+	xs := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		if p.Index < 1 || p.Index > s.nShares {
+			return nil, fmt.Errorf("damgardjurik: key-share index %d out of range", p.Index)
+		}
+		if seen[p.Index] {
+			return nil, fmt.Errorf("damgardjurik: duplicate key-share %d", p.Index)
+		}
+		seen[p.Index] = true
+		xs = append(xs, p.Index)
+	}
+	if len(xs) < s.threshold {
+		return nil, errors.New("damgardjurik: not enough distinct key-shares")
+	}
+	acc := big.NewInt(1)
+	for _, p := range parts {
+		mu, err := shamir.Lambda0(xs, p.Index, s.nShares)
+		if err != nil {
+			return nil, err
+		}
+		e := new(big.Int).Lsh(mu, 1) // 2μ_i, possibly negative
+		base := p.V
+		if e.Sign() < 0 {
+			base = new(big.Int).ModInverse(p.V, s.NS1)
+			if base == nil {
+				return nil, errors.New("damgardjurik: partial decryption not invertible")
+			}
+			e.Neg(e)
+		}
+		term := new(big.Int).Exp(base, e, s.NS1)
+		acc.Mul(acc, term)
+		acc.Mod(acc, s.NS1)
+	}
+	m := s.dLog(acc)
+	m.Mul(m, s.combInv)
+	return m.Mod(m, s.NS), nil
+}
+
+var _ homenc.Scheme = (*Scheme)(nil)
+
+// safePrime generates a prime p = 2p'+1 with p' prime, of the given bit
+// length.
+func safePrime(random io.Reader, bits int) (*big.Int, error) {
+	if bits < 16 {
+		return nil, errors.New("damgardjurik: safe prime below 16 bits")
+	}
+	for {
+		pp, err := rand.Prime(random, bits-1)
+		if err != nil {
+			return nil, err
+		}
+		p := new(big.Int).Lsh(pp, 1)
+		p.Add(p, one)
+		if p.ProbablyPrime(24) {
+			return p, nil
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package homenc defines the additively-homomorphic threshold encryption
+// abstraction Chiaroscuro is built on (Section 3.3.1 of the paper: any
+// semantically secure, additively homomorphic scheme with non-interactive
+// threshold decryption), plus the fixed-point encoding that maps the
+// protocol's real-valued time-series into the scheme's integer plaintext
+// space.
+//
+// Two implementations exist:
+//
+//   - homenc/damgardjurik: the real Damgård–Jurik scheme the paper names,
+//     used for local-cost experiments and small-scale end-to-end runs;
+//   - homenc/plain: a structure-preserving stand-in with no security,
+//     used so protocol simulations can scale to 10⁵–10⁶ nodes (the paper
+//     does the same: its large-scale latency experiments simulate the
+//     epidemic algorithms without paying for crypto at every node).
+package homenc
+
+import (
+	"math"
+	"math/big"
+)
+
+// Ciphertext is an opaque encrypted (or, for the plain scheme, stand-in)
+// integer. Ciphertexts are immutable: operations return new values.
+type Ciphertext struct {
+	V *big.Int
+}
+
+// PartialDecryption is the output of one key-share applied to a
+// ciphertext (Section 4.2.3: partial decryptions combine once τ distinct
+// shares contributed).
+type PartialDecryption struct {
+	Index int // 1-based key-share index
+	V     *big.Int
+}
+
+// Scheme is the encryption interface the protocol layers use.
+//
+// Plaintexts are integers in [0, PlaintextSpace()); negative values are
+// represented by their residue (two's-complement style) and recovered
+// with Centered. Add is the homomorphic +h of the paper; ScalarMul is
+// repeated +h (used by Algorithm 2 to rescale by powers of two).
+type Scheme interface {
+	// Name identifies the scheme ("damgard-jurik", "plain").
+	Name() string
+	// PlaintextSpace returns the plaintext modulus (n^s for Damgård–
+	// Jurik), or nil when plaintexts are unbounded (plain scheme).
+	PlaintextSpace() *big.Int
+	// Encrypt encrypts m (which may be negative; it is reduced into the
+	// plaintext space).
+	Encrypt(m *big.Int) Ciphertext
+	// Add returns a +h b.
+	Add(a, b Ciphertext) Ciphertext
+	// ScalarMul returns k ·h a for a non-negative integer k.
+	ScalarMul(a Ciphertext, k *big.Int) Ciphertext
+	// CiphertextBytes is the wire size of one ciphertext, for the
+	// bandwidth accounting of Figure 5(b).
+	CiphertextBytes() int
+	// NumShares and Threshold describe the key-share configuration
+	// (nκ and τ of Table 1).
+	NumShares() int
+	Threshold() int
+	// PartialDecrypt applies key-share index (1-based) to c.
+	PartialDecrypt(index int, c Ciphertext) (PartialDecryption, error)
+	// Combine merges at least Threshold distinct partial decryptions of
+	// c into the plaintext (reduced into [0, PlaintextSpace())).
+	Combine(c Ciphertext, parts []PartialDecryption) (*big.Int, error)
+}
+
+// Centered maps a residue v in [0, space) to its centered representative
+// in (-space/2, space/2], recovering negative plaintexts. A nil space
+// returns v unchanged.
+func Centered(v, space *big.Int) *big.Int {
+	if space == nil {
+		return v
+	}
+	half := new(big.Int).Rsh(space, 1)
+	if v.Cmp(half) > 0 {
+		return new(big.Int).Sub(v, space)
+	}
+	return v
+}
+
+// Codec converts between the protocol's float64 measures and integer
+// plaintexts using fixed-point encoding with FracBits fractional bits.
+type Codec struct {
+	FracBits uint
+}
+
+// DefaultFracBits gives ~1e-9 absolute encoding precision, far below
+// any differentially-private noise magnitude.
+const DefaultFracBits = 30
+
+// NewCodec returns a codec with the given number of fractional bits
+// (DefaultFracBits if fracBits is 0).
+func NewCodec(fracBits uint) Codec {
+	if fracBits == 0 {
+		fracBits = DefaultFracBits
+	}
+	return Codec{FracBits: fracBits}
+}
+
+// Encode converts x to its fixed-point integer representation
+// round(x · 2^FracBits). It panics on NaN/Inf: those are programming
+// errors upstream, not data.
+func (c Codec) Encode(x float64) *big.Int {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("homenc: cannot encode NaN/Inf")
+	}
+	scaled := new(big.Float).SetPrec(128).SetFloat64(x)
+	scaled.Mul(scaled, new(big.Float).SetPrec(128).SetMantExp(big.NewFloat(1), int(c.FracBits)))
+	i, _ := scaled.Int(nil)
+	// Round-to-nearest: big.Float.Int truncates toward zero, so adjust
+	// when the fractional remainder reaches one half in magnitude.
+	frac := new(big.Float).Sub(scaled, new(big.Float).SetInt(i))
+	frac.Abs(frac)
+	if frac.Cmp(big.NewFloat(0.5)) >= 0 {
+		if scaled.Sign() >= 0 {
+			i.Add(i, big.NewInt(1))
+		} else {
+			i.Sub(i, big.NewInt(1))
+		}
+	}
+	return i
+}
+
+// Decode converts a (possibly negative, already centered) fixed-point
+// integer back to float64, dividing by an extra integer divisor (the
+// epidemic weight, so the 2^e scaling of Algorithm 2 cancels). A nil or
+// zero divisor means divide by one.
+func (c Codec) Decode(v *big.Int, divisor *big.Int) float64 {
+	num := new(big.Float).SetPrec(256).SetInt(v)
+	den := new(big.Float).SetPrec(256).SetMantExp(big.NewFloat(1), int(c.FracBits))
+	if divisor != nil && divisor.Sign() != 0 {
+		den.Mul(den, new(big.Float).SetPrec(256).SetInt(divisor))
+	}
+	out, _ := new(big.Float).Quo(num, den).Float64()
+	return out
+}

@@ -1,0 +1,109 @@
+package homenc
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestCentered(t *testing.T) {
+	space := big.NewInt(100)
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {1, 1}, {50, 50}, {51, -49}, {99, -1},
+	}
+	for _, c := range cases {
+		got := Centered(big.NewInt(c.in), space)
+		if got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Centered(%d) = %v, want %d", c.in, got, c.want)
+		}
+	}
+	v := big.NewInt(-7)
+	if Centered(v, nil) != v {
+		t.Error("nil space must be identity")
+	}
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	codec := NewCodec(0)
+	f := func(x int32, frac uint16) bool {
+		v := float64(x) + float64(frac)/65536
+		enc := codec.Encode(v)
+		dec := codec.Decode(enc, nil)
+		return math.Abs(dec-v) < 1.0/float64(uint64(1)<<(DefaultFracBits-1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecNegative(t *testing.T) {
+	codec := NewCodec(16)
+	enc := codec.Encode(-3.5)
+	if enc.Sign() >= 0 {
+		t.Fatalf("Encode(-3.5) = %v, want negative", enc)
+	}
+	if got := codec.Decode(enc, nil); got != -3.5 {
+		t.Errorf("round trip = %v, want -3.5", got)
+	}
+}
+
+func TestCodecDivisor(t *testing.T) {
+	codec := NewCodec(20)
+	// Encoding 10.0 then dividing by 4 must give 2.5: the divisor is how
+	// the epidemic weight cancels the 2^e scaling.
+	enc := codec.Encode(10)
+	if got := codec.Decode(enc, big.NewInt(4)); got != 2.5 {
+		t.Errorf("Decode with divisor 4 = %v, want 2.5", got)
+	}
+	if got := codec.Decode(enc, nil); got != 10 {
+		t.Errorf("Decode nil divisor = %v, want 10", got)
+	}
+	if got := codec.Decode(enc, new(big.Int)); got != 10 {
+		t.Errorf("Decode zero divisor = %v, want 10", got)
+	}
+}
+
+func TestCodecAdditivity(t *testing.T) {
+	// The whole protocol relies on Encode(a)+Encode(b) ≈ Encode(a+b).
+	codec := NewCodec(0)
+	f := func(a, b int32) bool {
+		x, y := float64(a)/128, float64(b)/128
+		sum := new(big.Int).Add(codec.Encode(x), codec.Encode(y))
+		dec := codec.Decode(sum, nil)
+		return math.Abs(dec-(x+y)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejectsNaN(t *testing.T) {
+	codec := NewCodec(0)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%v) should panic", bad)
+				}
+			}()
+			codec.Encode(bad)
+		}()
+	}
+}
+
+func TestCodecRounding(t *testing.T) {
+	codec := NewCodec(2) // quarter precision
+	// 0.3 * 4 = 1.2 -> rounds to 1 -> 0.25
+	if got := codec.Decode(codec.Encode(0.3), nil); got != 0.25 {
+		t.Errorf("Encode(0.3) decoded to %v, want 0.25", got)
+	}
+	// 0.4 * 4 = 1.6 -> rounds to 2 -> 0.5
+	if got := codec.Decode(codec.Encode(0.4), nil); got != 0.5 {
+		t.Errorf("Encode(0.4) decoded to %v, want 0.5", got)
+	}
+	// -0.4 -> -0.5 (round away from zero at half)
+	if got := codec.Decode(codec.Encode(-0.4), nil); got != -0.5 {
+		t.Errorf("Encode(-0.4) decoded to %v, want -0.5", got)
+	}
+}

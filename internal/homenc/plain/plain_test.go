@@ -1,0 +1,98 @@
+package plain
+
+import (
+	"math/big"
+	"testing"
+
+	"chiaroscuro/internal/homenc"
+)
+
+func TestBasicOps(t *testing.T) {
+	s, err := New(nil, 256, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Encrypt(big.NewInt(10))
+	b := s.Encrypt(big.NewInt(-3))
+	sum := s.Add(a, b)
+	if sum.V.Cmp(big.NewInt(7)) != 0 {
+		t.Errorf("Add = %v, want 7", sum.V)
+	}
+	sc := s.ScalarMul(a, big.NewInt(4))
+	if sc.V.Cmp(big.NewInt(40)) != 0 {
+		t.Errorf("ScalarMul = %v, want 40", sc.V)
+	}
+	if s.CiphertextBytes() != 256 {
+		t.Errorf("CiphertextBytes = %d", s.CiphertextBytes())
+	}
+	if s.Name() != "plain" || s.PlaintextSpace() != nil {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestModularSpace(t *testing.T) {
+	s, err := New(big.NewInt(97), 0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Encrypt(big.NewInt(-1))
+	if c.V.Cmp(big.NewInt(96)) != 0 {
+		t.Errorf("Encrypt(-1) mod 97 = %v, want 96", c.V)
+	}
+	if got := homenc.Centered(c.V, s.PlaintextSpace()); got.Cmp(big.NewInt(-1)) != 0 {
+		t.Errorf("Centered = %v, want -1", got)
+	}
+}
+
+func TestThresholdBookkeeping(t *testing.T) {
+	s, err := New(nil, 0, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Encrypt(big.NewInt(42))
+	var parts []homenc.PartialDecryption
+	for idx := 1; idx <= 3; idx++ {
+		p, err := s.PartialDecrypt(idx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	got, err := s.Combine(c, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(42)) != 0 {
+		t.Errorf("Combine = %v, want 42", got)
+	}
+	// Below threshold fails even with no real crypto: the protocol
+	// invariant must hold identically in simulation.
+	if _, err := s.Combine(c, parts[:2]); err == nil {
+		t.Error("below-threshold combine must fail")
+	}
+	dup := []homenc.PartialDecryption{parts[0], parts[0], parts[1]}
+	if _, err := s.Combine(c, dup); err == nil {
+		t.Error("duplicate shares must fail")
+	}
+	if _, err := s.PartialDecrypt(9, c); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if _, err := New(nil, 0, 2, 3); err == nil {
+		t.Error("threshold > shares must fail")
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	s, _ := New(nil, 0, 2, 1)
+	m := big.NewInt(5)
+	c := s.Encrypt(m)
+	m.SetInt64(99) // mutating the input must not affect the ciphertext
+	if c.V.Cmp(big.NewInt(5)) != 0 {
+		t.Error("Encrypt aliased its input")
+	}
+	a := s.Encrypt(big.NewInt(1))
+	_ = s.Add(a, a)
+	if a.V.Cmp(big.NewInt(1)) != 0 {
+		t.Error("Add mutated an operand")
+	}
+}

@@ -1,0 +1,140 @@
+package homenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Wire formats: in a deployment the Diptych's encrypted means travel
+// between devices on every gossip exchange, so ciphertexts and partial
+// decryptions need a compact canonical encoding. The format is a 1-byte
+// sign/kind tag, a 4-byte big-endian length, and the magnitude bytes.
+
+const (
+	wirePositive byte = 0x01
+	wireNegative byte = 0x02
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler for ciphertexts.
+func (c Ciphertext) MarshalBinary() ([]byte, error) {
+	if c.V == nil {
+		return nil, errors.New("homenc: nil ciphertext")
+	}
+	return marshalInt(c.V), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Ciphertext) UnmarshalBinary(data []byte) error {
+	v, rest, err := unmarshalInt(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errors.New("homenc: trailing bytes after ciphertext")
+	}
+	c.V = v
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for partial
+// decryptions: a 4-byte share index followed by the value.
+func (p PartialDecryption) MarshalBinary() ([]byte, error) {
+	if p.V == nil {
+		return nil, errors.New("homenc: nil partial decryption")
+	}
+	out := make([]byte, 4, 4+5+(p.V.BitLen()+7)/8)
+	binary.BigEndian.PutUint32(out, uint32(p.Index))
+	return append(out, marshalInt(p.V)...), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *PartialDecryption) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return errors.New("homenc: short partial decryption")
+	}
+	idx := binary.BigEndian.Uint32(data)
+	v, rest, err := unmarshalInt(data[4:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errors.New("homenc: trailing bytes after partial decryption")
+	}
+	p.Index = int(idx)
+	p.V = v
+	return nil
+}
+
+// MarshalVector encodes a ciphertext vector (the Diptych means payload)
+// with a count prefix.
+func MarshalVector(cts []Ciphertext) ([]byte, error) {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(len(cts)))
+	for _, c := range cts {
+		b, err := c.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalVector decodes a MarshalVector payload.
+func UnmarshalVector(data []byte) ([]Ciphertext, error) {
+	if len(data) < 4 {
+		return nil, errors.New("homenc: short vector")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > 1<<24 {
+		return nil, fmt.Errorf("homenc: implausible vector length %d", n)
+	}
+	data = data[4:]
+	out := make([]Ciphertext, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, rest, err := unmarshalInt(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ciphertext{V: v})
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, errors.New("homenc: trailing bytes after vector")
+	}
+	return out, nil
+}
+
+func marshalInt(v *big.Int) []byte {
+	mag := v.Bytes()
+	out := make([]byte, 5+len(mag))
+	if v.Sign() < 0 {
+		out[0] = wireNegative
+	} else {
+		out[0] = wirePositive
+	}
+	binary.BigEndian.PutUint32(out[1:], uint32(len(mag)))
+	copy(out[5:], mag)
+	return out
+}
+
+func unmarshalInt(data []byte) (*big.Int, []byte, error) {
+	if len(data) < 5 {
+		return nil, nil, errors.New("homenc: short integer encoding")
+	}
+	kind := data[0]
+	if kind != wirePositive && kind != wireNegative {
+		return nil, nil, fmt.Errorf("homenc: unknown integer tag 0x%02x", kind)
+	}
+	n := binary.BigEndian.Uint32(data[1:])
+	if uint32(len(data)-5) < n {
+		return nil, nil, errors.New("homenc: truncated integer encoding")
+	}
+	v := new(big.Int).SetBytes(data[5 : 5+n])
+	if kind == wireNegative {
+		v.Neg(v)
+	}
+	return v, data[5+n:], nil
+}

@@ -1,0 +1,117 @@
+package homenc
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	f := func(raw []byte, neg bool) bool {
+		v := new(big.Int).SetBytes(raw)
+		if neg {
+			v.Neg(v)
+		}
+		c := Ciphertext{V: v}
+		b, err := c.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Ciphertext
+		if err := got.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return got.V.Cmp(v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialDecryptionRoundTrip(t *testing.T) {
+	p := PartialDecryption{Index: 42, V: big.NewInt(-123456789)}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PartialDecryption
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != 42 || got.V.Cmp(p.V) != 0 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	cts := []Ciphertext{
+		{V: big.NewInt(0)},
+		{V: big.NewInt(1)},
+		{V: new(big.Int).Lsh(big.NewInt(1), 2048)},
+		{V: big.NewInt(-99)},
+	}
+	b, err := MarshalVector(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalVector(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cts) {
+		t.Fatalf("length %d, want %d", len(got), len(cts))
+	}
+	for i := range cts {
+		if got[i].V.Cmp(cts[i].V) != 0 {
+			t.Errorf("element %d: %v != %v", i, got[i].V, cts[i].V)
+		}
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	var c Ciphertext
+	if _, err := c.MarshalBinary(); err == nil {
+		t.Error("nil ciphertext must not marshal")
+	}
+	if err := c.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Error("short input must fail")
+	}
+	if err := c.UnmarshalBinary([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Error("bad tag must fail")
+	}
+	if err := c.UnmarshalBinary([]byte{1, 0, 0, 0, 5, 1}); err == nil {
+		t.Error("truncated magnitude must fail")
+	}
+	good, _ := Ciphertext{V: big.NewInt(5)}.MarshalBinary()
+	if err := c.UnmarshalBinary(append(good, 0)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+	var p PartialDecryption
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Error("nil partial must not marshal")
+	}
+	if err := p.UnmarshalBinary([]byte{0}); err == nil {
+		t.Error("short partial must fail")
+	}
+	if _, err := UnmarshalVector([]byte{0}); err == nil {
+		t.Error("short vector must fail")
+	}
+	huge := make([]byte, 4)
+	huge[0] = 0xFF
+	if _, err := UnmarshalVector(huge); err == nil {
+		t.Error("implausible vector length must fail")
+	}
+	vec, _ := MarshalVector([]Ciphertext{{V: big.NewInt(1)}})
+	if _, err := UnmarshalVector(append(vec, 7)); err == nil {
+		t.Error("trailing vector bytes must fail")
+	}
+}
+
+func TestWireDeterministic(t *testing.T) {
+	a, _ := Ciphertext{V: big.NewInt(12345)}.MarshalBinary()
+	b, _ := Ciphertext{V: big.NewInt(12345)}.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Error("encoding not canonical")
+	}
+}

@@ -1,0 +1,319 @@
+// Package kmeans implements the centralized Lloyd k-means algorithm of
+// Section 3.1 of the paper, together with the inertia quality measures of
+// Definition 1. It is both the non-private baseline ("No perturbation" in
+// Figures 2–3) and the computational core reused by the perturbed variant
+// in package dpkmeans.
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"chiaroscuro/internal/timeseries"
+)
+
+// ErrNoCentroids is returned when a step is asked to run with no centroids.
+var ErrNoCentroids = errors.New("kmeans: no centroids")
+
+// Assignment is the result of one assignment step: for each cluster, the
+// dimension-wise sum of its members, the member count, and the total
+// squared distance of members to their centroid (pre-perturbation
+// intra-cluster inertia numerator).
+type Assignment struct {
+	Sums   []timeseries.Series // k × n cluster sums
+	Counts []int64             // k cluster cardinalities
+	SqSums []float64           // k per-cluster Σ ||s||² (enables closed-form inertias)
+	SSE    float64             // Σ over series of squared distance to closest centroid
+}
+
+// Assign performs the assignment step: each series of d goes to its
+// closest centroid. Work is split across all CPUs. It never mutates the
+// centroids. An empty centroid set returns ErrNoCentroids.
+func Assign(d *timeseries.Dataset, centroids []timeseries.Series) (*Assignment, error) {
+	k := len(centroids)
+	if k == 0 {
+		return nil, ErrNoCentroids
+	}
+	n := d.Dim()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > d.Len() {
+		workers = 1
+	}
+	type partial struct {
+		sums   []timeseries.Series
+		counts []int64
+		sq     []float64
+		sse    float64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (d.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := partial{
+				sums:   make([]timeseries.Series, k),
+				counts: make([]int64, k),
+				sq:     make([]float64, k),
+			}
+			for i := range p.sums {
+				p.sums[i] = make(timeseries.Series, n)
+			}
+			for i := lo; i < hi; i++ {
+				row := d.Row(i)
+				best, bestD2 := 0, math.Inf(1)
+				for c, ctr := range centroids {
+					d2 := row.Dist2(ctr)
+					if d2 < bestD2 {
+						best, bestD2 = c, d2
+					}
+				}
+				p.sums[best].Add(row)
+				p.counts[best]++
+				var sq float64
+				for _, v := range row {
+					sq += v * v
+				}
+				p.sq[best] += sq
+				p.sse += bestD2
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := &Assignment{
+		Sums:   make([]timeseries.Series, k),
+		Counts: make([]int64, k),
+		SqSums: make([]float64, k),
+	}
+	for i := range out.Sums {
+		out.Sums[i] = make(timeseries.Series, n)
+	}
+	for _, p := range parts {
+		if p.sums == nil {
+			continue
+		}
+		for c := range out.Sums {
+			out.Sums[c].Add(p.sums[c])
+			out.Counts[c] += p.counts[c]
+			out.SqSums[c] += p.sq[c]
+		}
+		out.SSE += p.sse
+	}
+	return out, nil
+}
+
+// InertiaAgainst returns the mean squared distance of the assigned series
+// to an arbitrary per-cluster representative set reps (same indexing as
+// the assignment's clusters, nil entries skipped), keeping the partition
+// fixed. With reps = Means() this is the pre-perturbation intra-cluster
+// inertia; with perturbed means it is the paper's POST inertia "without
+// re-assignment" (Figure 2(e)/(f)). Series in clusters whose rep is nil
+// are excluded from both numerator and denominator.
+func (a *Assignment) InertiaAgainst(reps []timeseries.Series) float64 {
+	var sse float64
+	var total int64
+	for c, rep := range reps {
+		if rep == nil || c >= len(a.Counts) || a.Counts[c] == 0 {
+			continue
+		}
+		// Σ||s - r||² = Σ||s||² - 2 r·Σs + n_c ||r||²
+		var dot, norm2 float64
+		for j, v := range rep {
+			dot += v * a.Sums[c][j]
+			norm2 += v * v
+		}
+		sse += a.SqSums[c] - 2*dot + float64(a.Counts[c])*norm2
+		total += a.Counts[c]
+	}
+	if total == 0 {
+		return 0
+	}
+	return sse / float64(total)
+}
+
+// Means computes the candidate centroids ("means") from an assignment.
+// Clusters with zero members produce a nil series: the paper's "lost"
+// means, ignored de facto by subsequent iterations.
+func (a *Assignment) Means() []timeseries.Series {
+	means := make([]timeseries.Series, len(a.Sums))
+	for c, sum := range a.Sums {
+		if a.Counts[c] == 0 {
+			continue
+		}
+		m := sum.Clone()
+		m.Scale(1 / float64(a.Counts[c]))
+		means[c] = m
+	}
+	return means
+}
+
+// IntraInertia returns the intra-cluster inertia q_intra of Definition 1
+// for the assignment of d to centroids: the mean (over the t series) of
+// the squared distance to the assigned centroid.
+func IntraInertia(d *timeseries.Dataset, centroids []timeseries.Series) (float64, error) {
+	live := Compact(centroids)
+	if len(live) == 0 {
+		return 0, ErrNoCentroids
+	}
+	a, err := Assign(d, live)
+	if err != nil {
+		return 0, err
+	}
+	return a.SSE / float64(d.Len()), nil
+}
+
+// InterInertia returns the inter-cluster inertia q_inter of Definition 1:
+// the cardinality-weighted mean squared distance of each centroid to the
+// global center of mass g.
+func InterInertia(d *timeseries.Dataset, centroids []timeseries.Series) (float64, error) {
+	live := Compact(centroids)
+	if len(live) == 0 {
+		return 0, ErrNoCentroids
+	}
+	a, err := Assign(d, live)
+	if err != nil {
+		return 0, err
+	}
+	g := d.Centroid()
+	var q float64
+	for c, ctr := range live {
+		q += float64(a.Counts[c]) / float64(d.Len()) * ctr.Dist2(g)
+	}
+	return q, nil
+}
+
+// Compact drops nil (lost) centroids, preserving order.
+func Compact(centroids []timeseries.Series) []timeseries.Series {
+	out := centroids[:0:0]
+	for _, c := range centroids {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaxShift returns the largest Euclidean distance between corresponding
+// centroids of two same-length sets, skipping pairs where either side is
+// nil. It is the convergence measure of the convergence step.
+func MaxShift(old, new []timeseries.Series) float64 {
+	var max float64
+	for i := range old {
+		if i >= len(new) || old[i] == nil || new[i] == nil {
+			continue
+		}
+		if d := old[i].Dist(new[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Config parametrizes a centralized k-means run.
+type Config struct {
+	K             int                 // number of clusters (only used by seeding helpers)
+	InitCentroids []timeseries.Series // C_init; required
+	Threshold     float64             // θ convergence threshold on MaxShift
+	MaxIterations int                 // n_it^max safety bound (Section 4.2.4)
+}
+
+// IterationStats records the quality trace of one iteration, mirroring
+// what Figures 2(a)–2(d) plot.
+type IterationStats struct {
+	Iteration    int     // 1-based
+	IntraInertia float64 // pre-update inertia of the centroids used for assignment
+	Centroids    int     // number of live (non-lost) centroids used
+	Shift        float64 // MaxShift between centroids and new means
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	Centroids []timeseries.Series // final means (lost clusters removed)
+	Stats     []IterationStats
+	Converged bool
+}
+
+// Run executes centralized k-means until convergence (MaxShift <= θ) or
+// MaxIterations. It is correct in the paper's sense: it terminates and
+// outputs at least one centroid (provided the dataset is non-empty and at
+// least one initial centroid is given).
+func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("kmeans: empty dataset")
+	}
+	centroids := Compact(cfg.InitCentroids)
+	if len(centroids) == 0 {
+		return nil, ErrNoCentroids
+	}
+	maxIt := cfg.MaxIterations
+	if maxIt <= 0 {
+		maxIt = 100
+	}
+	res := &Result{}
+	for it := 1; it <= maxIt; it++ {
+		a, err := Assign(d, centroids)
+		if err != nil {
+			return nil, err
+		}
+		means := Compact(a.Means())
+		if len(means) == 0 {
+			// All clusters lost: cannot happen with non-empty data, but be safe.
+			res.Centroids = centroids
+			return res, nil
+		}
+		shift := MaxShift(centroids, means)
+		res.Stats = append(res.Stats, IterationStats{
+			Iteration:    it,
+			IntraInertia: a.SSE / float64(d.Len()),
+			Centroids:    len(centroids),
+			Shift:        shift,
+		})
+		converged := len(means) == len(centroids) && shift <= cfg.Threshold
+		centroids = means
+		if converged {
+			res.Converged = true
+			break
+		}
+	}
+	res.Centroids = centroids
+	return res, nil
+}
+
+// SeedPlusPlus chooses k initial centroids with the k-means++ heuristic
+// (distance-squared weighted sampling), reading at most sample rows. It
+// is exposed for the non-private baseline; the private protocol must use
+// data-independent seeds (see datasets.SeedCentroids).
+func SeedPlusPlus(d *timeseries.Dataset, k, sample int, pick func(n int) int, pickW func(w []float64) int) []timeseries.Series {
+	t := d.Len()
+	if sample <= 0 || sample > t {
+		sample = t
+	}
+	first := pick(sample)
+	out := []timeseries.Series{d.Row(first).Clone()}
+	w := make([]float64, sample)
+	for len(out) < k {
+		for i := 0; i < sample; i++ {
+			row := d.Row(i)
+			best := math.Inf(1)
+			for _, c := range out {
+				if d2 := row.Dist2(c); d2 < best {
+					best = d2
+				}
+			}
+			w[i] = best
+		}
+		out = append(out, d.Row(pickW(w)).Clone())
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package newscast implements the Newscast membership protocol
+// (Jelasity, Kowalczyk, van Steen), the connectivity layer the paper's
+// Chiaroscuro instance runs on (Appendix B: "The current version of
+// Chiaroscuro relies on Newscast for managing the connectivity between
+// participants").
+//
+// Every agent keeps a bounded cache of news items (peer address,
+// heartbeat timestamp). On each exchange, the initiator picks the peer
+// of a random cache item, both sides insert a fresh item about
+// themselves, merge the two caches, and keep the freshest CacheSize
+// items with distinct addresses. The emergent communication graph has
+// low diameter, high clustering resilience, and approximately uniform
+// sampling properties — the assumptions behind the gossip convergence
+// results of Theorem 3.
+//
+// This package is the faithful protocol (caches with heartbeats, proper
+// merge semantics, self-healing under crashes); internal/sim carries a
+// leaner adapter tuned for million-node latency simulations.
+package newscast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chiaroscuro/internal/randx"
+)
+
+// Item is one news entry: who, and how fresh.
+type Item struct {
+	Peer      int
+	Heartbeat int64 // logical clock of the peer's last self-insertion
+}
+
+// Agent is one Newscast participant.
+type Agent struct {
+	ID    int
+	cache []Item
+}
+
+// Network is a set of Newscast agents driven by a logical clock.
+type Network struct {
+	CacheSize int
+
+	agents map[int]*Agent
+	ids    []int
+	clock  int64
+	rng    *randx.RNG
+}
+
+// New creates a Newscast network with the given cache size (the paper
+// uses 30) and seed.
+func New(cacheSize int, seed uint64) (*Network, error) {
+	if cacheSize < 1 {
+		return nil, errors.New("newscast: cache size must be positive")
+	}
+	return &Network{
+		CacheSize: cacheSize,
+		agents:    make(map[int]*Agent),
+		rng:       randx.New(seed, 0x9EB5),
+	}, nil
+}
+
+// Join adds an agent. bootstrap is the address of any existing agent (or
+// -1 for the first one): joining requires knowing a single live peer.
+// Use JoinWithRandomView for the paper's bootstrap model (an initial
+// local view Λ of random participants handed out with the parameters).
+func (n *Network) Join(id, bootstrap int) (*Agent, error) {
+	if bootstrap < 0 {
+		return n.JoinWithView(id, nil)
+	}
+	if _, ok := n.agents[bootstrap]; !ok {
+		return nil, fmt.Errorf("newscast: bootstrap peer %d unknown", bootstrap)
+	}
+	return n.JoinWithView(id, []int{bootstrap})
+}
+
+// JoinWithView adds an agent whose initial cache holds the given peers
+// (all must exist). This is the paper's bootstrap: the initial local
+// view Λ comes from the bootstrap server along with the parameters.
+func (n *Network) JoinWithView(id int, peers []int) (*Agent, error) {
+	if _, dup := n.agents[id]; dup {
+		return nil, fmt.Errorf("newscast: duplicate agent %d", id)
+	}
+	a := &Agent{ID: id}
+	for _, p := range peers {
+		if _, ok := n.agents[p]; !ok {
+			return nil, fmt.Errorf("newscast: bootstrap peer %d unknown", p)
+		}
+		if p != id {
+			a.cache = append(a.cache, Item{Peer: p, Heartbeat: n.clock})
+		}
+	}
+	if len(a.cache) > n.CacheSize {
+		a.cache = a.cache[:n.CacheSize]
+	}
+	n.agents[id] = a
+	n.ids = append(n.ids, id)
+	return a, nil
+}
+
+// JoinWithRandomView adds an agent bootstrapped with up to CacheSize
+// random existing participants — the Table 2 setting (local view of 30
+// random addresses).
+func (n *Network) JoinWithRandomView(id int) (*Agent, error) {
+	want := n.CacheSize
+	if want > len(n.ids) {
+		want = len(n.ids)
+	}
+	peers := make([]int, 0, want)
+	seen := make(map[int]bool, want)
+	for len(peers) < want {
+		p := n.ids[n.rng.IntN(len(n.ids))]
+		if !seen[p] {
+			seen[p] = true
+			peers = append(peers, p)
+		}
+	}
+	return n.JoinWithView(id, peers)
+}
+
+// Crash removes an agent without notice. Its stale items remain in other
+// caches until fresher news crowds them out — the self-healing property
+// the tests verify.
+func (n *Network) Crash(id int) error {
+	if _, ok := n.agents[id]; !ok {
+		return fmt.Errorf("newscast: unknown agent %d", id)
+	}
+	delete(n.agents, id)
+	for i, v := range n.ids {
+		if v == id {
+			n.ids[i] = n.ids[len(n.ids)-1]
+			n.ids = n.ids[:len(n.ids)-1]
+			break
+		}
+	}
+	return nil
+}
+
+// Size returns the number of live agents.
+func (n *Network) Size() int { return len(n.agents) }
+
+// Cache returns a copy of an agent's cache.
+func (n *Network) Cache(id int) []Item {
+	a, ok := n.agents[id]
+	if !ok {
+		return nil
+	}
+	return append([]Item(nil), a.cache...)
+}
+
+// RunCycle lets every live agent (in random order) initiate one exchange
+// with a random cache peer. Exchanges with crashed peers fail silently
+// (their items simply age out). It returns the number of successful
+// exchanges.
+//
+// The heartbeat clock ticks once per cycle: coarse timestamps are
+// essential to Newscast's mixing — with a per-exchange clock, freshness
+// becomes a total order and the freshest-c selection collapses caches
+// onto the most recent local partners, fragmenting the overlay into
+// cliques.
+func (n *Network) RunCycle() int {
+	n.clock++
+	ok := 0
+	for _, idx := range n.rng.Perm(len(n.ids)) {
+		id := n.ids[idx]
+		a, alive := n.agents[id]
+		if !alive {
+			continue
+		}
+		peer := n.pickPeer(a)
+		if peer == nil {
+			continue
+		}
+		n.exchange(a, peer)
+		ok++
+	}
+	return ok
+}
+
+// pickPeer selects the agent behind a random cache item, skipping
+// crashed entries.
+func (n *Network) pickPeer(a *Agent) *Agent {
+	if len(a.cache) == 0 {
+		return nil
+	}
+	for tries := 0; tries < 8; tries++ {
+		it := a.cache[n.rng.IntN(len(a.cache))]
+		if p, alive := n.agents[it.Peer]; alive && p.ID != a.ID {
+			return p
+		}
+	}
+	return nil
+}
+
+// exchange is the Newscast merge: both agents add a fresh self item,
+// union their caches, deduplicate by peer keeping the freshest item, and
+// truncate to the CacheSize freshest entries (random tie-break among
+// equal heartbeats, so same-cycle items survive uniformly).
+func (n *Network) exchange(a, b *Agent) {
+	merged := make(map[int]int64, len(a.cache)+len(b.cache)+2)
+	add := func(it Item) {
+		if hb, ok := merged[it.Peer]; !ok || it.Heartbeat > hb {
+			merged[it.Peer] = it.Heartbeat
+		}
+	}
+	for _, it := range a.cache {
+		add(it)
+	}
+	for _, it := range b.cache {
+		add(it)
+	}
+	add(Item{Peer: a.ID, Heartbeat: n.clock})
+	add(Item{Peer: b.ID, Heartbeat: n.clock})
+	a.cache = n.rebuild(merged, a.ID)
+	b.cache = n.rebuild(merged, b.ID)
+}
+
+// rebuild extracts the freshest entries, excluding self. Ties in
+// heartbeat are broken uniformly at random (seeded), not by identifier:
+// a deterministic tie-break would systematically evict the same peers
+// and re-introduce the clique collapse.
+func (n *Network) rebuild(merged map[int]int64, self int) []Item {
+	items := make([]Item, 0, len(merged))
+	for peer, hb := range merged {
+		if peer == self {
+			continue
+		}
+		items = append(items, Item{Peer: peer, Heartbeat: hb})
+	}
+	// Canonical order first (map iteration is random), then a seeded
+	// shuffle as the tie-break, then a stable sort by freshness.
+	sort.Slice(items, func(i, j int) bool { return items[i].Peer < items[j].Peer })
+	for i := len(items) - 1; i > 0; i-- {
+		j := n.rng.IntN(i + 1)
+		items[i], items[j] = items[j], items[i]
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].Heartbeat > items[j].Heartbeat
+	})
+	if len(items) > n.CacheSize {
+		items = items[:n.CacheSize]
+	}
+	return items
+}
+
+// InDegrees returns how many caches each live agent appears in — the
+// load-balance indicator (Newscast keeps in-degrees concentrated, which
+// is what makes cache sampling approximately uniform).
+func (n *Network) InDegrees() map[int]int {
+	deg := make(map[int]int, len(n.agents))
+	for _, a := range n.agents {
+		for _, it := range a.cache {
+			if _, alive := n.agents[it.Peer]; alive {
+				deg[it.Peer]++
+			}
+		}
+	}
+	return deg
+}
+
+// StaleFraction returns the fraction of cache entries across live agents
+// that point to crashed peers.
+func (n *Network) StaleFraction() float64 {
+	total, stale := 0, 0
+	for _, a := range n.agents {
+		for _, it := range a.cache {
+			total++
+			if _, alive := n.agents[it.Peer]; !alive {
+				stale++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stale) / float64(total)
+}
+
+// Connected reports whether the overlay graph (cache edges taken as
+// undirected, the standard Newscast connectivity notion) reaches every
+// live agent from the given start — the partition check. Exchanges
+// themselves are bidirectional, so undirected edges are the operative
+// communication relation.
+func (n *Network) Connected(start int) bool {
+	if _, ok := n.agents[start]; !ok {
+		return false
+	}
+	adj := make(map[int][]int, len(n.agents))
+	for id, a := range n.agents {
+		for _, it := range a.cache {
+			if _, alive := n.agents[it.Peer]; alive {
+				adj[id] = append(adj[id], it.Peer)
+				adj[it.Peer] = append(adj[it.Peer], id)
+			}
+		}
+	}
+	seen := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, p := range adj[id] {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return len(seen) == len(n.agents)
+}

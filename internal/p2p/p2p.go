@@ -1,0 +1,340 @@
+// Package p2p is an asynchronous, goroutine-per-participant runtime for
+// the epidemic sum — the concurrency-native counterpart of the
+// deterministic cycle engine in internal/sim. There are no global
+// rounds: every participant runs its own loop, initiates push-pull
+// exchanges with random live peers on its own schedule, and may join or
+// leave at any moment (the paper's requirement that the execution "cope
+// with arbitrary connections and disconnections").
+//
+// Exchanges are atomic pairwise state merges guarded by per-node locks
+// (consistent lock ordering by id prevents deadlock); this corresponds
+// to the full push-pull exchange of Section 3.2. Departures come in two
+// flavors:
+//
+//   - Leave: the graceful protocol — the departing participant hands its
+//     (σ, ω) mass to a random live peer, so the global sum estimate is
+//     unaffected (an extension beyond the paper, which only bounds the
+//     error churn causes);
+//   - Crash: the abrupt disconnection of Section 6.1.5 — the state
+//     vanishes and the global mass is corrupted accordingly.
+package p2p
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SumNetwork hosts the asynchronous epidemic sum.
+type SumNetwork struct {
+	interval time.Duration
+
+	mu     sync.RWMutex
+	nodes  map[int]*sumNode
+	ids    []int // live ids, for O(1) random peer sampling
+	nextID int
+
+	// world serializes whole-network snapshots against exchanges:
+	// exchanges hold it for read, monitoring methods for write, so
+	// TotalMass and Spread observe an exchange-atomic state.
+	world sync.RWMutex
+
+	exchanges atomic.Int64
+	wg        sync.WaitGroup
+	stopped   atomic.Bool
+}
+
+type sumNode struct {
+	id  int
+	net *SumNetwork
+
+	mu    sync.Mutex
+	sigma float64
+	omega float64
+	gone  bool
+
+	stop chan struct{}
+}
+
+// NewSumNetwork creates an empty asynchronous network. interval is the
+// mean pause between a participant's exchange initiations (jittered
+// ±50%); tests use microseconds, a deployment would use seconds.
+func NewSumNetwork(interval time.Duration) *SumNetwork {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return &SumNetwork{
+		interval: interval,
+		nodes:    make(map[int]*sumNode),
+	}
+}
+
+// Join adds a participant holding the given local value and starts its
+// gossip loop. The first participant to join carries the epidemic weight
+// ω = 1 (Section 3.2, footnote 5). It returns the participant id.
+func (n *SumNetwork) Join(value float64) int {
+	n.mu.Lock()
+	id := n.nextID
+	n.nextID++
+	node := &sumNode{
+		id:    id,
+		net:   n,
+		sigma: value,
+		stop:  make(chan struct{}),
+	}
+	if len(n.nodes) == 0 {
+		node.omega = 1
+	}
+	n.nodes[id] = node
+	n.ids = append(n.ids, id)
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go node.loop()
+	return id
+}
+
+// Leave removes a participant gracefully: its (σ, ω) state is merged
+// into a random live peer, preserving the global mass.
+func (n *SumNetwork) Leave(id int) error {
+	node, err := n.remove(id)
+	if err != nil {
+		return err
+	}
+	// The whole hand-off happens under the world lock so snapshots never
+	// observe the mass in flight.
+	n.world.RLock()
+	defer n.world.RUnlock()
+	node.mu.Lock()
+	sigma, omega := node.sigma, node.omega
+	node.gone = true
+	node.mu.Unlock()
+	// Hand the mass to a live peer; retry if the chosen heir is itself
+	// departing concurrently (its gone flag wins the race), so mass is
+	// only lost when the whole population vanishes at once.
+	for tries := 0; tries < 64; tries++ {
+		peer := n.randomPeer(-1)
+		if peer == nil {
+			break // nobody left to inherit
+		}
+		peer.mu.Lock()
+		if !peer.gone {
+			peer.sigma += sigma
+			peer.omega += omega
+			peer.mu.Unlock()
+			return nil
+		}
+		peer.mu.Unlock()
+	}
+	return nil
+}
+
+// Crash removes a participant abruptly: its state is lost, corrupting
+// the global mass (the churn failure mode of Section 6.1.5).
+func (n *SumNetwork) Crash(id int) error {
+	node, err := n.remove(id)
+	if err != nil {
+		return err
+	}
+	node.mu.Lock()
+	node.gone = true
+	node.mu.Unlock()
+	return nil
+}
+
+func (n *SumNetwork) remove(id int) (*sumNode, error) {
+	n.mu.Lock()
+	node, ok := n.nodes[id]
+	if !ok {
+		n.mu.Unlock()
+		return nil, errors.New("p2p: unknown participant")
+	}
+	delete(n.nodes, id)
+	for i, v := range n.ids {
+		if v == id {
+			n.ids[i] = n.ids[len(n.ids)-1]
+			n.ids = n.ids[:len(n.ids)-1]
+			break
+		}
+	}
+	n.mu.Unlock()
+	close(node.stop)
+	return node, nil
+}
+
+// Size returns the number of live participants.
+func (n *SumNetwork) Size() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.nodes)
+}
+
+// Exchanges returns the total number of completed exchanges.
+func (n *SumNetwork) Exchanges() int64 { return n.exchanges.Load() }
+
+// Estimate returns participant id's current estimate σ/ω of the global
+// sum, and whether it is defined (ω > 0).
+func (n *SumNetwork) Estimate(id int) (float64, bool) {
+	n.mu.RLock()
+	node, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	if node.omega <= 0 {
+		return 0, false
+	}
+	return node.sigma / node.omega, true
+}
+
+// Spread returns the min and max defined estimates across live
+// participants, and the fraction of participants with a defined
+// estimate — the convergence monitor.
+func (n *SumNetwork) Spread() (lo, hi, definedFrac float64) {
+	n.world.Lock()
+	defer n.world.Unlock()
+	n.mu.RLock()
+	nodes := make([]*sumNode, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		nodes = append(nodes, node)
+	}
+	n.mu.RUnlock()
+	lo, hi = 0, 0
+	defined := 0
+	for _, node := range nodes {
+		node.mu.Lock()
+		sigma, omega := node.sigma, node.omega
+		node.mu.Unlock()
+		if omega <= 0 {
+			continue
+		}
+		est := sigma / omega
+		if defined == 0 || est < lo {
+			lo = est
+		}
+		if defined == 0 || est > hi {
+			hi = est
+		}
+		defined++
+	}
+	if len(nodes) == 0 {
+		return 0, 0, 0
+	}
+	return lo, hi, float64(defined) / float64(len(nodes))
+}
+
+// TotalMass returns Σσ and Σω over live participants. The snapshot is
+// exchange-atomic (no exchange can be half-observed), so it is exact up
+// to departures racing with the call.
+func (n *SumNetwork) TotalMass() (sigma, omega float64) {
+	n.world.Lock()
+	defer n.world.Unlock()
+	n.mu.RLock()
+	nodes := make([]*sumNode, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		nodes = append(nodes, node)
+	}
+	n.mu.RUnlock()
+	for _, node := range nodes {
+		node.mu.Lock()
+		sigma += node.sigma
+		omega += node.omega
+		node.mu.Unlock()
+	}
+	return sigma, omega
+}
+
+// WaitConverged blocks until every live participant's estimate is within
+// tol of every other (and all are defined), or the deadline passes. It
+// reports whether convergence was reached.
+func (n *SumNetwork) WaitConverged(tol float64, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		lo, hi, defined := n.Spread()
+		if defined == 1 && hi-lo <= tol {
+			return true
+		}
+		time.Sleep(n.interval)
+	}
+	return false
+}
+
+// Stop terminates every participant loop and waits for them to exit.
+// The network is unusable afterwards.
+func (n *SumNetwork) Stop() {
+	if n.stopped.Swap(true) {
+		return
+	}
+	n.mu.Lock()
+	for _, node := range n.nodes {
+		close(node.stop)
+	}
+	n.nodes = make(map[int]*sumNode)
+	n.ids = nil
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// randomPeer picks a live participant other than exclude (-1 for none).
+func (n *SumNetwork) randomPeer(exclude int) *sumNode {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.ids) == 0 {
+		return nil
+	}
+	for tries := 0; tries < 8; tries++ {
+		id := n.ids[rand.IntN(len(n.ids))]
+		if id != exclude {
+			return n.nodes[id]
+		}
+	}
+	return nil
+}
+
+// loop is one participant's autonomous gossip schedule.
+func (node *sumNode) loop() {
+	defer node.net.wg.Done()
+	for {
+		// Jittered pause: ±50% around the configured interval, so loops
+		// desynchronize naturally (no global rounds).
+		pause := node.net.interval/2 + time.Duration(rand.Int64N(int64(node.net.interval)))
+		select {
+		case <-node.stop:
+			return
+		case <-time.After(pause):
+		}
+		peer := node.net.randomPeer(node.id)
+		if peer == nil || peer.id == node.id {
+			continue
+		}
+		node.exchange(peer)
+	}
+}
+
+// exchange atomically merges the two states to their average (the
+// push-pull update rule). Locks are taken in id order so concurrent
+// exchanges cannot deadlock.
+func (node *sumNode) exchange(peer *sumNode) {
+	node.net.world.RLock()
+	defer node.net.world.RUnlock()
+	first, second := node, peer
+	if second.id < first.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	defer first.mu.Unlock()
+	if node.gone || peer.gone {
+		return // the peer crashed between selection and lock
+	}
+	ms := (node.sigma + peer.sigma) / 2
+	mw := (node.omega + peer.omega) / 2
+	node.sigma, node.omega = ms, mw
+	peer.sigma, peer.omega = ms, mw
+	node.net.exchanges.Add(1)
+}

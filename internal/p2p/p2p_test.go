@@ -1,0 +1,198 @@
+package p2p
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAsyncSumConverges(t *testing.T) {
+	n := NewSumNetwork(50 * time.Microsecond)
+	defer n.Stop()
+	const count = 200
+	var want float64
+	for i := 0; i < count; i++ {
+		v := float64(i % 13)
+		want += v
+		n.Join(v)
+	}
+	if !n.WaitConverged(1e-6, 10*time.Second) {
+		t.Fatal("asynchronous sum did not converge")
+	}
+	lo, hi, _ := n.Spread()
+	if math.Abs(lo-want) > 1e-3 || math.Abs(hi-want) > 1e-3 {
+		t.Errorf("estimates [%v, %v], want %v", lo, hi, want)
+	}
+	if n.Exchanges() == 0 {
+		t.Error("no exchanges happened")
+	}
+}
+
+func TestJoinMidRun(t *testing.T) {
+	n := NewSumNetwork(50 * time.Microsecond)
+	defer n.Stop()
+	var want float64
+	for i := 0; i < 50; i++ {
+		want += 2
+		n.Join(2)
+	}
+	n.WaitConverged(1e-3, 5*time.Second)
+	// Late joiners must be absorbed into the running computation.
+	for i := 0; i < 25; i++ {
+		want += 4
+		n.Join(4)
+	}
+	if !n.WaitConverged(1e-6, 10*time.Second) {
+		t.Fatal("sum did not re-converge after late joins")
+	}
+	lo, hi, _ := n.Spread()
+	if math.Abs(lo-want) > 1e-3 || math.Abs(hi-want) > 1e-3 {
+		t.Errorf("estimates [%v, %v] after joins, want %v", lo, hi, want)
+	}
+}
+
+func TestGracefulLeavePreservesMass(t *testing.T) {
+	n := NewSumNetwork(50 * time.Microsecond)
+	defer n.Stop()
+	ids := make([]int, 0, 60)
+	var want float64
+	for i := 0; i < 60; i++ {
+		v := float64(i)
+		want += v
+		ids = append(ids, n.Join(v))
+	}
+	n.WaitConverged(1e-3, 5*time.Second)
+	// A third of the population leaves gracefully: the sum estimate must
+	// still converge to the ORIGINAL total (their series were part of the
+	// computation; the hand-off preserves it).
+	for _, id := range ids[:20] {
+		if err := n.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.WaitConverged(1e-6, 10*time.Second) {
+		t.Fatal("sum did not re-converge after graceful departures")
+	}
+	// TotalMass snapshots are exchange-atomic, so conservation holds up
+	// to float summation error.
+	sigma, omega := n.TotalMass()
+	if math.Abs(sigma-want) > 1e-9*want {
+		t.Errorf("Σσ = %v after graceful leaves, want %v (mass lost)", sigma, want)
+	}
+	if math.Abs(omega-1) > 1e-9 {
+		t.Errorf("Σω = %v, want 1", omega)
+	}
+}
+
+func TestCrashCorruptsMass(t *testing.T) {
+	n := NewSumNetwork(50 * time.Microsecond)
+	defer n.Stop()
+	ids := make([]int, 0, 40)
+	for i := 0; i < 40; i++ {
+		ids = append(ids, n.Join(10))
+	}
+	n.WaitConverged(1e-3, 5*time.Second)
+	// Crash 10 nodes: each takes ~1/40 of the σ mass with it.
+	for _, id := range ids[5:15] {
+		if err := n.Crash(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sigma, _ := n.TotalMass()
+	if math.Abs(sigma-400) < 1e-6 {
+		t.Error("crashes conserved mass exactly; churn corruption not modeled")
+	}
+	if sigma < 250 || sigma > 400 {
+		t.Errorf("Σσ = %v after 25%% crashes, want roughly 300", sigma)
+	}
+}
+
+func TestUnknownParticipant(t *testing.T) {
+	n := NewSumNetwork(time.Millisecond)
+	defer n.Stop()
+	if err := n.Leave(99); err == nil {
+		t.Error("leaving an unknown id must fail")
+	}
+	if err := n.Crash(99); err == nil {
+		t.Error("crashing an unknown id must fail")
+	}
+	if _, ok := n.Estimate(99); ok {
+		t.Error("estimate of unknown id must be undefined")
+	}
+}
+
+// TestConcurrentChaos stresses joins, leaves, crashes and reads happening
+// concurrently with the gossip loops. Run with -race.
+func TestConcurrentChaos(t *testing.T) {
+	n := NewSumNetwork(20 * time.Microsecond)
+	defer n.Stop()
+	for i := 0; i < 50; i++ {
+		n.Join(1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churner: joins and removes participants at random.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var local []int
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch rand.IntN(3) {
+			case 0:
+				local = append(local, n.Join(rand.Float64()*5))
+			case 1:
+				if len(local) > 0 {
+					i := rand.IntN(len(local))
+					_ = n.Leave(local[i])
+					local = append(local[:i], local[i+1:]...)
+				}
+			case 2:
+				if len(local) > 0 {
+					i := rand.IntN(len(local))
+					_ = n.Crash(local[i])
+					local = append(local[:i], local[i+1:]...)
+				}
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	// Reader: hammers the monitoring APIs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n.Spread()
+			n.TotalMass()
+			n.Size()
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n.Size() == 0 {
+		t.Error("population died out entirely")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	n := NewSumNetwork(time.Millisecond)
+	n.Join(1)
+	n.Join(2)
+	n.Stop()
+	n.Stop() // second stop must be a no-op
+	if n.Size() != 0 {
+		t.Error("network not empty after Stop")
+	}
+}

@@ -1,0 +1,172 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(1, 1)
+	const n = 200000
+	const lambda = 3.0
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Laplace(lambda)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	want := 2 * lambda * lambda // Var(Laplace(λ)) = 2λ²
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(2, 7)
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.01, 2}, {0.5, 1}, {1, 3}, {2.5, 0.5}, {9, 2},
+	} {
+		const n = 150000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(tc.shape, tc.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v,%v) produced negative %v", tc.shape, tc.scale, x)
+			}
+			sum += x
+			sum2 += x * x
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean)/wantMean > 0.08 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ~%v", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.25 {
+			t.Errorf("Gamma(%v,%v) variance = %v, want ~%v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+// TestLaplaceDivisibility is the Lemma 1 check: the sum of nν noise-shares
+// must be distributed as Laplace(λ). We compare the first two even moments.
+func TestLaplaceDivisibility(t *testing.T) {
+	r := New(3, 3)
+	const lambda = 2.0
+	const nShares = 64
+	const trials = 30000
+	var sum2, sum4 float64
+	for i := 0; i < trials; i++ {
+		var x float64
+		for j := 0; j < nShares; j++ {
+			x += r.NoiseShare(nShares, lambda)
+		}
+		sum2 += x * x
+		sum4 += x * x * x * x
+	}
+	m2 := sum2 / trials
+	m4 := sum4 / trials
+	wantM2 := 2 * lambda * lambda                    // E[X²] = 2λ²
+	wantM4 := 24 * lambda * lambda * lambda * lambda // E[X⁴] = 24λ⁴
+	if math.Abs(m2-wantM2)/wantM2 > 0.08 {
+		t.Errorf("sum of shares: E[X²] = %v, want ~%v", m2, wantM2)
+	}
+	if math.Abs(m4-wantM4)/wantM4 > 0.35 {
+		t.Errorf("sum of shares: E[X⁴] = %v, want ~%v", m4, wantM4)
+	}
+}
+
+func TestNoiseShareSymmetry(t *testing.T) {
+	r := New(4, 4)
+	var pos, neg int
+	for i := 0; i < 100000; i++ {
+		if r.NoiseShare(100, 1) > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	ratio := float64(pos) / float64(pos+neg)
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Errorf("noise-share sign ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42, 9), New(42, 9)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Laplace(1), b.Laplace(1); av != bv {
+			t.Fatalf("same-seed RNGs diverged at step %d: %v != %v", i, av, bv)
+		}
+	}
+	c := New(42, 10)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == c.Float64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different streams look identical (%d/1000 equal draws)", same)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(5, 5)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("category ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(6, 6)
+	a := r.Split(1)
+	b := r.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("split RNGs look identical (%d/1000 equal draws)", same)
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Gamma(0, 1) should panic")
+		}
+	}()
+	New(1, 1).Gamma(0, 1)
+}
+
+func BenchmarkLaplace(b *testing.B) {
+	r := New(1, 1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Laplace(1)
+	}
+}
+
+func BenchmarkNoiseShareTinyShape(b *testing.B) {
+	r := New(1, 1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NoiseShare(1000000, 1)
+	}
+}

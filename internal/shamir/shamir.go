@@ -1,0 +1,149 @@
+// Package shamir implements Shamir secret sharing over Z_m for a
+// composite modulus m of unknown factorization, as needed by the
+// threshold Damgård–Jurik scheme (Section 3.3.1 of the paper).
+//
+// Because share indices are generally not invertible modulo a composite
+// m, reconstruction uses the standard Δ = ℓ! trick (Shoup/Fouque-
+// Poupard-Stern, also used by Damgård–Jurik): the Lagrange coefficients
+// are premultiplied by Δ so they become integers, and reconstruction
+// yields Δ·secret rather than the secret itself. Callers either divide
+// by Δ when gcd(Δ, m) = 1, or absorb Δ into a later exponentiation the
+// way threshold Paillier decryption does.
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Share is one point (x, f(x) mod m) of the sharing polynomial.
+type Share struct {
+	X int      // 1-based share index
+	Y *big.Int // f(X) mod m
+}
+
+// Split shares secret among nShares parties so that any threshold of
+// them can reconstruct it. The polynomial has degree threshold-1 with
+// uniformly random coefficients modulo m. random may be nil, in which
+// case crypto/rand is used.
+func Split(secret, m *big.Int, threshold, nShares int, random io.Reader) ([]Share, error) {
+	if threshold < 1 || nShares < threshold {
+		return nil, fmt.Errorf("shamir: invalid threshold %d of %d", threshold, nShares)
+	}
+	if m.Sign() <= 0 {
+		return nil, errors.New("shamir: modulus must be positive")
+	}
+	if secret.Sign() < 0 || secret.Cmp(m) >= 0 {
+		return nil, errors.New("shamir: secret out of range [0, m)")
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	coeffs := make([]*big.Int, threshold)
+	coeffs[0] = new(big.Int).Set(secret)
+	for i := 1; i < threshold; i++ {
+		c, err := rand.Int(random, m)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, nShares)
+	for x := 1; x <= nShares; x++ {
+		// Horner evaluation of f(x) mod m.
+		y := new(big.Int)
+		bx := big.NewInt(int64(x))
+		for i := threshold - 1; i >= 0; i-- {
+			y.Mul(y, bx)
+			y.Add(y, coeffs[i])
+			y.Mod(y, m)
+		}
+		shares[x-1] = Share{X: x, Y: y}
+	}
+	return shares, nil
+}
+
+// Delta returns Δ = nShares! as a big integer.
+func Delta(nShares int) *big.Int {
+	return new(big.Int).MulRange(1, int64(nShares))
+}
+
+// Lambda0 returns the integer Lagrange coefficient
+//
+//	μ_i = Δ · Π_{j∈xs, j≠xi} (-x_j) / (x_i - x_j)
+//
+// evaluated at 0, where Δ = nShares!. The result is always an integer
+// because Δ absorbs every denominator. xs is the set of participating
+// share indices; xi must be a member of xs.
+func Lambda0(xs []int, xi, nShares int) (*big.Int, error) {
+	num := Delta(nShares)
+	den := big.NewInt(1)
+	seen := false
+	for _, xj := range xs {
+		if xj == xi {
+			seen = true
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(-xj)))
+		den.Mul(den, big.NewInt(int64(xi-xj)))
+	}
+	if !seen {
+		return nil, fmt.Errorf("shamir: index %d not in subset", xi)
+	}
+	q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+	if r.Sign() != 0 {
+		// Cannot happen for distinct indices in [1, nShares]: Δ contains
+		// every (x_i - x_j) as a factor.
+		return nil, fmt.Errorf("shamir: non-integer Lagrange coefficient for %d", xi)
+	}
+	return q, nil
+}
+
+// ReconstructDelta combines at least `threshold` distinct shares and
+// returns Δ·secret mod m, where Δ = nShares!.
+func ReconstructDelta(shares []Share, m *big.Int, nShares int) (*big.Int, error) {
+	if len(shares) == 0 {
+		return nil, errors.New("shamir: no shares")
+	}
+	xs := make([]int, len(shares))
+	dup := make(map[int]bool, len(shares))
+	for i, s := range shares {
+		if s.X < 1 || s.X > nShares {
+			return nil, fmt.Errorf("shamir: share index %d out of range", s.X)
+		}
+		if dup[s.X] {
+			return nil, fmt.Errorf("shamir: duplicate share index %d", s.X)
+		}
+		dup[s.X] = true
+		xs[i] = s.X
+	}
+	acc := new(big.Int)
+	for _, s := range shares {
+		mu, err := Lambda0(xs, s.X, nShares)
+		if err != nil {
+			return nil, err
+		}
+		term := new(big.Int).Mul(mu, s.Y)
+		acc.Add(acc, term)
+	}
+	return acc.Mod(acc, m), nil
+}
+
+// Reconstruct combines shares and returns the secret itself. It requires
+// gcd(Δ, m) = 1 (true when m's prime factors all exceed nShares) so that
+// Δ can be inverted modulo m.
+func Reconstruct(shares []Share, m *big.Int, nShares int) (*big.Int, error) {
+	ds, err := ReconstructDelta(shares, m, nShares)
+	if err != nil {
+		return nil, err
+	}
+	inv := new(big.Int).ModInverse(Delta(nShares), m)
+	if inv == nil {
+		return nil, errors.New("shamir: Δ not invertible mod m")
+	}
+	ds.Mul(ds, inv)
+	return ds.Mod(ds, m), nil
+}

@@ -1,0 +1,211 @@
+package shamir
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitReconstruct(t *testing.T) {
+	m := big.NewInt(1000003) // prime > any Δ factor used here
+	secret := big.NewInt(123456)
+	shares, err := Split(secret, m, 3, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("got %d shares", len(shares))
+	}
+	got, err := Reconstruct(shares[:3], m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Errorf("reconstructed %v, want %v", got, secret)
+	}
+}
+
+func TestAnySubsetReconstructs(t *testing.T) {
+	m := big.NewInt(999999937)
+	secret := big.NewInt(424242)
+	const nShares, threshold = 6, 3
+	shares, err := Split(secret, m, threshold, nShares, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 3-subset of 6 shares must reconstruct.
+	for a := 0; a < nShares; a++ {
+		for b := a + 1; b < nShares; b++ {
+			for c := b + 1; c < nShares; c++ {
+				sub := []Share{shares[a], shares[b], shares[c]}
+				got, err := Reconstruct(sub, m, nShares)
+				if err != nil {
+					t.Fatalf("subset (%d,%d,%d): %v", a, b, c, err)
+				}
+				if got.Cmp(secret) != 0 {
+					t.Errorf("subset (%d,%d,%d) reconstructed %v", a, b, c, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreThanThresholdWorks(t *testing.T) {
+	m := big.NewInt(1000003)
+	secret := big.NewInt(7)
+	shares, err := Split(secret, m, 2, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(shares, m, 5) // all 5 > threshold 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Errorf("reconstructed %v, want %v", got, secret)
+	}
+}
+
+func TestBelowThresholdGarbage(t *testing.T) {
+	// One share of a 3-threshold sharing carries no information: a single
+	// share reconstructs to the share value itself (degenerate Lagrange),
+	// which should essentially never equal the secret.
+	m := big.NewInt(1000003)
+	secret := big.NewInt(31337)
+	mismatches := 0
+	for trial := 0; trial < 10; trial++ {
+		shares, err := Split(secret, m, 3, 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Reconstruct(shares[:1], m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(secret) != 0 {
+			mismatches++
+		}
+	}
+	if mismatches == 0 {
+		t.Error("single share reconstructed the secret every time; sharing is leaking")
+	}
+}
+
+func TestReconstructDeltaCompositeModulus(t *testing.T) {
+	// The crypto use-case: composite m with unknown factorization, Δ kept
+	// on the reconstruction side. Δ·secret mod m must match.
+	m := new(big.Int).Mul(big.NewInt(1000003), big.NewInt(999999937))
+	secret := big.NewInt(987654321)
+	const nShares, threshold = 8, 4
+	shares, err := Split(secret, m, threshold, nShares, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReconstructDelta(shares[2:6], m, nShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mul(Delta(nShares), secret)
+	want.Mod(want, m)
+	if ds.Cmp(want) != 0 {
+		t.Errorf("Δ·secret = %v, want %v", ds, want)
+	}
+}
+
+func TestLambdaSumsToDeltaQuick(t *testing.T) {
+	// Fundamental identity: Σ_i μ_i = Δ when interpolating the constant
+	// polynomial f ≡ 1 (all shares equal 1).
+	f := func(pick uint8) bool {
+		const nShares = 7
+		xs := []int{}
+		for b := 0; b < nShares; b++ {
+			if pick&(1<<b) != 0 {
+				xs = append(xs, b+1)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sum := new(big.Int)
+		for _, xi := range xs {
+			mu, err := Lambda0(xs, xi, nShares)
+			if err != nil {
+				return false
+			}
+			sum.Add(sum, mu)
+		}
+		return sum.Cmp(Delta(nShares)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if Delta(5).Cmp(big.NewInt(120)) != 0 {
+		t.Errorf("Delta(5) = %v, want 120", Delta(5))
+	}
+	if Delta(1).Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("Delta(1) = %v, want 1", Delta(1))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := big.NewInt(101)
+	if _, err := Split(big.NewInt(1), m, 0, 5, nil); err == nil {
+		t.Error("threshold 0 should fail")
+	}
+	if _, err := Split(big.NewInt(1), m, 6, 5, nil); err == nil {
+		t.Error("threshold > nShares should fail")
+	}
+	if _, err := Split(big.NewInt(200), m, 2, 3, nil); err == nil {
+		t.Error("secret >= m should fail")
+	}
+	if _, err := Split(big.NewInt(1), big.NewInt(0), 1, 1, nil); err == nil {
+		t.Error("zero modulus should fail")
+	}
+	shares, _ := Split(big.NewInt(5), m, 2, 3, nil)
+	if _, err := ReconstructDelta(nil, m, 3); err == nil {
+		t.Error("no shares should fail")
+	}
+	dupes := []Share{shares[0], shares[0]}
+	if _, err := ReconstructDelta(dupes, m, 3); err == nil {
+		t.Error("duplicate shares should fail")
+	}
+	bad := []Share{{X: 9, Y: big.NewInt(1)}}
+	if _, err := ReconstructDelta(bad, m, 3); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := Lambda0([]int{1, 2}, 3, 5); err == nil {
+		t.Error("xi not in subset should fail")
+	}
+}
+
+func TestDeterministicWithReader(t *testing.T) {
+	// Split with an explicit zero reader must be deterministic.
+	m := big.NewInt(1000003)
+	secret := big.NewInt(55)
+	zr := zeroReader{}
+	a, err := Split(secret, m, 3, 4, zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(secret, m, 3, 4, zeroReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Y.Cmp(b[i].Y) != 0 {
+			t.Fatal("deterministic reader produced differing shares")
+		}
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/randx"
+)
+
+func TestEngineBasics(t *testing.T) {
+	e, err := New(Config{N: 100, Seed: 1, MessageBytes: 10}, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchanges := e.RunCycle(func(a, b NodeID, full bool) {
+		if a == b {
+			t.Error("self exchange")
+		}
+		if !full {
+			t.Error("mid-failure without churn")
+		}
+	})
+	if exchanges != 100 {
+		t.Errorf("exchanges = %d, want 100 (no churn)", exchanges)
+	}
+	if e.Cycle() != 1 {
+		t.Errorf("cycle = %d", e.Cycle())
+	}
+	// Each exchange counts one message per side: total = 2 * exchanges.
+	if got := e.AvgMessages(); got != 2 {
+		t.Errorf("avg messages = %v, want 2", got)
+	}
+	if got := e.AvgBytes(); got != 20 {
+		t.Errorf("avg bytes = %v, want 20", got)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := New(Config{N: 1, Seed: 1}, &UniformSampler{}); err == nil {
+		t.Error("N=1 must fail")
+	}
+	if _, err := New(Config{N: 10, Seed: 1, Churn: 1}, &UniformSampler{}); err == nil {
+		t.Error("churn=1 must fail")
+	}
+}
+
+func TestChurnReducesExchanges(t *testing.T) {
+	e, err := New(Config{N: 2000, Seed: 2, Churn: 0.5}, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < 10; c++ {
+		total += e.RunCycle(func(a, b NodeID, full bool) {
+			if !e.Alive(a) || !e.Alive(b) {
+				t.Error("exchange involving disconnected node")
+			}
+		})
+	}
+	// ~50% of nodes initiate each cycle.
+	if total < 7000 || total > 13000 {
+		t.Errorf("exchanges over 10 cycles = %d, want ~10000", total)
+	}
+}
+
+func TestMidFailureMode(t *testing.T) {
+	// With MidFailureWindow = 1 every churn event inside an exchange
+	// corrupts it, so the half-exchange ratio equals the churn rate.
+	e, err := New(Config{
+		N: 1000, Seed: 3, Churn: 0.3, MidFailure: true, MidFailureWindow: 1,
+	}, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullCnt, halfCnt int
+	e.RunCycles(5, func(a, b NodeID, full bool) {
+		if full {
+			fullCnt++
+		} else {
+			halfCnt++
+		}
+	})
+	if halfCnt == 0 {
+		t.Error("no half-completed exchanges despite MidFailure")
+	}
+	ratio := float64(halfCnt) / float64(fullCnt+halfCnt)
+	if ratio < 0.2 || ratio > 0.4 {
+		t.Errorf("half-exchange ratio %v, want ~0.3", ratio)
+	}
+	// Default window (0.05) makes corruption rare.
+	e2, err := New(Config{N: 1000, Seed: 3, Churn: 0.3, MidFailure: true}, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfCnt = 0
+	e2.RunCycles(5, func(a, b NodeID, full bool) {
+		if !full {
+			halfCnt++
+		}
+	})
+	if ratio2 := float64(halfCnt) / float64(5*1000); ratio2 > 0.05 {
+		t.Errorf("default-window half-exchange rate %v, want ~0.015", ratio2)
+	}
+}
+
+func TestUniformSamplerAvoidsSelfAndDead(t *testing.T) {
+	u := &UniformSampler{}
+	rng := randx.New(4, 4)
+	u.Init(10, rng)
+	alive := make([]bool, 10)
+	alive[3] = true
+	alive[7] = true
+	for i := 0; i < 100; i++ {
+		p, ok := u.Pick(3, alive, rng)
+		if !ok {
+			t.Fatal("no peer found")
+		}
+		if p != 7 {
+			t.Fatalf("picked %d, only 7 is a valid peer", p)
+		}
+	}
+	// No live peer at all.
+	alive[7] = false
+	if _, ok := u.Pick(3, alive, rng); ok {
+		t.Error("picked a peer when none is alive")
+	}
+}
+
+func TestNewscastViewProperties(t *testing.T) {
+	ns := &NewscastSampler{ViewSize: 5}
+	e, err := New(Config{N: 200, Seed: 5}, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(20, func(a, b NodeID, full bool) {})
+	for node := 0; node < 200; node++ {
+		v := ns.View(node)
+		if len(v) == 0 || len(v) > 5 {
+			t.Fatalf("node %d view size %d", node, len(v))
+		}
+		seen := map[int32]bool{}
+		for _, p := range v {
+			if p == int32(node) {
+				t.Fatalf("node %d has itself in view", node)
+			}
+			if seen[p] {
+				t.Fatalf("node %d has duplicate view entry %d", node, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestNewscastKeepsNetworkMixed(t *testing.T) {
+	// After some cycles, exchange partners should cover a large part of
+	// the network (views keep being refreshed), not collapse to a clique.
+	ns := &NewscastSampler{ViewSize: 8}
+	e, err := New(Config{N: 300, Seed: 6}, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partners := make(map[[2]int]bool)
+	e.RunCycles(30, func(a, b NodeID, full bool) {
+		if a > b {
+			a, b = b, a
+		}
+		partners[[2]int{a, b}] = true
+	})
+	if len(partners) < 1500 {
+		t.Errorf("only %d distinct pairs after 30 cycles; network not mixing", len(partners))
+	}
+}
+
+func TestSmallPopulationNewscast(t *testing.T) {
+	// ViewSize larger than the population must not break.
+	ns := &NewscastSampler{ViewSize: 30}
+	e, err := New(Config{N: 4, Seed: 7}, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := 0
+	e.RunCycles(10, func(a, b NodeID, full bool) { ex++ })
+	if ex != 40 {
+		t.Errorf("exchanges = %d, want 40", ex)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e, _ := New(Config{N: 50, Seed: 42, Churn: 0.2}, &UniformSampler{})
+		e.RunCycles(10, func(a, b NodeID, full bool) {})
+		out := make([]int64, 50)
+		copy(out, e.Messages())
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverged at node %d", i)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package transport runs the epidemic sum over real TCP connections —
+// the deployment-shaped vertical slice of the gossip substrate. Each
+// participant owns a listener on the loopback interface, keeps an
+// address book of peers (its local view Λ), and initiates push-pull
+// exchanges as JSON-framed request/response round trips.
+//
+// The exchange is the same atomic averaging the simulators use: the
+// responder merges the initiator's state with its own, adopts the
+// result, and replies with it; the initiator adopts the reply. A reply
+// lost to a timeout reproduces exactly the half-completed exchange the
+// churn model of Section 6.1.5 describes.
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// wire is the JSON frame of one exchange leg.
+type wire struct {
+	Sigma float64 `json:"sigma"`
+	Omega float64 `json:"omega"`
+}
+
+// Node is one TCP gossip participant.
+type Node struct {
+	ln    net.Listener
+	addr  string
+	peers []string
+
+	mu    sync.Mutex
+	sigma float64
+	omega float64
+
+	interval  time.Duration
+	timeout   time.Duration
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	exchanges atomic.Int64
+	closed    atomic.Bool
+}
+
+// NewNode starts a listener on 127.0.0.1 (ephemeral port) holding the
+// given local value. interval is the pause between initiated exchanges.
+func NewNode(value float64, weight bool, interval time.Duration) (*Node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	n := &Node{
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		sigma:    value,
+		interval: interval,
+		timeout:  2 * time.Second,
+		stop:     make(chan struct{}),
+	}
+	if weight {
+		n.omega = 1
+	}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.addr }
+
+// SetPeers installs the local view (addresses of other nodes).
+func (n *Node) SetPeers(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append([]string(nil), addrs...)
+}
+
+// Start launches the gossip loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.loop()
+}
+
+// Estimate returns the node's current estimate σ/ω, if defined.
+func (n *Node) Estimate() (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.omega <= 0 {
+		return 0, false
+	}
+	return n.sigma / n.omega, true
+}
+
+// Exchanges returns how many exchanges this node completed (both roles).
+func (n *Node) Exchanges() int64 { return n.exchanges.Load() }
+
+// Close stops the loops and the listener.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	close(n.stop)
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+// serve accepts exchange requests: read one frame, merge, adopt, reply.
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func(conn net.Conn) {
+			defer n.wg.Done()
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(n.timeout))
+			var req wire
+			if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+				return
+			}
+			merged := n.merge(req)
+			enc, _ := json.Marshal(merged)
+			_, _ = conn.Write(append(enc, '\n'))
+		}(conn)
+	}
+}
+
+// merge applies the push-pull update under the node lock and returns
+// the merged state.
+func (n *Node) merge(req wire) wire {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ms := (n.sigma + req.Sigma) / 2
+	mw := (n.omega + req.Omega) / 2
+	n.sigma, n.omega = ms, mw
+	n.exchanges.Add(1)
+	return wire{Sigma: ms, Omega: mw}
+}
+
+// loop initiates exchanges with random peers.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(n.interval/2 + time.Duration(rand.Int64N(int64(n.interval)))):
+		}
+		n.mu.Lock()
+		if len(n.peers) == 0 {
+			n.mu.Unlock()
+			continue
+		}
+		peer := n.peers[rand.IntN(len(n.peers))]
+		mine := wire{Sigma: n.sigma, Omega: n.omega}
+		n.mu.Unlock()
+
+		merged, err := n.call(peer, mine)
+		if err != nil {
+			// Nothing was given away; if the responder merged before the
+			// reply was lost, the global mass is corrupted — exactly the
+			// mid-exchange churn hazard of Section 6.1.5, rare on a
+			// loopback with generous timeouts.
+			continue
+		}
+		n.mu.Lock()
+		// Concurrent exchanges may have changed our state since `mine`
+		// was snapshotted; reconcile by keeping the difference so the
+		// pairwise average stays mass-preserving:
+		//   new = merged + (current - mine).
+		n.sigma = merged.Sigma + (n.sigma - mine.Sigma)
+		n.omega = merged.Omega + (n.omega - mine.Omega)
+		n.exchanges.Add(1)
+		n.mu.Unlock()
+	}
+}
+
+// call performs one TCP round trip.
+func (n *Node) call(addr string, req wire) (wire, error) {
+	conn, err := net.DialTimeout("tcp", addr, n.timeout)
+	if err != nil {
+		return wire{}, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.timeout))
+	enc, _ := json.Marshal(req)
+	if _, err := conn.Write(append(enc, '\n')); err != nil {
+		return wire{}, err
+	}
+	var resp wire
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return wire{}, err
+	}
+	return resp, nil
+}
+
+// Cluster is a convenience harness: spin up n nodes on loopback, fully
+// meshed, node 0 carrying the weight.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// NewCluster builds and starts a loopback cluster over the given values.
+func NewCluster(values []float64, interval time.Duration) (*Cluster, error) {
+	if len(values) < 2 {
+		return nil, errors.New("transport: need at least 2 nodes")
+	}
+	c := &Cluster{}
+	for i, v := range values {
+		node, err := NewNode(v, i == 0, interval)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	addrs := make([]string, len(c.Nodes))
+	for i, node := range c.Nodes {
+		addrs[i] = node.Addr()
+	}
+	for i, node := range c.Nodes {
+		peers := make([]string, 0, len(addrs)-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		node.SetPeers(peers)
+		node.Start()
+	}
+	return c, nil
+}
+
+// Spread returns the min/max defined estimates and the defined fraction.
+func (c *Cluster) Spread() (lo, hi, defined float64) {
+	nDef := 0
+	for _, node := range c.Nodes {
+		est, ok := node.Estimate()
+		if !ok {
+			continue
+		}
+		if nDef == 0 || est < lo {
+			lo = est
+		}
+		if nDef == 0 || est > hi {
+			hi = est
+		}
+		nDef++
+	}
+	return lo, hi, float64(nDef) / float64(len(c.Nodes))
+}
+
+// WaitConverged polls until all estimates agree within tol or the
+// deadline passes.
+func (c *Cluster) WaitConverged(tol float64, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		lo, hi, def := c.Spread()
+		if def == 1 && hi-lo <= tol {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, node := range c.Nodes {
+		if node != nil {
+			_ = node.Close()
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// loopbackAvailable reports whether the sandbox allows TCP listeners.
+func loopbackAvailable() bool {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return false
+	}
+	ln.Close()
+	return true
+}
+
+func TestTCPSumConverges(t *testing.T) {
+	if !loopbackAvailable() {
+		t.Skip("no loopback TCP in this environment")
+	}
+	values := make([]float64, 12)
+	var want float64
+	for i := range values {
+		values[i] = float64(i + 1)
+		want += values[i]
+	}
+	c, err := NewCluster(values, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.WaitConverged(1e-6, 20*time.Second) {
+		lo, hi, def := c.Spread()
+		t.Fatalf("no convergence over TCP: spread [%v, %v], defined %v", lo, hi, def)
+	}
+	lo, hi, _ := c.Spread()
+	if math.Abs(lo-want) > 1e-3 || math.Abs(hi-want) > 1e-3 {
+		t.Errorf("estimates [%v, %v], want %v", lo, hi, want)
+	}
+	var total int64
+	for _, n := range c.Nodes {
+		total += n.Exchanges()
+	}
+	if total == 0 {
+		t.Error("no exchanges over the wire")
+	}
+}
+
+func TestNodeLifecycle(t *testing.T) {
+	if !loopbackAvailable() {
+		t.Skip("no loopback TCP in this environment")
+	}
+	n, err := NewNode(5, true, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Addr() == "" {
+		t.Error("no listen address")
+	}
+	if est, ok := n.Estimate(); !ok || est != 5 {
+		t.Errorf("initial estimate %v/%v", est, ok)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestWeightlessEstimateUndefined(t *testing.T) {
+	if !loopbackAvailable() {
+		t.Skip("no loopback TCP in this environment")
+	}
+	n, err := NewNode(5, false, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, ok := n.Estimate(); ok {
+		t.Error("weightless node must have undefined estimate")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster([]float64{1}, time.Millisecond); err == nil {
+		t.Error("single-node cluster must fail")
+	}
+}
+
+func TestSurvivesDeadPeer(t *testing.T) {
+	if !loopbackAvailable() {
+		t.Skip("no loopback TCP in this environment")
+	}
+	c, err := NewCluster([]float64{1, 2, 3, 4, 5, 6}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.WaitConverged(1e-3, 10*time.Second)
+	// Kill one node abruptly; the others must keep converging among
+	// themselves (its address stays in their views — dials just fail).
+	_ = c.Nodes[3].Close()
+	time.Sleep(50 * time.Millisecond)
+	lo, hi, def := c.Spread()
+	if def < 0.8 {
+		t.Errorf("defined fraction %v after one crash", def)
+	}
+	if hi-lo > 1 {
+		t.Errorf("survivors diverged: [%v, %v]", lo, hi)
+	}
+}

@@ -1,0 +1,111 @@
+package chiaroscuro
+
+import (
+	"errors"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/sim"
+)
+
+// Scheme is the additively-homomorphic threshold encryption the
+// distributed protocol runs on.
+type Scheme = homenc.Scheme
+
+// NewDamgardJurik generates a fresh threshold Damgård–Jurik scheme:
+// keyBits RSA modulus (the paper uses 1024), degree s (plaintexts mod
+// n^s), nShares key-shares with decryption threshold tau. Key generation
+// searches for safe primes and is slow beyond 512-bit keys; see
+// NewTestScheme for instant deterministic setups.
+func NewDamgardJurik(keyBits, s, nShares, tau int) (Scheme, error) {
+	return damgardjurik.GenerateKey(nil, keyBits, s, nShares, tau)
+}
+
+// NewTestScheme builds a threshold Damgård–Jurik scheme from precomputed
+// safe primes (instant, deterministic — and therefore offering NO
+// security; the factorizations ship in the source). keyBits must be 128,
+// 256, 512 or 1024.
+func NewTestScheme(keyBits, s, nShares, tau int) (Scheme, error) {
+	return damgardjurik.NewTestScheme(keyBits, s, nShares, tau)
+}
+
+// NewSimulationScheme returns the structure-preserving no-crypto scheme
+// used to scale protocol simulations to large populations (the paper's
+// latency experiments measure messages, not cipher cycles). ctBytes is
+// the pretend ciphertext wire size (256 mimics a 1024-bit key at s=1).
+func NewSimulationScheme(ctBytes, nShares, tau int) (Scheme, error) {
+	return plain.New(nil, ctBytes, nShares, tau)
+}
+
+// NetworkOptions parametrizes a distributed protocol run. Zero values
+// take the paper's defaults where one exists.
+type NetworkOptions struct {
+	K             int      // number of clusters (paper: 50)
+	InitCentroids []Series // data-independent seeds; required
+	DMin, DMax    float64  // per-measure range (sensitivity calibration)
+
+	Epsilon float64 // total privacy budget (paper: ln 2)
+	Budget  Budget  // concentration strategy (default GREEDY)
+
+	MaxIterations int     // n_it^max (default 10)
+	Threshold     float64 // θ (0 = run all iterations)
+	Smooth        bool    // SMA smoothing of perturbed means
+
+	NoiseShares int // nν lower bound (default: population size)
+	Exchanges   int // gossip cycles per sum phase (default: Theorem 3)
+
+	Churn      float64 // per-cycle disconnection probability
+	MidFailure bool    // corrupt in-flight exchanges under churn
+	Newscast   bool    // bounded Newscast views (size 30) instead of uniform sampling
+
+	FracBits uint   // fixed-point fractional bits (default 30)
+	Seed     uint64 // reproducibility
+
+	// TraceQuality additionally records per-iteration inertia metrics
+	// (omniscient; for evaluation only).
+	TraceQuality bool
+}
+
+// NetworkTrace re-exports the per-iteration protocol trace.
+type NetworkTrace = core.IterationTrace
+
+// NetworkResult re-exports the distributed run outcome.
+type NetworkResult = core.Result
+
+// Run executes the complete Chiaroscuro protocol over a simulated
+// population: one participant per series of d, each holding one
+// key-share of scheme. The scheme must have at least d.Len() shares.
+func Run(d *Dataset, scheme Scheme, opts NetworkOptions) (*NetworkResult, error) {
+	if scheme == nil {
+		return nil, errors.New("chiaroscuro: nil scheme")
+	}
+	var sampler sim.Sampler
+	if opts.Newscast {
+		sampler = &sim.NewscastSampler{ViewSize: 30}
+	}
+	nw, err := core.NewNetwork(d, scheme, core.Config{
+		K:             opts.K,
+		InitCentroids: opts.InitCentroids,
+		DMin:          opts.DMin,
+		DMax:          opts.DMax,
+		Epsilon:       opts.Epsilon,
+		Budget:        opts.Budget,
+		MaxIterations: opts.MaxIterations,
+		Threshold:     opts.Threshold,
+		Smooth:        opts.Smooth,
+		NoiseShares:   opts.NoiseShares,
+		Exchanges:     opts.Exchanges,
+		Churn:         opts.Churn,
+		MidFailure:    opts.MidFailure,
+		FracBits:      opts.FracBits,
+		Seed:          opts.Seed,
+		Sampler:       sampler,
+		TraceQuality:  opts.TraceQuality,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nw.Run()
+}
