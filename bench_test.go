@@ -10,6 +10,7 @@ package chiaroscuro
 import (
 	"math"
 	"math/big"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -199,9 +200,11 @@ func BenchmarkAblationSmoothingOn(b *testing.B)  { ablationRun(b, true, 1) }
 func BenchmarkAblationSmoothingOff(b *testing.B) { ablationRun(b, false, 1) }
 
 // A huge slack effectively disables the aberrant filter: noisy means
-// survive and drag the next iteration's partition.
-func BenchmarkAblationAberrantFilterOn(b *testing.B)  { ablationRun(b, true, 1) }
-func BenchmarkAblationAberrantFilterOff(b *testing.B) { ablationRun(b, true, 1e9) }
+// survive and drag the next iteration's partition. Smoothing is off in
+// both arms so the pair isolates the filter's effect (the smoothing
+// ablation above isolates smoothing at the default slack).
+func BenchmarkAblationAberrantFilterOn(b *testing.B)  { ablationRun(b, false, 1) }
+func BenchmarkAblationAberrantFilterOff(b *testing.B) { ablationRun(b, false, 1e9) }
 
 // --- End-to-end protocol benchmarks.
 
@@ -265,6 +268,58 @@ func BenchmarkGossipSumCycle100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RunCycle(s.Exchange)
+	}
+}
+
+// BenchmarkGossipSumCycle100kParallel runs the same substrate cycle
+// through the parallel engine (conflict-free batches on one worker per
+// CPU) — the multicore counterpart of BenchmarkGossipSumCycle100k.
+func BenchmarkGossipSumCycle100kParallel(b *testing.B) {
+	const n = 100_000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	s := gossip.NewSum(vals, 0)
+	e, err := sim.New(sim.Config{N: n, Seed: 1, Workers: runtime.NumCPU()}, &sim.UniformSampler{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunCycleOn(s)
+	}
+}
+
+// BenchmarkEESumCycleRealCrypto measures one parallel EESum cycle over
+// real Damgård–Jurik ciphertext vectors — the encrypted-substrate cost
+// the end-to-end runs are built from.
+func BenchmarkEESumCycleRealCrypto(b *testing.B) {
+	const n, dim = 16, 25
+	sch, err := damgardjurik.NewTestScheme(128, 4, n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec := homenc.NewCodec(24)
+	initial := make([][]*big.Int, n)
+	for i := range initial {
+		vec := make([]*big.Int, dim)
+		for j := range vec {
+			vec[j] = codec.Encode(float64(i + j))
+		}
+		initial[i] = vec
+	}
+	s, err := eesum.NewSum(sch, initial, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{N: n, Seed: 1}, &sim.UniformSampler{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunCycleOn(s)
 	}
 }
 

@@ -1,0 +1,3 @@
+module chiaroscuro
+
+go 1.22

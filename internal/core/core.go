@@ -38,6 +38,7 @@ import (
 	"chiaroscuro/internal/eesum"
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/parallel"
 	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/sim"
 	"chiaroscuro/internal/timeseries"
@@ -83,6 +84,12 @@ type Config struct {
 
 	Churn      float64 // per-cycle disconnection probability
 	MidFailure bool    // corrupt in-flight exchanges under churn
+
+	// Workers bounds the worker pool used for encryption fan-outs,
+	// per-dimension homomorphic loops, partial-decryption sweeps and
+	// the parallel simulation cycles (0 = process-wide default, 1 =
+	// fully serial). Results are identical per seed for any value.
+	Workers int
 
 	Sampler sim.Sampler // peer sampling (default uniform)
 
@@ -187,6 +194,9 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 	if cfg.RangeSlack == 0 {
 		cfg.RangeSlack = 1
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = parallel.Workers()
+	}
 	sampler := cfg.Sampler
 	if sampler == nil {
 		sampler = &sim.UniformSampler{}
@@ -197,6 +207,7 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 		Churn:        cfg.Churn,
 		MidFailure:   cfg.MidFailure,
 		MessageBytes: sch.CiphertextBytes() * (cfg.K*(data.Dim()+1) + 1),
+		Workers:      cfg.Workers,
 	}, sampler)
 	if err != nil {
 		return nil, err
@@ -227,6 +238,25 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 		}
 	}
 	return nw, nil
+}
+
+// lockstep runs the encrypted means sum and the noise generation on the
+// same gossip exchanges (Algorithm 3 runs them "in background" in
+// parallel). Both legs only touch the two exchanging nodes' state, so
+// the pair inherits their concurrency safety and the engine's parallel
+// cycle mode applies.
+type lockstep struct {
+	means *eesum.Sum
+	noise *eesum.NoiseGen
+}
+
+func (l lockstep) Exchange(a, b sim.NodeID, full bool) {
+	l.means.Exchange(a, b, full)
+	l.noise.Exchange(a, b, full)
+}
+
+func (l lockstep) ConcurrentExchangeSafe() bool {
+	return l.means.ConcurrentExchangeSafe() && l.noise.ConcurrentExchangeSafe()
 }
 
 // sumAbsBound upper-bounds the absolute encoded value any EESum slot can
@@ -323,7 +353,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 		vec[base+n] = oneEnc
 		initial[i] = vec
 	}
-	meansSum, err := eesum.NewSum(nw.sch, initial, 0)
+	meansSum, err := eesum.NewSumWorkers(nw.sch, initial, 0, nw.cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -351,6 +381,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	noise, err := eesum.NewNoiseGen(nw.sch, nw.codec, eesum.NoiseConfig{
 		Lambdas: lambdas,
 		NShares: nw.cfg.NoiseShares,
+		Workers: nw.cfg.Workers,
 	}, nw.np, nw.rng)
 	if err != nil {
 		return nil, nil, err
@@ -358,10 +389,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 
 	// --- Algorithm 3 (a)+(b): means and noise sums run in lockstep on
 	// the same gossip exchanges, the counter piggybacking.
-	nw.engine.RunCycles(nw.cfg.Exchanges, func(a, b sim.NodeID, full bool) {
-		means.Exchange(a, b, full)
-		noise.Exchange(a, b, full)
-	})
+	nw.engine.RunCyclesOn(nw.cfg.Exchanges, lockstep{means, noise})
 	trace.SumCycles = nw.cfg.Exchanges
 
 	// Noise correction: propose, disseminate (min identifier), apply.
@@ -391,6 +419,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	if err != nil {
 		return nil, nil, err
 	}
+	dec.SetWorkers(nw.cfg.Workers)
 	trace.DecryptCycles = dec.RunUntilDone(nw.engine, 64*nw.cfg.Exchanges)
 	if !dec.AllDone() {
 		return nil, nil, errors.New("core: epidemic decryption did not complete")

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/parallel"
 	"chiaroscuro/internal/sim"
 )
 
@@ -31,6 +34,8 @@ type DecState struct {
 type Decryption struct {
 	sch       homenc.Scheme
 	threshold int
+	dim       int
+	workers   int
 
 	ownIdx []int
 	states []DecState
@@ -63,6 +68,8 @@ func NewDecryption(sch homenc.Scheme, states []DecState, shareIdx []int) (*Decry
 	d := &Decryption{
 		sch:       sch,
 		threshold: sch.Threshold(),
+		dim:       dim,
+		workers:   parallel.Workers(),
 		ownIdx:    append([]int(nil), shareIdx...),
 		states:    append([]DecState(nil), states...),
 		parts:     make([]map[int][]homenc.PartialDecryption, len(states)),
@@ -72,6 +79,31 @@ func NewDecryption(sch homenc.Scheme, states []DecState, shareIdx []int) (*Decry
 	}
 	return d, nil
 }
+
+// SetWorkers overrides the worker count for the per-element partial-
+// decryption and combination sweeps (values below 1 force serial). It
+// returns d for chaining and must not be called mid-protocol.
+func (d *Decryption) SetWorkers(workers int) *Decryption {
+	if workers < 1 {
+		workers = 1
+	}
+	d.workers = workers
+	return d
+}
+
+// dimWorkers gates the per-element fan-out the same way Sum does.
+func (d *Decryption) dimWorkers() int {
+	if d.dim < minParallelDim {
+		return 1
+	}
+	return d.workers
+}
+
+// ConcurrentExchangeSafe marks Decryption for the simulation engine's
+// parallel cycle mode: Exchange reads and writes only the state and
+// partial sets of its two nodes (adopted slices are immutable), so
+// exchanges over disjoint node pairs may run concurrently.
+func (d *Decryption) ConcurrentExchangeSafe() bool { return true }
 
 // apply computes the key-share of node from over node to's current
 // ciphertexts and stores it in to's set (at most once per share,
@@ -84,13 +116,19 @@ func (d *Decryption) apply(to, from sim.NodeID) {
 	if _, dup := d.parts[to][idx]; dup {
 		return
 	}
-	ps := make([]homenc.PartialDecryption, len(d.states[to].CTs))
-	for j, c := range d.states[to].CTs {
-		p, err := d.sch.PartialDecrypt(idx, c)
+	cts := d.states[to].CTs
+	ps := make([]homenc.PartialDecryption, len(cts))
+	var failed atomic.Bool
+	parallel.ForEach(d.dimWorkers(), len(cts), func(j int) {
+		p, err := d.sch.PartialDecrypt(idx, cts[j])
 		if err != nil {
-			return // invalid share index; already validated, cannot happen
+			failed.Store(true) // validated at construction, cannot happen
+			return
 		}
 		ps[j] = p
+	})
+	if failed.Load() {
+		return
 	}
 	d.parts[to][idx] = ps
 }
@@ -148,7 +186,7 @@ func (d *Decryption) RunUntilDone(e *sim.Engine, maxCycles int) int {
 		if d.AllDone() {
 			return c
 		}
-		e.RunCycle(d.Exchange)
+		e.RunCycleOn(d)
 	}
 	return maxCycles
 }
@@ -159,8 +197,11 @@ func (d *Decryption) Plaintexts(i sim.NodeID) ([]*big.Int, error) {
 	if !d.Done(i) {
 		return nil, errors.New("eesum: decryption incomplete")
 	}
-	out := make([]*big.Int, len(d.states[i].CTs))
-	for j, c := range d.states[i].CTs {
+	cts := d.states[i].CTs
+	out := make([]*big.Int, len(cts))
+	var mu sync.Mutex
+	var firstErr error
+	parallel.ForEach(d.dimWorkers(), len(cts), func(j int) {
 		parts := make([]homenc.PartialDecryption, 0, d.threshold)
 		for _, ps := range d.parts[i] {
 			parts = append(parts, ps[j])
@@ -168,11 +209,19 @@ func (d *Decryption) Plaintexts(i sim.NodeID) ([]*big.Int, error) {
 				break
 			}
 		}
-		m, err := d.sch.Combine(c, parts)
+		m, err := d.sch.Combine(cts[j], parts)
 		if err != nil {
-			return nil, err
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
 		}
 		out[j] = m
+	})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -22,8 +22,14 @@ import (
 	"math/big"
 
 	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/parallel"
 	"chiaroscuro/internal/sim"
 )
+
+// minParallelDim is the vector length below which per-dimension loops
+// stay serial: the fan-out overhead only pays off once several
+// homomorphic operations can run per worker.
+const minParallelDim = 4
 
 // Sum is the EESum protocol state for a population of nodes, each
 // holding a vector of dim encrypted values, an integer weight, and an
@@ -31,8 +37,9 @@ import (
 // the power-of-two epoch scaling is common to numerator and denominator
 // and cancels.
 type Sum struct {
-	sch homenc.Scheme
-	dim int
+	sch     homenc.Scheme
+	dim     int
+	workers int
 
 	ct    [][]homenc.Ciphertext
 	omega []*big.Int
@@ -40,8 +47,16 @@ type Sum struct {
 }
 
 // NewSum encrypts each node's initial plaintext vector and assigns the
-// epidemic weight 1 to weightNode (0 elsewhere), per Section 3.2.
+// epidemic weight 1 to weightNode (0 elsewhere), per Section 3.2. It
+// uses the process-wide parallel.Workers() default; see NewSumWorkers.
 func NewSum(sch homenc.Scheme, initial [][]*big.Int, weightNode int) (*Sum, error) {
+	return NewSumWorkers(sch, initial, weightNode, parallel.Workers())
+}
+
+// NewSumWorkers is NewSum with an explicit worker count for the n×dim
+// encryption fan-out and every later per-dimension loop (1 forces fully
+// serial execution; results are identical for any worker count).
+func NewSumWorkers(sch homenc.Scheme, initial [][]*big.Int, weightNode, workers int) (*Sum, error) {
 	n := len(initial)
 	if n < 2 {
 		return nil, errors.New("eesum: need at least 2 nodes")
@@ -49,28 +64,62 @@ func NewSum(sch homenc.Scheme, initial [][]*big.Int, weightNode int) (*Sum, erro
 	if weightNode < 0 || weightNode >= n {
 		return nil, fmt.Errorf("eesum: weight node %d out of range", weightNode)
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	dim := len(initial[0])
 	s := &Sum{
-		sch:   sch,
-		dim:   dim,
-		ct:    make([][]homenc.Ciphertext, n),
-		omega: make([]*big.Int, n),
-		epoch: make([]int, n),
+		sch:     sch,
+		dim:     dim,
+		workers: workers,
+		ct:      make([][]homenc.Ciphertext, n),
+		omega:   make([]*big.Int, n),
+		epoch:   make([]int, n),
 	}
 	for i, vec := range initial {
 		if len(vec) != dim {
 			return nil, errors.New("eesum: ragged initial vectors")
 		}
-		cts := make([]homenc.Ciphertext, dim)
-		for j, v := range vec {
-			cts[j] = sch.Encrypt(v)
-		}
-		s.ct[i] = cts
+		s.ct[i] = make([]homenc.Ciphertext, dim)
 		s.omega[i] = big.NewInt(0)
 	}
+	// The n×dim encryption fan-out: every slot is independent, so it
+	// spreads across the worker pool (the schemes are safe for
+	// concurrent use).
+	parallel.ForEach(workers, n*dim, func(f int) {
+		i, j := f/dim, f%dim
+		s.ct[i][j] = sch.Encrypt(initial[i][j])
+	})
 	s.omega[weightNode] = big.NewInt(1)
 	return s, nil
 }
+
+// SetWorkers overrides the worker count used by the per-dimension
+// loops (values below 1 force serial). It returns s for chaining and
+// must not be called concurrently with protocol operations.
+func (s *Sum) SetWorkers(workers int) *Sum {
+	if workers < 1 {
+		workers = 1
+	}
+	s.workers = workers
+	return s
+}
+
+// dimWorkers returns the worker count for a per-dimension loop, gating
+// out vectors too short to amortize the fan-out.
+func (s *Sum) dimWorkers() int {
+	if s.dim < minParallelDim {
+		return 1
+	}
+	return s.workers
+}
+
+// ConcurrentExchangeSafe marks Sum for the simulation engine's parallel
+// cycle mode (sim.ConcurrentExchanger): Exchange only touches the state
+// of its two nodes, ciphertext values are immutable, and the scheme
+// operations are concurrency-safe, so exchanges over disjoint node
+// pairs may run concurrently.
+func (s *Sum) ConcurrentExchangeSafe() bool { return true }
 
 // Dim returns the vector length per node.
 func (s *Sum) Dim() int { return s.dim }
@@ -93,16 +142,16 @@ func (s *Sum) Exchange(a, b sim.NodeID, full bool) {
 	oa, ob := s.omega[a], s.omega[b]
 	// Scale the staler side to the fresher epoch.
 	if ea < eb {
-		cta = scaleVec(s.sch, cta, uint(eb-ea))
+		cta = scaleVec(s.sch, cta, uint(eb-ea), s.dimWorkers())
 		oa = new(big.Int).Lsh(oa, uint(eb-ea))
 	} else if eb < ea {
-		ctb = scaleVec(s.sch, ctb, uint(ea-eb))
+		ctb = scaleVec(s.sch, ctb, uint(ea-eb), s.dimWorkers())
 		ob = new(big.Int).Lsh(ob, uint(ea-eb))
 	}
 	sum := make([]homenc.Ciphertext, s.dim)
-	for j := 0; j < s.dim; j++ {
+	parallel.ForEach(s.dimWorkers(), s.dim, func(j int) {
 		sum[j] = s.sch.Add(cta[j], ctb[j])
-	}
+	})
 	omega := new(big.Int).Add(oa, ob)
 	epoch := max(ea, eb) + 1
 
@@ -116,12 +165,12 @@ func (s *Sum) Exchange(a, b sim.NodeID, full bool) {
 	}
 }
 
-func scaleVec(sch homenc.Scheme, in []homenc.Ciphertext, shift uint) []homenc.Ciphertext {
+func scaleVec(sch homenc.Scheme, in []homenc.Ciphertext, shift uint, workers int) []homenc.Ciphertext {
 	k := new(big.Int).Lsh(big.NewInt(1), shift)
 	out := make([]homenc.Ciphertext, len(in))
-	for j, c := range in {
-		out[j] = sch.ScalarMul(c, k)
-	}
+	parallel.ForEach(workers, len(in), func(j int) {
+		out[j] = sch.ScalarMul(in[j], k)
+	})
 	return out
 }
 
@@ -134,10 +183,10 @@ func (s *Sum) AddEncrypted(i sim.NodeID, v []*big.Int) error {
 	if len(v) != s.dim {
 		return errors.New("eesum: dimension mismatch")
 	}
-	for j, x := range v {
-		scaled := new(big.Int).Mul(x, s.omega[i])
+	parallel.ForEach(s.dimWorkers(), s.dim, func(j int) {
+		scaled := new(big.Int).Mul(v[j], s.omega[i])
 		s.ct[i][j] = s.sch.Add(s.ct[i][j], s.sch.Encrypt(scaled))
-	}
+	})
 	return nil
 }
 
@@ -185,11 +234,4 @@ func (s *Sum) HeadroomExchanges(sumAbsBound *big.Int) int {
 	// Largest e with sumAbsBound · 2^e < half.
 	q := new(big.Int).Quo(half, sumAbsBound)
 	return q.BitLen() - 1
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

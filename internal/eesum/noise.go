@@ -6,6 +6,7 @@ import (
 
 	"chiaroscuro/internal/gossip"
 	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/parallel"
 	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/sim"
 )
@@ -19,6 +20,11 @@ type NoiseConfig struct {
 	// counts another.
 	Lambdas []float64
 	NShares int // nν: assumed lower bound on contributing participants
+
+	// Workers bounds the worker pool of the underlying encrypted sum
+	// (0 uses the process-wide parallel.Workers() default, 1 forces
+	// serial execution).
+	Workers int
 }
 
 // Dim returns the number of Laplace variables to produce.
@@ -62,6 +68,9 @@ func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, 
 			return nil, errors.New("eesum: non-positive Laplace scale")
 		}
 	}
+	// The noise-shares are drawn strictly sequentially from the
+	// deterministic rng (reproducibility per seed); only the encryption
+	// fan-out below runs on the worker pool.
 	initial := make([][]*big.Int, n)
 	for i := 0; i < n; i++ {
 		vec := make([]*big.Int, cfg.Dim())
@@ -70,7 +79,11 @@ func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, 
 		}
 		initial[i] = vec
 	}
-	enc, err := NewSum(sch, initial, 0)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = parallel.Workers()
+	}
+	enc, err := NewSumWorkers(sch, initial, 0, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +107,11 @@ func (g *NoiseGen) Exchange(a, b sim.NodeID, full bool) {
 	g.Enc.Exchange(a, b, full)
 	g.Ctr.Exchange(a, b, full)
 }
+
+// ConcurrentExchangeSafe marks NoiseGen for the simulation engine's
+// parallel cycle mode: both legs (the encrypted sum and the cleartext
+// counter) only touch the two exchanging nodes' state.
+func (g *NoiseGen) ConcurrentExchangeSafe() bool { return true }
 
 // PrepareCorrections computes each node's local surplus estimate and
 // correction proposal (Section 4.2.2): if the counter says ctr > nν

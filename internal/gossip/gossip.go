@@ -53,6 +53,11 @@ func (s *Sum) Exchange(a, b sim.NodeID, full bool) {
 	}
 }
 
+// ConcurrentExchangeSafe marks Sum for the simulation engine's parallel
+// cycle mode (sim.ConcurrentExchanger): Exchange touches only the two
+// exchanging nodes' slots, so node-disjoint exchanges commute.
+func (s *Sum) ConcurrentExchangeSafe() bool { return true }
+
 // Estimate returns node i's local estimate σ_i/ω_i of the global sum,
 // and whether it is defined (ω_i > 0).
 func (s *Sum) Estimate(i sim.NodeID) (float64, bool) {
@@ -101,7 +106,7 @@ func (s *Sum) MeanRelError(want float64) float64 {
 // maxCycles is reached. It returns the number of cycles executed.
 func (s *Sum) RunUntil(e *sim.Engine, want, target float64, maxCycles int) int {
 	for c := 0; c < maxCycles; c++ {
-		e.RunCycle(s.Exchange)
+		e.RunCycleOn(s)
 		if err, def := s.MaxAbsError(want); def == 1 && err <= target {
 			return c + 1
 		}
@@ -140,6 +145,11 @@ func (d *Dissemination) Exchange(a, b sim.NodeID, full bool) {
 	}
 }
 
+// ConcurrentExchangeSafe marks Dissemination for the simulation
+// engine's parallel cycle mode: only the two exchanging nodes' slots
+// are touched.
+func (d *Dissemination) ConcurrentExchangeSafe() bool { return true }
+
 // Converged reports whether every node holds the same identifier.
 func (d *Dissemination) Converged() bool {
 	for _, id := range d.ID[1:] {
@@ -154,7 +164,7 @@ func (d *Dissemination) Converged() bool {
 // returns the number of cycles executed.
 func (d *Dissemination) RunUntilConverged(e *sim.Engine, maxCycles int) int {
 	for c := 0; c < maxCycles; c++ {
-		e.RunCycle(d.Exchange)
+		e.RunCycleOn(d)
 		if d.Converged() {
 			return c + 1
 		}

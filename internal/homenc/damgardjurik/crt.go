@@ -1,0 +1,216 @@
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+)
+
+// crtDirectExpBits is the exponent size below which a direct modular
+// exponentiation beats the CRT split (two half-width reductions plus a
+// Garner recombination have a fixed cost that tiny exponents — the
+// power-of-two epoch scalings of EESum — do not amortize).
+const crtDirectExpBits = 32
+
+// crtContext holds the factorization-derived constants that accelerate
+// arithmetic in Z*_{n^(s+1)}. The scheme legitimately owns p and q (it
+// generated them), so every exponentiation can run modulo the two
+// half-width prime powers p^(s+1) and q^(s+1) and be recombined by CRT.
+// Both halves additionally reduce the exponent modulo the (known) group
+// order, which shrinks the protocol's oversized decryption exponents —
+// 2Δ·s_i is about twice the modulus size — down to half-width.
+//
+// For encryption it goes further: the randomizer factors r^(n^s) form
+// the unique cyclic subgroup of order p-1 (resp. q-1) in each half, so
+// a per-key generator plus a fixed-base comb table turn randomizer
+// sampling into ~log2(p)/4 modular multiplications with no squarings.
+type crtContext struct {
+	p, q       *big.Int // the safe primes
+	ps1, qs1   *big.Int // p^(s+1), q^(s+1)
+	pPowS      *big.Int // p^s
+	qPowS      *big.Int // q^s
+	ordP, ordQ *big.Int // |Z*_{p^(s+1)}| = p^s(p-1), |Z*_{q^(s+1)}| = q^s(q-1)
+	qs1InvP    *big.Int // (q^(s+1))^(-1) mod p^(s+1), for Garner recombination
+
+	hOrdP, hOrdQ *big.Int   // |H_p| = p-1, |H_q| = q-1 (randomizer subgroups)
+	combP, combQ *combTable // fixed-base tables over generators of H_p, H_q
+}
+
+// newCRTContext derives the constants from the factorization. random
+// seeds the subgroup-generator search (nil = crypto/rand); a
+// deterministic reader yields deterministic generators, keeping
+// ciphertexts reproducible across runs for callers that construct the
+// scheme with one.
+func newCRTContext(random io.Reader, p, q *big.Int, s int) *crtContext {
+	c := &crtContext{p: p, q: q}
+	c.pPowS = pow(p, s)
+	c.qPowS = pow(q, s)
+	c.ps1 = new(big.Int).Mul(c.pPowS, p)
+	c.qs1 = new(big.Int).Mul(c.qPowS, q)
+	c.ordP = new(big.Int).Mul(c.pPowS, new(big.Int).Sub(p, one))
+	c.ordQ = new(big.Int).Mul(c.qPowS, new(big.Int).Sub(q, one))
+	c.qs1InvP = new(big.Int).ModInverse(c.qs1, c.ps1)
+	c.hOrdP = new(big.Int).Sub(p, one)
+	c.hOrdQ = new(big.Int).Sub(q, one)
+	c.combP = newCombTable(generatorH(random, p, c.pPowS, c.ps1), c.ps1, c.hOrdP.BitLen())
+	c.combQ = newCombTable(generatorH(random, q, c.qPowS, c.qs1), c.qs1, c.hOrdQ.BitLen())
+	return c
+}
+
+func pow(b *big.Int, e int) *big.Int {
+	out := new(big.Int).Set(b)
+	for i := 1; i < e; i++ {
+		out.Mul(out, b)
+	}
+	return out
+}
+
+// combine merges the two half-width residues x ≡ xp (mod p^(s+1)),
+// x ≡ xq (mod q^(s+1)) into x mod n^(s+1) (Garner's formula).
+func (c *crtContext) combine(xp, xq *big.Int) *big.Int {
+	t := new(big.Int).Sub(xp, xq)
+	t.Mul(t, c.qs1InvP)
+	t.Mod(t, c.ps1) // Go's Mod is Euclidean: the result is non-negative
+	t.Mul(t, c.qs1)
+	return t.Add(t, xq) // < p^(s+1)·q^(s+1) = n^(s+1) by construction
+}
+
+// expNS1 computes base^e mod n^(s+1) for a non-negative exponent,
+// through the CRT split when it pays off. The group-order exponent
+// reduction requires gcd(base, n) = 1, which holds for every value the
+// scheme exponentiates (ciphertexts and partial decryptions are units).
+func (s *Scheme) expNS1(base, e *big.Int) *big.Int {
+	c := s.crt
+	if c == nil || e.BitLen() <= crtDirectExpBits {
+		return new(big.Int).Exp(base, e, s.NS1)
+	}
+	ep := new(big.Int).Mod(e, c.ordP)
+	eq := new(big.Int).Mod(e, c.ordQ)
+	xp := new(big.Int).Exp(new(big.Int).Mod(base, c.ps1), ep, c.ps1)
+	xq := new(big.Int).Exp(new(big.Int).Mod(base, c.qs1), eq, c.qs1)
+	return c.combine(xp, xq)
+}
+
+// invNS1 computes base^(-1) mod n^(s+1) on the two half-width moduli.
+func (s *Scheme) invNS1(base *big.Int) *big.Int {
+	c := s.crt
+	if c == nil {
+		return new(big.Int).ModInverse(base, s.NS1)
+	}
+	xp := new(big.Int).ModInverse(new(big.Int).Mod(base, c.ps1), c.ps1)
+	xq := new(big.Int).ModInverse(new(big.Int).Mod(base, c.qs1), c.qs1)
+	if xp == nil || xq == nil {
+		return nil
+	}
+	return c.combine(xp, xq)
+}
+
+// newRandomizer draws a fresh encryption randomizer — the message-
+// independent factor r^(n^s) mod n^(s+1) of E(m) — from the given
+// entropy source (crypto/rand when nil).
+//
+// The sampled distribution is exactly the scheme's. For uniform r in
+// Z*_n, the component r^(n^s) mod p^(s+1) lies in the unique subgroup
+// H_p of order p-1 (the cyclic group Z*_{p^(s+1)} has order p^s(p-1);
+// raising to n^s = p^s·q^s annihilates the p^s part, and gcd(q^s, p-1)
+// = 1 permutes the rest), it is uniform over H_p because r mod p is a
+// uniform unit, and the p and q components are independent because
+// r mod p and r mod q are. g_p^t for a fixed generator g_p of H_p and
+// uniform t in [0, p-1) is the same uniform draw from H_p — computed
+// by the precomputed comb table in a few dozen multiplications.
+func (s *Scheme) newRandomizer(random io.Reader) *big.Int {
+	if random == nil {
+		random = rand.Reader
+	}
+	c := s.crt
+	if c == nil {
+		r := s.randomUnit()
+		return r.Exp(r, s.NS, s.NS1)
+	}
+	tp, err := rand.Int(random, c.hOrdP)
+	if err != nil {
+		panic("damgardjurik: entropy source failed: " + err.Error())
+	}
+	tq, err := rand.Int(random, c.hOrdQ)
+	if err != nil {
+		panic("damgardjurik: entropy source failed: " + err.Error())
+	}
+	return c.combine(c.combP.exp(tp), c.combQ.exp(tq))
+}
+
+// generatorH finds a generator of H_p, the cyclic subgroup of n^s-th
+// residues mod p^(s+1). For a safe prime p = 2p'+1 the subgroup has
+// order 2p', so h generates iff h² ≠ 1 and h^(p') ≠ 1; a uniform h
+// (the canonical lift w^(p^s) of a uniform w in Z*_p) succeeds with
+// probability (p'-1)/(2p') ≈ 1/2 per draw.
+func generatorH(random io.Reader, p, pPowS, ps1 *big.Int) *big.Int {
+	if random == nil {
+		random = rand.Reader
+	}
+	pp := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1) // p'
+	for {
+		w, err := rand.Int(random, p)
+		if err != nil {
+			panic("damgardjurik: entropy source failed: " + err.Error())
+		}
+		if w.Sign() == 0 {
+			continue
+		}
+		h := w.Exp(w, pPowS, ps1)
+		sq := new(big.Int).Mul(h, h)
+		if sq.Mod(sq, ps1).Cmp(one) == 0 {
+			continue
+		}
+		if new(big.Int).Exp(h, pp, ps1).Cmp(one) == 0 {
+			continue
+		}
+		return h
+	}
+}
+
+// combWindow is the fixed-base window width: 4 bits keeps the table
+// at (bits/4)·15 entries — ≈0.25 MB per prime at the paper's 1024-bit
+// key — while replacing every squaring of a generic exponentiation
+// with a plain table-lookup multiply.
+const combWindow = 4
+
+// combTable implements fixed-base modular exponentiation: tab[i][j-1]
+// holds g^(j·2^(4i)) mod m, so g^e is the product of one entry per
+// non-zero 4-bit digit of e.
+type combTable struct {
+	mod *big.Int
+	tab [][]*big.Int
+}
+
+func newCombTable(g, mod *big.Int, expBits int) *combTable {
+	windows := (expBits + combWindow - 1) / combWindow
+	t := &combTable{mod: mod, tab: make([][]*big.Int, windows)}
+	base := new(big.Int).Set(g)
+	for i := range t.tab {
+		row := make([]*big.Int, 1<<combWindow-1)
+		row[0] = new(big.Int).Set(base)
+		for j := 1; j < len(row); j++ {
+			v := new(big.Int).Mul(row[j-1], base)
+			row[j] = v.Mod(v, mod)
+		}
+		t.tab[i] = row
+		// Next window base: base^(2^combWindow) = row[last] · base.
+		next := new(big.Int).Mul(row[len(row)-1], base)
+		base = next.Mod(next, mod)
+	}
+	return t
+}
+
+// exp computes g^e mod m for 0 <= e < 2^(4·len(tab)).
+func (t *combTable) exp(e *big.Int) *big.Int {
+	acc := big.NewInt(1)
+	scratch := new(big.Int)
+	for i := 0; i < len(t.tab) && 4*i < e.BitLen(); i++ {
+		d := e.Bit(4*i) | e.Bit(4*i+1)<<1 | e.Bit(4*i+2)<<2 | e.Bit(4*i+3)<<3
+		if d != 0 {
+			scratch.Mul(acc, t.tab[i][d-1])
+			acc.Mod(scratch, t.mod)
+		}
+	}
+	return acc
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/shamir"
@@ -62,6 +63,20 @@ type Scheme struct {
 	d *big.Int // the full decryption exponent (kept for direct Decrypt)
 
 	Random io.Reader // entropy source for Encrypt (crypto/rand if nil)
+
+	// Performance machinery (PERF.md): the CRT context exploits the
+	// scheme's knowledge of p and q to run every exponentiation on the
+	// two half-width prime powers; the pool precomputes the message-
+	// independent encryption factors in the background; the remaining
+	// fields cache the small-integer inverses that powOnePlusN, dLog and
+	// Decrypt previously recomputed on every call.
+	crt         *crtContext
+	pool        *randomizerPool
+	randMu      sync.Mutex   // serializes draws from a custom Random reader
+	smallInv    []*big.Int   // smallInv[i] = i^(-1) mod N^(S+1), 1 <= i <= S
+	njPow       []*big.Int   // njPow[j] = N^j, 0 <= j <= S+1
+	dlogFactInv [][]*big.Int // dlogFactInv[j][k] = (k!)^(-1) mod N^j
+	halfInv     *big.Int     // 2^(-1) mod N^S
 }
 
 // GenerateKey creates a fresh threshold Damgård–Jurik scheme with an
@@ -141,7 +156,7 @@ func NewFromPrimes(random io.Reader, p, q *big.Int, s, nShares, threshold int) (
 		return nil, errors.New("damgardjurik: 4Δ² not invertible mod n^s (nShares too large?)")
 	}
 
-	return &Scheme{
+	sch := &Scheme{
 		PublicKey: pk,
 		nShares:   nShares,
 		threshold: threshold,
@@ -150,7 +165,39 @@ func NewFromPrimes(random io.Reader, p, q *big.Int, s, nShares, threshold int) (
 		shares:    shares,
 		d:         d,
 		Random:    random,
-	}, nil
+		crt:       newCRTContext(random, p, q, s),
+	}
+	sch.pool = newRandomizerPool(func() *big.Int { return sch.newRandomizer(nil) })
+	sch.precomputeInverses()
+	return sch, nil
+}
+
+// precomputeInverses caches every modular inverse whose operands depend
+// only on the key: the small integers of the powOnePlusN binomial, the
+// factorials of the dLog recursion, and the 2^(-1) of Decrypt. They are
+// tiny (O(S²) entries for the degrees the protocol uses) but were
+// recomputed per loop iteration per call on the previous hot path.
+func (s *Scheme) precomputeInverses() {
+	s.smallInv = make([]*big.Int, s.S+1)
+	for i := 1; i <= s.S; i++ {
+		s.smallInv[i] = new(big.Int).ModInverse(big.NewInt(int64(i)), s.NS1)
+	}
+	s.njPow = make([]*big.Int, s.S+2)
+	s.njPow[0] = big.NewInt(1)
+	for j := 1; j <= s.S+1; j++ {
+		s.njPow[j] = new(big.Int).Mul(s.njPow[j-1], s.N)
+	}
+	s.dlogFactInv = make([][]*big.Int, s.S+1)
+	kfact := new(big.Int)
+	for j := 1; j <= s.S; j++ {
+		s.dlogFactInv[j] = make([]*big.Int, j+1)
+		kfact.SetInt64(1)
+		for k := 2; k <= j; k++ {
+			kfact.Mul(kfact, big.NewInt(int64(k)))
+			s.dlogFactInv[j][k] = new(big.Int).ModInverse(kfact, s.njPow[j])
+		}
+	}
+	s.halfInv = new(big.Int).ModInverse(big.NewInt(2), s.NS)
 }
 
 // Name implements homenc.Scheme.
@@ -184,8 +231,7 @@ func (s *Scheme) powOnePlusN(m *big.Int) *big.Int {
 		f := new(big.Int).Sub(mr, big.NewInt(int64(i-1)))
 		bin.Mul(bin, f)
 		bin.Mod(bin, s.NS1)
-		inv := new(big.Int).ModInverse(big.NewInt(int64(i)), s.NS1)
-		bin.Mul(bin, inv)
+		bin.Mul(bin, s.smallInv[i])
 		bin.Mod(bin, s.NS1)
 		npow.Mul(npow, s.N)
 		term := new(big.Int).Mul(bin, npow)
@@ -196,13 +242,44 @@ func (s *Scheme) powOnePlusN(m *big.Int) *big.Int {
 }
 
 // Encrypt implements homenc.Scheme: E(m) = (1+n)^m · r^(n^s) mod n^(s+1).
+// The r^(n^s) factor is message-independent and comes from the
+// randomizer pool when available, so the per-message work is one
+// binomial evaluation and one modular multiply.
 func (s *Scheme) Encrypt(m *big.Int) homenc.Ciphertext {
-	r := s.randomUnit()
-	r.Exp(r, s.NS, s.NS1)
 	c := s.powOnePlusN(m)
-	c.Mul(c, r)
+	c.Mul(c, s.takeRandomizer())
 	c.Mod(c, s.NS1)
 	return homenc.Ciphertext{V: c}
+}
+
+// takeRandomizer returns one fresh r^(n^s) factor. The pool only serves
+// schemes drawing from crypto/rand: a caller-supplied Random source is
+// consumed sequentially under randMu — arbitrary io.Readers are not
+// safe for the concurrent draws the worker-pool layers perform — so
+// deterministic readers stay reproducible (draw order under a parallel
+// fan-out follows execution order, but each draw is whole and the
+// stream is never torn).
+func (s *Scheme) takeRandomizer() *big.Int {
+	if random := s.Random; random != nil {
+		s.randMu.Lock()
+		defer s.randMu.Unlock()
+		return s.newRandomizer(random)
+	}
+	if s.pool != nil {
+		return s.pool.take()
+	}
+	return s.newRandomizer(nil)
+}
+
+// PrecomputeRandomizers synchronously stocks the randomizer pool with
+// up to k encryption factors (bounded by the pool capacity), so an
+// imminent burst of Encrypt calls — an EESum fan-out, a benchmark
+// steady state — starts warm. It is a no-op for schemes with a custom
+// Random source.
+func (s *Scheme) PrecomputeRandomizers(k int) {
+	if s.pool != nil && s.Random == nil {
+		s.pool.prefill(k)
+	}
 }
 
 func (s *Scheme) randomUnit() *big.Int {
@@ -236,16 +313,15 @@ func (s *Scheme) ScalarMul(a homenc.Ciphertext, k *big.Int) homenc.Ciphertext {
 	if k.Sign() < 0 {
 		panic("damgardjurik: negative scalar")
 	}
-	return homenc.Ciphertext{V: new(big.Int).Exp(a.V, k, s.NS1)}
+	return homenc.Ciphertext{V: s.expNS1(a.V, k)}
 }
 
 // dLog recovers i from a = (1+n)^i mod n^(s+1), 0 <= i < n^s, using the
 // iterative algorithm of Damgård–Jurik (PKC 2001, Section 3).
 func (s *Scheme) dLog(a *big.Int) *big.Int {
 	i := new(big.Int)
-	nj := new(big.Int).Set(s.N) // n^j
 	for j := 1; j <= s.S; j++ {
-		nj1 := new(big.Int).Mul(nj, s.N) // n^(j+1)
+		nj, nj1 := s.njPow[j], s.njPow[j+1]
 		// t1 = L(a mod n^(j+1)) = (a mod n^(j+1) - 1) / n
 		t1 := new(big.Int).Mod(a, nj1)
 		t1.Sub(t1, one)
@@ -253,23 +329,17 @@ func (s *Scheme) dLog(a *big.Int) *big.Int {
 		t1.Mod(t1, nj)
 		t2 := new(big.Int).Set(i)
 		ii := new(big.Int).Set(i)
-		kfact := big.NewInt(1)
-		npow := big.NewInt(1) // n^(k-1)
 		for k := 2; k <= j; k++ {
 			ii.Sub(ii, one)
 			t2.Mul(t2, ii)
 			t2.Mod(t2, nj)
-			npow.Mul(npow, s.N)
-			kfact.Mul(kfact, big.NewInt(int64(k)))
-			// t1 -= t2 · n^(k-1) / k!   (division = inverse mod n^j)
-			inv := new(big.Int).ModInverse(kfact, nj)
-			sub := new(big.Int).Mul(t2, npow)
-			sub.Mul(sub, inv)
+			// t1 -= t2 · n^(k-1) / k!   (division = cached inverse mod n^j)
+			sub := new(big.Int).Mul(t2, s.njPow[k-1])
+			sub.Mul(sub, s.dlogFactInv[j][k])
 			t1.Sub(t1, sub)
 			t1.Mod(t1, nj)
 		}
 		i = t1
-		nj = nj1
 	}
 	return i
 }
@@ -280,10 +350,9 @@ func (s *Scheme) dLog(a *big.Int) *big.Int {
 // and divides the discrete log by 2.
 func (s *Scheme) Decrypt(c homenc.Ciphertext) *big.Int {
 	e := new(big.Int).Lsh(s.d, 1)
-	a := new(big.Int).Exp(c.V, e, s.NS1)
+	a := s.expNS1(c.V, e)
 	m := s.dLog(a)
-	twoInv := new(big.Int).ModInverse(big.NewInt(2), s.NS)
-	m.Mul(m, twoInv)
+	m.Mul(m, s.halfInv)
 	return m.Mod(m, s.NS)
 }
 
@@ -296,7 +365,7 @@ func (s *Scheme) PartialDecrypt(index int, c homenc.Ciphertext) (homenc.PartialD
 	e.Mul(e, s.shares[index-1].Y)
 	return homenc.PartialDecryption{
 		Index: index,
-		V:     new(big.Int).Exp(c.V, e, s.NS1),
+		V:     s.expNS1(c.V, e),
 	}, nil
 }
 
@@ -331,13 +400,13 @@ func (s *Scheme) Combine(c homenc.Ciphertext, parts []homenc.PartialDecryption) 
 		e := new(big.Int).Lsh(mu, 1) // 2μ_i, possibly negative
 		base := p.V
 		if e.Sign() < 0 {
-			base = new(big.Int).ModInverse(p.V, s.NS1)
+			base = s.invNS1(p.V)
 			if base == nil {
 				return nil, errors.New("damgardjurik: partial decryption not invertible")
 			}
 			e.Neg(e)
 		}
-		term := new(big.Int).Exp(base, e, s.NS1)
+		term := s.expNS1(base, e)
 		acc.Mul(acc, term)
 		acc.Mod(acc, s.NS1)
 	}

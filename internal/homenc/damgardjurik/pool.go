@@ -1,0 +1,87 @@
+package damgardjurik
+
+import (
+	"math/big"
+	"sync/atomic"
+)
+
+// poolCapacity bounds the number of precomputed randomizers a scheme
+// keeps. Each is one big.Int of ciphertext size (≈256 bytes at the
+// paper's 1024-bit key), so the pool tops out around 32 KiB.
+const poolCapacity = 128
+
+// randomizerPool precomputes encryption randomizers — the message-
+// independent r^(n^s) mod n^(s+1) factors — off the critical path, so a
+// burst of Encrypt calls pays one powOnePlusN plus a multiply each.
+// take never blocks: a miss computes inline, and draining the pool past
+// its low-water mark wakes a single background filler that tops it up
+// and exits (no long-lived goroutine is ever parked on a scheme).
+// fillDemand is the number of takes after which background refilling
+// kicks in: a scheme that encrypts once or twice never pays for a full
+// pool, while an encryption burst (an EESum fan-out) warms up fast.
+const fillDemand = 8
+
+type randomizerPool struct {
+	ch      chan *big.Int // precomputed factors
+	filling atomic.Bool   // at most one filler at a time
+	takes   atomic.Int64  // demand counter gating the background fill
+	gen     func() *big.Int
+}
+
+func newRandomizerPool(gen func() *big.Int) *randomizerPool {
+	return &randomizerPool{ch: make(chan *big.Int, poolCapacity), gen: gen}
+}
+
+// take returns a precomputed randomizer, computing one inline when the
+// pool is empty, and triggers a background refill when stocks are low
+// and demand is proven.
+func (p *randomizerPool) take() *big.Int {
+	if p.takes.Add(1) >= fillDemand {
+		p.maybeFill()
+	}
+	select {
+	case r := <-p.ch:
+		return r
+	default:
+		return p.gen()
+	}
+}
+
+// maybeFill starts one background filler when the pool has drained
+// below a quarter of its capacity.
+func (p *randomizerPool) maybeFill() {
+	if len(p.ch) > cap(p.ch)/4 {
+		return
+	}
+	if !p.filling.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer p.filling.Store(false)
+		for {
+			if len(p.ch) == cap(p.ch) {
+				return
+			}
+			select {
+			case p.ch <- p.gen():
+			default:
+				return
+			}
+		}
+	}()
+}
+
+// prefill synchronously stocks up to k randomizers (capped at the pool
+// capacity) — for callers that know an encryption burst is imminent.
+func (p *randomizerPool) prefill(k int) {
+	if k > cap(p.ch) {
+		k = cap(p.ch)
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case p.ch <- p.gen():
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 3, 100, 1000} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialIsInline(t *testing.T) {
+	// With one worker the calls must happen on the calling goroutine,
+	// in order — protocols rely on this for deterministic serial mode.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	if orig < 1 {
+		t.Fatalf("default workers %d < 1", orig)
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("SetWorkers(3) -> %d", got)
+	}
+	SetWorkers(0) // reset to NumCPU
+	if got := Workers(); got != runtime.NumCPU() {
+		t.Fatalf("SetWorkers(0) -> %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}

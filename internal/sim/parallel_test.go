@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func casInt32(p *int32, old, new int32) bool { return atomic.CompareAndSwapInt32(p, old, new) }
+
+// sumState is a minimal push-pull averaging protocol (a local copy of
+// gossip.Sum, which sim cannot import) used to compare the serial and
+// parallel cycle modes bit for bit.
+type sumState struct {
+	sigma []float64
+	omega []float64
+}
+
+func newSumState(n int) *sumState {
+	s := &sumState{sigma: make([]float64, n), omega: make([]float64, n)}
+	for i := range s.sigma {
+		s.sigma[i] = float64(i)
+	}
+	s.omega[0] = 1
+	return s
+}
+
+func (s *sumState) Exchange(a, b NodeID, full bool) {
+	ms := (s.sigma[a] + s.sigma[b]) / 2
+	mw := (s.omega[a] + s.omega[b]) / 2
+	s.sigma[a], s.omega[a] = ms, mw
+	if full {
+		s.sigma[b], s.omega[b] = ms, mw
+	}
+}
+
+func (s *sumState) ConcurrentExchangeSafe() bool { return true }
+
+// serialOnly is the same protocol without the opt-in marker.
+type serialOnly struct{ *sumState }
+
+func runBoth(t *testing.T, cfg Config, cycles int, sampler func() Sampler) (*sumState, *sumState) {
+	t.Helper()
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	es, err := New(serialCfg, sampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := newSumState(cfg.N)
+	for c := 0; c < cycles; c++ {
+		es.RunCycle(ss.Exchange)
+	}
+
+	parCfg := cfg
+	parCfg.Workers = 4
+	ep, err := New(parCfg, sampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := newSumState(cfg.N)
+	for c := 0; c < cycles; c++ {
+		ep.RunCycleOn(sp)
+	}
+
+	if es.AvgMessages() != ep.AvgMessages() || es.AvgBytes() != ep.AvgBytes() {
+		t.Errorf("accounting diverged: serial (%v msgs, %v bytes), parallel (%v msgs, %v bytes)",
+			es.AvgMessages(), es.AvgBytes(), ep.AvgMessages(), ep.AvgBytes())
+	}
+	if es.Cycle() != ep.Cycle() {
+		t.Errorf("cycle counters diverged: %d vs %d", es.Cycle(), ep.Cycle())
+	}
+	return ss, sp
+}
+
+func assertSameState(t *testing.T, ss, sp *sumState) {
+	t.Helper()
+	for i := range ss.sigma {
+		if ss.sigma[i] != sp.sigma[i] || ss.omega[i] != sp.omega[i] {
+			t.Fatalf("node %d diverged: serial (%v, %v), parallel (%v, %v)",
+				i, ss.sigma[i], ss.omega[i], sp.sigma[i], sp.omega[i])
+		}
+	}
+}
+
+func TestParallelCycleEqualsSerialUniform(t *testing.T) {
+	cfg := Config{N: 257, Seed: 42, MessageBytes: 100}
+	ss, sp := runBoth(t, cfg, 12, func() Sampler { return &UniformSampler{} })
+	assertSameState(t, ss, sp)
+}
+
+func TestParallelCycleEqualsSerialChurnMidFailure(t *testing.T) {
+	// The churn + mid-exchange failure path draws extra RNG values per
+	// exchange; the parallel schedule must consume them identically.
+	cfg := Config{N: 128, Seed: 7, Churn: 0.2, MidFailure: true, MessageBytes: 64}
+	ss, sp := runBoth(t, cfg, 20, func() Sampler { return &UniformSampler{} })
+	assertSameState(t, ss, sp)
+}
+
+func TestParallelCycleEqualsSerialNewscast(t *testing.T) {
+	// Newscast mutates views between peer picks inside a cycle; the
+	// schedule pass must interleave sampler updates exactly like the
+	// serial engine.
+	cfg := Config{N: 96, Seed: 9, Churn: 0.1, MidFailure: true}
+	ss, sp := runBoth(t, cfg, 15, func() Sampler { return &NewscastSampler{ViewSize: 8} })
+	assertSameState(t, ss, sp)
+}
+
+func TestRunCycleOnFallsBackToSerial(t *testing.T) {
+	// A protocol without the marker must take the serial path and match
+	// plain RunCycle exactly even on a multi-worker engine.
+	cfg := Config{N: 64, Seed: 3, Workers: 4}
+	e1, err := New(cfg, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newSumState(cfg.N)
+	for c := 0; c < 10; c++ {
+		e1.RunCycle(s1.Exchange)
+	}
+	e2, err := New(cfg, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newSumState(cfg.N)
+	for c := 0; c < 10; c++ {
+		e2.RunCycleOn(serialOnly{s2})
+	}
+	assertSameState(t, s1, s2)
+}
+
+func TestScheduleBatchesAreConflictFree(t *testing.T) {
+	// Directly exercise the batching invariant: within one batch no
+	// node may appear twice. Detect via a per-node in-flight flag.
+	cfg := Config{N: 200, Seed: 11, Workers: 8}
+	e, err := New(cfg, &UniformSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]int32, cfg.N)
+	ck := &conflictChecker{busy: busy, t: t}
+	for c := 0; c < 5; c++ {
+		e.RunCycleOn(ck)
+	}
+}
+
+type conflictChecker struct {
+	busy []int32
+	t    *testing.T
+}
+
+func (c *conflictChecker) Exchange(a, b NodeID, full bool) {
+	if !casInt32(&c.busy[a], 0, 1) || !casInt32(&c.busy[b], 0, 1) {
+		c.t.Error("conflicting concurrent exchange detected")
+	}
+	casInt32(&c.busy[a], 1, 0)
+	casInt32(&c.busy[b], 1, 0)
+}
+
+func (c *conflictChecker) ConcurrentExchangeSafe() bool { return true }

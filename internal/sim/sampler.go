@@ -124,7 +124,10 @@ func (ns *NewscastSampler) rebuild(node NodeID, merged map[int32]int32) {
 		entries = append(entries, entry{id, st})
 	}
 	// Partial selection sort of the freshest ViewSize entries: views are
-	// tiny (≈30–60), so this beats a full sort's allocations.
+	// tiny (≈30–60), so this beats a full sort's allocations. Equal
+	// stamps tie-break on the smaller id so the result does not depend
+	// on the map's randomized iteration order — per-seed runs must be
+	// bit-reproducible.
 	limit := ns.ViewSize
 	if limit > len(entries) {
 		limit = len(entries)
@@ -132,7 +135,8 @@ func (ns *NewscastSampler) rebuild(node NodeID, merged map[int32]int32) {
 	for i := 0; i < limit; i++ {
 		best := i
 		for j := i + 1; j < len(entries); j++ {
-			if entries[j].st > entries[best].st {
+			if entries[j].st > entries[best].st ||
+				(entries[j].st == entries[best].st && entries[j].id < entries[best].id) {
 				best = j
 			}
 		}

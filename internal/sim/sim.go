@@ -18,6 +18,7 @@ package sim
 import (
 	"errors"
 
+	"chiaroscuro/internal/parallel"
 	"chiaroscuro/internal/randx"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// are per-cycle events, but only those landing inside the short
 	// exchange window corrupt state.
 	MidFailureWindow float64
+
+	// Workers bounds the worker pool of the parallel cycle mode
+	// (RunCycleOn): 0 uses the process-wide parallel.Workers() default,
+	// 1 forces fully serial cycles. Results are identical per seed for
+	// any worker count.
+	Workers int
 }
 
 // Engine drives cycles of gossip exchanges.
@@ -66,10 +73,16 @@ type Engine struct {
 	rng     *randx.RNG
 	sampler Sampler
 	alive   []bool
+	workers int
 
 	msgs  []int64 // messages sent per node
 	bytes []int64 // bytes sent per node
 	cycle int
+
+	// Parallel cycle mode scratch state (see parallel.go).
+	sched   []scheduled
+	mark    []int
+	markGen int
 }
 
 // New creates an engine over n nodes with the given sampler.
@@ -80,6 +93,10 @@ func New(cfg Config, sampler Sampler) (*Engine, error) {
 	if cfg.Churn < 0 || cfg.Churn >= 1 {
 		return nil, errors.New("sim: churn must be in [0,1)")
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = parallel.Workers()
+	}
 	rng := randx.New(cfg.Seed, 0xC1A0)
 	sampler.Init(cfg.N, rng)
 	e := &Engine{
@@ -87,6 +104,7 @@ func New(cfg Config, sampler Sampler) (*Engine, error) {
 		rng:     rng,
 		sampler: sampler,
 		alive:   make([]bool, cfg.N),
+		workers: workers,
 		msgs:    make([]int64, cfg.N),
 		bytes:   make([]int64, cfg.N),
 	}

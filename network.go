@@ -63,6 +63,12 @@ type NetworkOptions struct {
 	FracBits uint   // fixed-point fractional bits (default 30)
 	Seed     uint64 // reproducibility
 
+	// Workers bounds the worker pool used for encryption fan-outs,
+	// per-dimension homomorphic loops, partial-decryption sweeps and
+	// parallel gossip cycles (0 = one worker per CPU, 1 = fully
+	// serial). Results are identical per seed for any value.
+	Workers int
+
 	// TraceQuality additionally records per-iteration inertia metrics
 	// (omniscient; for evaluation only).
 	TraceQuality bool
@@ -101,6 +107,7 @@ func Run(d *Dataset, scheme Scheme, opts NetworkOptions) (*NetworkResult, error)
 		MidFailure:    opts.MidFailure,
 		FracBits:      opts.FracBits,
 		Seed:          opts.Seed,
+		Workers:       opts.Workers,
 		Sampler:       sampler,
 		TraceQuality:  opts.TraceQuality,
 	})
