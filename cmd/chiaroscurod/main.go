@@ -1,0 +1,293 @@
+// Command chiaroscurod is the Chiaroscuro node daemon: one process per
+// participant, speaking the binary wire protocol of internal/wireproto
+// and running the full encrypted Diptych — encrypted means/noise sums,
+// correction dissemination, epidemic threshold decryption — against
+// its peers over TCP.
+//
+// Every daemon of a population is provisioned with the same protocol
+// parameters and seed (which fix the deterministic exchange schedule)
+// and its own key file naming its participant index. A two-node run:
+//
+//	chiaroscurod -genkeys /tmp/keys -population 2
+//	chiaroscurod -key-file /tmp/keys/node-0.json -population 2 \
+//	    -listen 127.0.0.1:7000 -metrics-addr 127.0.0.1:9100
+//	chiaroscurod -key-file /tmp/keys/node-1.json -population 2 \
+//	    -listen 127.0.0.1:7001 -bootstrap 127.0.0.1:7000
+//
+// SECURITY: -genkeys emits test-scheme key files (deterministic
+// precomputed primes, zero secrecy) so a population can be provisioned
+// with a copy-paste. A real deployment must provision real threshold
+// key shares out of band.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"chiaroscuro"
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/node"
+)
+
+// keyFile is the provisioning record one daemon boots from.
+type keyFile struct {
+	Scheme    string `json:"scheme"` // "dj-test"
+	KeyBits   int    `json:"key_bits"`
+	Degree    int    `json:"degree"` // Damgård–Jurik s
+	Shares    int    `json:"shares"`
+	Threshold int    `json:"threshold"`
+	Index     int    `json:"index"` // participant index (key-share Index+1)
+}
+
+func main() {
+	var (
+		genkeys     = flag.String("genkeys", "", "write test key files for the whole population into this directory and exit")
+		keyPath     = flag.String("key-file", "", "this node's key file (JSON, see -genkeys)")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		bootstrap   = flag.String("bootstrap", "", "address of any live peer (empty for the first node)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-style text metrics on this address (empty = off)")
+		population  = flag.Int("population", 2, "population size (all daemons must agree)")
+		dataset     = flag.String("dataset", "cer", "built-in generator: cer or numed")
+		csvPath     = flag.String("csv", "", "CSV file with one series per row (row = participant index)")
+		k           = flag.Int("k", 2, "number of clusters")
+		eps         = flag.Float64("epsilon", math.Ln2, "total privacy budget")
+		maxIt       = flag.Int("iterations", 1, "protocol iterations (fixed schedule)")
+		exchanges   = flag.Int("exchanges", 0, "sum-phase gossip cycles (0 = Theorem 3 default)")
+		dissCycles  = flag.Int("diss-cycles", 0, "correction-dissemination cycles (0 = derived)")
+		decCycles   = flag.Int("decrypt-cycles", 0, "epidemic-decryption cycles (0 = derived)")
+		smooth      = flag.Bool("smooth", true, "SMA smoothing of perturbed means")
+		seed        = flag.Uint64("seed", 1, "shared deterministic seed (fixes the exchange schedule)")
+		fracBits    = flag.Uint("frac-bits", 24, "fixed-point fractional bits")
+		keyBits     = flag.Int("keybits", 128, "test-scheme key size for -genkeys (128/256/512/1024)")
+		degree      = flag.Int("degree", 4, "Damgård–Jurik degree s for -genkeys")
+		tau         = flag.Int("threshold", 0, "decryption threshold for -genkeys (0 = population/3, min 2)")
+		timeout     = flag.Duration("exchange-timeout", 30*time.Second, "per-exchange blocking step bound")
+		joinTimeout = flag.Duration("join-timeout", 5*time.Minute, "roster bootstrap bound")
+	)
+	flag.Parse()
+
+	if *genkeys != "" {
+		if err := writeKeyFiles(*genkeys, *population, *keyBits, *degree, *tau); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *keyPath == "" {
+		fatal(fmt.Errorf("either -genkeys or -key-file is required"))
+	}
+	kf, err := loadKeyFile(*keyPath, *population)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := chiaroscuro.NewTestScheme(kf.KeyBits, kf.Degree, kf.Shares, kf.Threshold)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, dmin, dmax, kind, err := loadData(*csvPath, *dataset, *population, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if data.Len() != *population {
+		fatal(fmt.Errorf("dataset has %d series for a population of %d", data.Len(), *population))
+	}
+	seeds := chiaroscuro.SeedCentroids(kind, *k, *seed+1)
+
+	diss, dec := *dissCycles, *decCycles
+	if diss == 0 || dec == 0 {
+		d, e := chiaroscuro.FixedPhaseCycles(*population)
+		if diss == 0 {
+			diss = d
+		}
+		if dec == 0 {
+			dec = e
+		}
+	}
+	nd, err := node.New(node.Config{
+		Index:  kf.Index,
+		N:      *population,
+		Series: data.Row(kf.Index),
+		Scheme: scheme,
+		Proto: core.Config{
+			K:             *k,
+			InitCentroids: seeds,
+			DMin:          dmin,
+			DMax:          dmax,
+			Epsilon:       *eps,
+			MaxIterations: *maxIt,
+			Smooth:        *smooth,
+			Exchanges:     *exchanges,
+			DissCycles:    diss,
+			DecryptCycles: dec,
+			FracBits:      *fracBits,
+			Seed:          *seed,
+		},
+		Listen:          *listen,
+		Bootstrap:       *bootstrap,
+		ExchangeTimeout: *timeout,
+		JoinTimeout:     *joinTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer nd.Close()
+	fmt.Printf("chiaroscurod: node %d/%d listening on %s\n", kf.Index, *population, nd.Addr())
+
+	if *metricsAddr != "" {
+		go serveMetrics(*metricsAddr, nd)
+	}
+
+	fmt.Printf("chiaroscurod: waiting for %d peers (bootstrap %q)\n", *population-1, *bootstrap)
+	if err := nd.Join(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("chiaroscurod: roster complete, protocol starting")
+	start := time.Now()
+	res, err := nd.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("chiaroscurod: run complete in %s\n", time.Since(start).Round(time.Millisecond))
+	for _, tr := range res.Traces {
+		fmt.Printf("  iter %d: centroids %d→%d, ε %.4f, cycles sum/diss/dec %d/%d/%d\n",
+			tr.Iteration, tr.CentroidsIn, tr.CentroidsOut, tr.EpsilonSpent,
+			tr.SumCycles, tr.DissCycles, tr.DecryptCycles)
+	}
+	c := res.Counters
+	fmt.Printf("final: %d centroids, ε spent %.4f, exchanges %d (init %d / resp %d), timeouts %d, sent %.1f kB, recv %.1f kB\n",
+		len(res.Centroids), res.TotalEpsilon, c.Exchanges(), c.Initiated, c.Responded,
+		c.Timeouts, float64(c.BytesSent)/1024, float64(c.BytesRecv)/1024)
+	for i, ctr := range res.Centroids {
+		preview := ctr
+		if len(preview) > 6 {
+			preview = preview[:6]
+		}
+		fmt.Printf("  centroid %d: %.3f…\n", i, preview)
+	}
+	_ = nd.Leave()
+}
+
+func writeKeyFiles(dir string, population, keyBits, degree, tau int) error {
+	if population < 2 {
+		return fmt.Errorf("population must be at least 2")
+	}
+	if tau <= 0 {
+		tau = population / 3
+		if tau < 2 {
+			tau = 2
+		}
+	}
+	// Validate the parameters build a scheme before emitting anything.
+	if _, err := chiaroscuro.NewTestScheme(keyBits, degree, population, tau); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < population; i++ {
+		kf := keyFile{Scheme: "dj-test", KeyBits: keyBits, Degree: degree, Shares: population, Threshold: tau, Index: i}
+		raw, err := json.MarshalIndent(kf, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("node-%d.json", i))
+		if err := os.WriteFile(path, append(raw, '\n'), 0o600); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("chiaroscurod: wrote %d test key files to %s (NO security; see -h)\n", population, dir)
+	return nil
+}
+
+func loadKeyFile(path string, population int) (keyFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return keyFile{}, err
+	}
+	var kf keyFile
+	if err := json.Unmarshal(raw, &kf); err != nil {
+		return keyFile{}, fmt.Errorf("key file %s: %w", path, err)
+	}
+	if kf.Scheme != "dj-test" {
+		return keyFile{}, fmt.Errorf("key file %s: unsupported scheme %q", path, kf.Scheme)
+	}
+	if kf.Shares < population {
+		return keyFile{}, fmt.Errorf("key file has %d shares for a population of %d", kf.Shares, population)
+	}
+	if kf.Index < 0 || kf.Index >= population {
+		return keyFile{}, fmt.Errorf("key file index %d out of range", kf.Index)
+	}
+	return kf, nil
+}
+
+func loadData(csvPath, dataset string, size int, seed uint64) (d *chiaroscuro.Dataset, dmin, dmax float64, kind string, err error) {
+	if csvPath != "" {
+		d, err = chiaroscuro.LoadCSV(csvPath)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		dmin, dmax = d.Range()
+		return d, dmin, dmax, "cer", nil
+	}
+	switch dataset {
+	case "cer":
+		d, _ = chiaroscuro.GenerateCER(size, seed)
+		return d, chiaroscuro.CERMin, chiaroscuro.CERMax, "cer", nil
+	case "numed":
+		d, _ = chiaroscuro.GenerateNUMED(size, seed)
+		return d, chiaroscuro.NUMEDMin, chiaroscuro.NUMEDMax, "numed", nil
+	}
+	return nil, 0, 0, "", fmt.Errorf("unknown dataset %q", dataset)
+}
+
+// serveMetrics exposes wire counters and protocol progress in the
+// Prometheus text exposition format.
+func serveMetrics(addr string, nd *node.Node) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		c := nd.Counters()
+		iter, phase := nd.Progress()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP chiaroscuro_exchanges_total Completed exchanges by role.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_exchanges_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_exchanges_total{role=\"initiator\"} %d\n", c.Initiated)
+		fmt.Fprintf(w, "chiaroscuro_exchanges_total{role=\"responder\"} %d\n", c.Responded)
+		fmt.Fprintf(w, "# HELP chiaroscuro_exchange_timeouts_total Exchanges abandoned on a deadline.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_exchange_timeouts_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_exchange_timeouts_total %d\n", c.Timeouts)
+		fmt.Fprintf(w, "# HELP chiaroscuro_frames_rejected_total Frames refused (version/epoch/bounds).\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_frames_rejected_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_frames_rejected_total %d\n", c.Rejected)
+		fmt.Fprintf(w, "# HELP chiaroscuro_wire_bytes_total Wire bytes by direction.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_wire_bytes_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_wire_bytes_total{direction=\"sent\"} %d\n", c.BytesSent)
+		fmt.Fprintf(w, "chiaroscuro_wire_bytes_total{direction=\"received\"} %d\n", c.BytesRecv)
+		fmt.Fprintf(w, "# HELP chiaroscuro_iteration Current protocol iteration.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_iteration gauge\n")
+		fmt.Fprintf(w, "chiaroscuro_iteration %d\n", iter)
+		fmt.Fprintf(w, "# HELP chiaroscuro_phase Current phase (0 sum, 1 dissemination, 2 decryption).\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_phase gauge\n")
+		fmt.Fprintf(w, "chiaroscuro_phase %d\n", phase)
+		fmt.Fprintf(w, "# HELP chiaroscuro_roster_size Participants known to the address book.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_roster_size gauge\n")
+		fmt.Fprintf(w, "chiaroscuro_roster_size %d\n", nd.RosterSize())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "chiaroscurod: metrics:", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chiaroscurod:", err)
+	os.Exit(1)
+}

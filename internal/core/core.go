@@ -91,6 +91,17 @@ type Config struct {
 	// fully serial). Results are identical per seed for any value.
 	Workers int
 
+	// DissCycles, when positive, fixes the number of correction-
+	// dissemination cycles instead of stopping at convergence, and
+	// DecryptCycles likewise fixes the epidemic-decryption phase length.
+	// Fixed lengths are how a networked deployment schedules phases —
+	// no participant can observe global convergence — so a simulation
+	// configured with the same values is cycle-for-cycle identical to a
+	// networked run at the same seed (extra cycles past convergence are
+	// protocol no-ops). Zero keeps the adaptive behavior.
+	DissCycles    int
+	DecryptCycles int
+
 	Sampler sim.Sampler // peer sampling (default uniform)
 
 	// TraceQuality computes the (omniscient) pre-perturbation inertia of
@@ -173,6 +184,44 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 	if cfg.Epsilon <= 0 {
 		return nil, errors.New("core: epsilon must be positive")
 	}
+	cfg = cfg.Normalize(np)
+	engine, err := sim.New(MirrorEngineConfig(cfg, np, data.Dim(), sch), cfg.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	codec := homenc.NewCodec(cfg.FracBits)
+	nw := &Network{
+		cfg:    cfg,
+		sch:    sch,
+		codec:  codec,
+		data:   data,
+		np:     np,
+		engine: engine,
+		rng:    ProtocolRNG(cfg.Seed),
+		acct:   &dp.Accountant{Cap: cfg.Epsilon * (1 + 1e-9)},
+	}
+	nw.shareIdx = make([]int, np)
+	for i := range nw.shareIdx {
+		nw.shareIdx[i] = i + 1
+	}
+	// Plaintext headroom: the EESum epoch grows by one per exchange a
+	// node participates in, with cascades across a cycle. Require a
+	// comfortable margin so a full run cannot overflow.
+	if space := sch.PlaintextSpace(); space != nil {
+		bound := nw.sumAbsBound()
+		needed := 8*cfg.Exchanges + 64
+		if have := HeadroomBits(space, bound); have < needed {
+			return nil, fmt.Errorf("core: plaintext space too small: %d epochs of headroom, need ~%d (raise key bits or the scheme degree s)", have, needed)
+		}
+	}
+	return nw, nil
+}
+
+// Normalize fills the paper defaults that depend on the population
+// size, returning the effective configuration. Both the simulated
+// Network and every networked peer apply it to the shared parameters,
+// so their derived defaults are guaranteed to agree.
+func (cfg Config) Normalize(np int) Config {
 	if cfg.Budget == nil {
 		cfg.Budget = dp.Greedy{Eps: cfg.Epsilon}
 	}
@@ -197,48 +246,31 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 	if cfg.Workers == 0 {
 		cfg.Workers = parallel.Workers()
 	}
-	sampler := cfg.Sampler
-	if sampler == nil {
-		sampler = &sim.UniformSampler{}
+	if cfg.Sampler == nil {
+		cfg.Sampler = &sim.UniformSampler{}
 	}
-	engine, err := sim.New(sim.Config{
+	return cfg
+}
+
+// MirrorEngineConfig is the exact engine configuration a deployment of
+// np participants runs on — shared so every networked peer can mirror
+// the engine (same seed, same churn model, same accounting) and draw
+// the identical exchange schedule the simulator executes.
+func MirrorEngineConfig(cfg Config, np, seriesDim int, sch homenc.Scheme) sim.Config {
+	return sim.Config{
 		N:            np,
 		Seed:         cfg.Seed,
 		Churn:        cfg.Churn,
 		MidFailure:   cfg.MidFailure,
-		MessageBytes: sch.CiphertextBytes() * (cfg.K*(data.Dim()+1) + 1),
+		MessageBytes: sch.CiphertextBytes() * (cfg.K*(seriesDim+1) + 1),
 		Workers:      cfg.Workers,
-	}, sampler)
-	if err != nil {
-		return nil, err
 	}
-	codec := homenc.NewCodec(cfg.FracBits)
-	nw := &Network{
-		cfg:    cfg,
-		sch:    sch,
-		codec:  codec,
-		data:   data,
-		np:     np,
-		engine: engine,
-		rng:    randx.New(cfg.Seed, 0xD1F7),
-		acct:   &dp.Accountant{Cap: cfg.Epsilon * (1 + 1e-9)},
-	}
-	nw.shareIdx = make([]int, np)
-	for i := range nw.shareIdx {
-		nw.shareIdx[i] = i + 1
-	}
-	// Plaintext headroom: the EESum epoch grows by one per exchange a
-	// node participates in, with cascades across a cycle. Require a
-	// comfortable margin so a full run cannot overflow.
-	if space := sch.PlaintextSpace(); space != nil {
-		bound := nw.sumAbsBound()
-		needed := 8*cfg.Exchanges + 64
-		if have := headroomBits(space, bound); have < needed {
-			return nil, fmt.Errorf("core: plaintext space too small: %d epochs of headroom, need ~%d (raise key bits or the scheme degree s)", have, needed)
-		}
-	}
-	return nw, nil
 }
+
+// ProtocolRNG is the deterministic base source of the protocol's noise
+// draws for a given seed; per-participant streams derive from it
+// (eesum.NodeNoiseStreams).
+func ProtocolRNG(seed uint64) *randx.RNG { return randx.New(seed, 0xD1F7) }
 
 // lockstep runs the encrypted means sum and the noise generation on the
 // same gossip exchanges (Algorithm 3 runs them "in background" in
@@ -260,24 +292,34 @@ func (l lockstep) ConcurrentExchangeSafe() bool {
 }
 
 // sumAbsBound upper-bounds the absolute encoded value any EESum slot can
-// reach before epoch scaling: the global sum of measures plus the
-// worst-case noise magnitude (taken very generously at 64 λ_max).
+// reach before epoch scaling.
 func (nw *Network) sumAbsBound() *big.Int {
-	maxMeasure := math.Max(math.Abs(nw.cfg.DMin), math.Abs(nw.cfg.DMax))
-	sens := dp.SumSensitivity(nw.data.Dim(), nw.cfg.DMin, nw.cfg.DMax)
+	return SumAbsBound(nw.cfg, nw.np, nw.data.Dim(), nw.codec)
+}
+
+// SumAbsBound upper-bounds the absolute encoded value any EESum slot
+// can reach before epoch scaling: the global sum of measures plus the
+// worst-case noise magnitude (taken very generously at 64 λ_max). It is
+// computable from the shared configuration alone, so every networked
+// participant derives the same headroom verdict.
+func SumAbsBound(cfg Config, np, seriesDim int, codec homenc.Codec) *big.Int {
+	maxMeasure := math.Max(math.Abs(cfg.DMin), math.Abs(cfg.DMax))
+	sens := dp.SumSensitivity(seriesDim, cfg.DMin, cfg.DMax)
 	// Smallest per-iteration ε the strategy will ever use bounds λ.
-	minEps := nw.cfg.Epsilon
-	for it := 1; it <= nw.cfg.MaxIterations; it++ {
-		if e := nw.cfg.Budget.Epsilon(it); e > 0 && e < minEps {
+	minEps := cfg.Epsilon
+	for it := 1; it <= cfg.MaxIterations; it++ {
+		if e := cfg.Budget.Epsilon(it); e > 0 && e < minEps {
 			minEps = e
 		}
 	}
 	lambdaMax := sens / (minEps / 2)
-	bound := float64(nw.np)*maxMeasure + 64*lambdaMax
-	return nw.codec.Encode(bound)
+	bound := float64(np)*maxMeasure + 64*lambdaMax
+	return codec.Encode(bound)
 }
 
-func headroomBits(space, bound *big.Int) int {
+// HeadroomBits returns how many doubling epochs fit between bound and
+// half the plaintext space.
+func HeadroomBits(space, bound *big.Int) int {
 	half := new(big.Int).Rsh(space, 1)
 	if bound.Sign() <= 0 {
 		return half.BitLen()
@@ -326,32 +368,13 @@ func (nw *Network) Run() (*Result, error) {
 func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float64) (*IterationTrace, []timeseries.Series, error) {
 	k := len(centroids)
 	n := nw.data.Dim()
-	dim := k * (n + 1)
 	trace := &IterationTrace{Iteration: it, CentroidsIn: k, EpsilonSpent: epsIter}
 
 	// --- Assignment step (local, cleartext): every participant builds
 	// its encrypted means contribution.
 	initial := make([][]*big.Int, nw.np)
-	zero := big.NewInt(0)
-	oneEnc := nw.codec.Encode(1)
 	for i := 0; i < nw.np; i++ {
-		row := nw.data.Row(i)
-		best, bestD2 := 0, math.Inf(1)
-		for c, ctr := range centroids {
-			if d2 := row.Dist2(ctr); d2 < bestD2 {
-				best, bestD2 = c, d2
-			}
-		}
-		vec := make([]*big.Int, dim)
-		for j := range vec {
-			vec[j] = zero
-		}
-		base := best * (n + 1)
-		for j, v := range row {
-			vec[base+j] = nw.codec.Encode(v)
-		}
-		vec[base+n] = oneEnc
-		initial[i] = vec
+		initial[i] = BuildContribution(nw.data.Row(i), centroids, nw.codec)
 	}
 	meansSum, err := eesum.NewSumWorkers(nw.sch, initial, 0, nw.cfg.Workers)
 	if err != nil {
@@ -368,16 +391,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	// Sum sensitivity, the count coordinates sensitivity 1; the
 	// iteration budget is split between them (disjoint clusters compose
 	// in parallel, so one cluster's release prices them all).
-	epsSum, epsCount := dp.SplitIteration(epsIter, nw.cfg.SumShare)
-	sens := dp.SumSensitivity(n, nw.cfg.DMin, nw.cfg.DMax)
-	lambdas := make([]float64, dim)
-	for c := 0; c < k; c++ {
-		base := c * (n + 1)
-		for j := 0; j < n; j++ {
-			lambdas[base+j] = dp.LaplaceScale(sens, epsSum)
-		}
-		lambdas[base+n] = dp.LaplaceScale(1, epsCount)
-	}
+	lambdas := NoiseLambdas(k, n, epsIter, nw.cfg.SumShare, nw.cfg.DMin, nw.cfg.DMax)
 	noise, err := eesum.NewNoiseGen(nw.sch, nw.codec, eesum.NoiseConfig{
 		Lambdas: lambdas,
 		NShares: nw.cfg.NoiseShares,
@@ -393,12 +407,24 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	trace.SumCycles = nw.cfg.Exchanges
 
 	// Noise correction: propose, disseminate (min identifier), apply.
-	if err := noise.PrepareCorrections(nw.rng); err != nil {
+	// A fixed DissCycles runs the networked deployment's schedule (extra
+	// cycles past convergence are no-ops); the adaptive default stops as
+	// soon as the omniscient convergence check passes.
+	if err := noise.PrepareCorrections(); err != nil {
 		return nil, nil, err
 	}
 	diss := 0
-	for ; diss < 4*nw.cfg.Exchanges && !noise.CorrectionConverged(); diss++ {
-		nw.engine.RunCycle(noise.ExchangeCorrection)
+	if nw.cfg.DissCycles > 0 {
+		for ; diss < nw.cfg.DissCycles; diss++ {
+			nw.engine.RunCycle(noise.ExchangeCorrection)
+		}
+		if !noise.CorrectionConverged() {
+			return nil, nil, errors.New("core: correction dissemination did not converge in the fixed cycle budget")
+		}
+	} else {
+		for ; diss < 4*nw.cfg.Exchanges && !noise.CorrectionConverged(); diss++ {
+			nw.engine.RunCycle(noise.ExchangeCorrection)
+		}
 	}
 	trace.DissCycles = diss
 	for i := 0; i < nw.np; i++ {
@@ -420,7 +446,14 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 		return nil, nil, err
 	}
 	dec.SetWorkers(nw.cfg.Workers)
-	trace.DecryptCycles = dec.RunUntilDone(nw.engine, 64*nw.cfg.Exchanges)
+	if nw.cfg.DecryptCycles > 0 {
+		// Fixed-length phase (networked schedule): run every cycle;
+		// exchanges past completion are protocol no-ops.
+		nw.engine.RunCyclesOn(nw.cfg.DecryptCycles, dec)
+		trace.DecryptCycles = nw.cfg.DecryptCycles
+	} else {
+		trace.DecryptCycles = dec.RunUntilDone(nw.engine, 64*nw.cfg.Exchanges)
+	}
 	if !dec.AllDone() {
 		return nil, nil, errors.New("core: epidemic decryption did not complete")
 	}
@@ -452,17 +485,86 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	return trace, next, nil
 }
 
-// postprocess turns a decoded k·(n+1) value vector into centroids:
-// divide sums by counts, smooth, and apply the aberrant filters
-// (Section 5.2 and footnote 8).
+// postprocess turns a decoded k·(n+1) value vector into centroids.
 func (nw *Network) postprocess(vals []float64, k, n int) []timeseries.Series {
+	return Postprocess(vals, k, n, PostprocessParams{
+		DMin: nw.cfg.DMin, DMax: nw.cfg.DMax,
+		RangeSlack: nw.cfg.RangeSlack, CountFloor: nw.cfg.CountFloor,
+		Smooth: nw.cfg.Smooth, SMAFraction: nw.cfg.SMAFraction,
+	})
+}
+
+// PostprocessParams carries the convergence-step knobs of Section 5.2
+// and footnote 8, shared between the simulated Network and the
+// networked peer runtime.
+type PostprocessParams struct {
+	DMin, DMax  float64
+	RangeSlack  float64 // aberrant filter slack (fraction of the range width)
+	CountFloor  float64 // aberrant filter on perturbed counts
+	Smooth      bool
+	SMAFraction float64
+}
+
+// BuildContribution is the assignment step every participant runs
+// locally: assign row to the closest live centroid and build the
+// k·(n+1) fixed-point contribution vector — the series in the chosen
+// cluster's slots, an encoded one in its count slot, zeros elsewhere.
+// Nil centroids (lost means) never attract assignments.
+func BuildContribution(row timeseries.Series, centroids []timeseries.Series, codec homenc.Codec) []*big.Int {
+	k, n := len(centroids), len(row)
+	best, bestD2 := 0, math.Inf(1)
+	for c, ctr := range centroids {
+		if ctr == nil {
+			continue
+		}
+		if d2 := row.Dist2(ctr); d2 < bestD2 {
+			best, bestD2 = c, d2
+		}
+	}
+	zero := big.NewInt(0)
+	vec := make([]*big.Int, k*(n+1))
+	for j := range vec {
+		vec[j] = zero
+	}
+	base := best * (n + 1)
+	for j, v := range row {
+		vec[base+j] = codec.Encode(v)
+	}
+	vec[base+n] = codec.Encode(1)
+	return vec
+}
+
+// NoiseLambdas builds the per-variable Laplace scale vector of one
+// iteration: the k·n sum slots use the time-series Sum sensitivity, the
+// k count slots sensitivity 1, with the iteration budget split between
+// them (disjoint clusters compose in parallel, so one cluster's release
+// prices them all). Shared between the simulated Network and the
+// networked peer runtime, which must derive identical scales.
+func NoiseLambdas(k, n int, epsIter, sumShare, dmin, dmax float64) []float64 {
+	epsSum, epsCount := dp.SplitIteration(epsIter, sumShare)
+	sens := dp.SumSensitivity(n, dmin, dmax)
+	lambdas := make([]float64, k*(n+1))
+	for c := 0; c < k; c++ {
+		base := c * (n + 1)
+		for j := 0; j < n; j++ {
+			lambdas[base+j] = dp.LaplaceScale(sens, epsSum)
+		}
+		lambdas[base+n] = dp.LaplaceScale(1, epsCount)
+	}
+	return lambdas
+}
+
+// Postprocess turns a decoded k·(n+1) value vector into centroids:
+// divide sums by counts, smooth, and apply the aberrant filters
+// (Section 5.2 and footnote 8). Lost or aberrant means come back nil.
+func Postprocess(vals []float64, k, n int, p PostprocessParams) []timeseries.Series {
 	out := make([]timeseries.Series, k)
-	rangeWidth := nw.cfg.DMax - nw.cfg.DMin
-	lo := nw.cfg.DMin - nw.cfg.RangeSlack*rangeWidth
-	hi := nw.cfg.DMax + nw.cfg.RangeSlack*rangeWidth
+	rangeWidth := p.DMax - p.DMin
+	lo := p.DMin - p.RangeSlack*rangeWidth
+	hi := p.DMax + p.RangeSlack*rangeWidth
 	var window int
-	if nw.cfg.Smooth {
-		frac := nw.cfg.SMAFraction
+	if p.Smooth {
+		frac := p.SMAFraction
 		if frac <= 0 {
 			frac = 0.2
 		}
@@ -471,14 +573,14 @@ func (nw *Network) postprocess(vals []float64, k, n int) []timeseries.Series {
 	for c := 0; c < k; c++ {
 		base := c * (n + 1)
 		count := vals[base+n]
-		if count < nw.cfg.CountFloor {
+		if count < p.CountFloor {
 			continue // lost mean
 		}
 		mean := make(timeseries.Series, n)
 		for j := 0; j < n; j++ {
 			mean[j] = vals[base+j] / count
 		}
-		if nw.cfg.Smooth && window > 0 {
+		if p.Smooth && window > 0 {
 			mean = mean.SMA(window)
 		}
 		if !mean.InRange(lo, hi) {

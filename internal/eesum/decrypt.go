@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/big"
-	"sync"
-	"sync/atomic"
 
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/parallel"
@@ -109,26 +107,13 @@ func (d *Decryption) ConcurrentExchangeSafe() bool { return true }
 // ciphertexts and stores it in to's set (at most once per share,
 // Section 4.2.3).
 func (d *Decryption) apply(to, from sim.NodeID) {
-	if len(d.parts[to]) >= d.threshold {
-		return
-	}
 	idx := d.ownIdx[from]
-	if _, dup := d.parts[to][idx]; dup {
+	if !DecNeeds(d.parts[to], d.threshold, idx) {
 		return
 	}
-	cts := d.states[to].CTs
-	ps := make([]homenc.PartialDecryption, len(cts))
-	var failed atomic.Bool
-	parallel.ForEach(d.dimWorkers(), len(cts), func(j int) {
-		p, err := d.sch.PartialDecrypt(idx, cts[j])
-		if err != nil {
-			failed.Store(true) // validated at construction, cannot happen
-			return
-		}
-		ps[j] = p
-	})
-	if failed.Load() {
-		return
+	ps, err := DecPartials(d.sch, idx, d.states[to].CTs, d.dimWorkers())
+	if err != nil {
+		return // share indices validated at construction, cannot happen
 	}
 	d.parts[to][idx] = ps
 }
@@ -139,9 +124,9 @@ func (d *Decryption) Exchange(a, b sim.NodeID, full bool) {
 	// erases its partially-decrypted state and adopts the more advanced
 	// side's — ciphertexts, weight and partials move together so the
 	// set stays consistent with the ciphertexts it decrypts.
-	if len(d.parts[b]) > len(d.parts[a]) {
+	if DecAdopts(len(d.parts[a]), len(d.parts[b])) {
 		d.adopt(a, b)
-	} else if full && len(d.parts[a]) > len(d.parts[b]) {
+	} else if full && DecAdopts(len(d.parts[b]), len(d.parts[a])) {
 		d.adopt(b, a)
 	}
 	// Each side applies its own key-share to the other's ciphertexts,
@@ -156,14 +141,7 @@ func (d *Decryption) Exchange(a, b sim.NodeID, full bool) {
 
 func (d *Decryption) adopt(to, from sim.NodeID) {
 	d.states[to] = d.states[from]
-	dst := make(map[int][]homenc.PartialDecryption, d.threshold)
-	for k, v := range d.parts[from] {
-		if len(dst) == d.threshold {
-			break
-		}
-		dst[k] = v
-	}
-	d.parts[to] = dst
+	d.parts[to] = CopyParts(d.parts[from], d.threshold)
 }
 
 // Done reports whether node i gathered τ distinct key-shares.
@@ -194,36 +172,7 @@ func (d *Decryption) RunUntilDone(e *sim.Engine, maxCycles int) int {
 // Plaintexts combines node i's accumulated partials into the plaintext
 // vector of the state it currently holds. It fails below the threshold.
 func (d *Decryption) Plaintexts(i sim.NodeID) ([]*big.Int, error) {
-	if !d.Done(i) {
-		return nil, errors.New("eesum: decryption incomplete")
-	}
-	cts := d.states[i].CTs
-	out := make([]*big.Int, len(cts))
-	var mu sync.Mutex
-	var firstErr error
-	parallel.ForEach(d.dimWorkers(), len(cts), func(j int) {
-		parts := make([]homenc.PartialDecryption, 0, d.threshold)
-		for _, ps := range d.parts[i] {
-			parts = append(parts, ps[j])
-			if len(parts) == d.threshold {
-				break
-			}
-		}
-		m, err := d.sch.Combine(cts[j], parts)
-		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-			return
-		}
-		out[j] = m
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return CombineParts(d.sch, d.states[i].CTs, d.parts[i], d.threshold, d.dimWorkers())
 }
 
 // Values decodes node i's decrypted plaintexts into floats using the
@@ -233,15 +182,7 @@ func (d *Decryption) Values(i sim.NodeID, codec homenc.Codec) ([]float64, error)
 	if err != nil {
 		return nil, err
 	}
-	omega := d.states[i].Omega
-	if omega == nil || omega.Sign() == 0 {
-		return nil, errors.New("eesum: zero weight; estimate undefined")
-	}
-	out := make([]float64, len(ms))
-	for j, m := range ms {
-		out[j] = codec.Decode(homenc.Centered(m, d.sch.PlaintextSpace()), omega)
-	}
-	return out, nil
+	return DecodeState(d.sch, codec, ms, d.states[i].Omega)
 }
 
 // DecryptionLatency is the counting-only model of the epidemic

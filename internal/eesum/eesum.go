@@ -137,32 +137,21 @@ func (s *Sum) Epoch(i sim.NodeID) int { return s.epoch[i] }
 // When full is false only the initiator applies the update (mid-exchange
 // churn corruption, Section 6.1.5).
 func (s *Sum) Exchange(a, b sim.NodeID, full bool) {
-	ea, eb := s.epoch[a], s.epoch[b]
-	cta, ctb := s.ct[a], s.ct[b]
-	oa, ob := s.omega[a], s.omega[b]
-	// Scale the staler side to the fresher epoch.
-	if ea < eb {
-		cta = scaleVec(s.sch, cta, uint(eb-ea), s.dimWorkers())
-		oa = new(big.Int).Lsh(oa, uint(eb-ea))
-	} else if eb < ea {
-		ctb = scaleVec(s.sch, ctb, uint(ea-eb), s.dimWorkers())
-		ob = new(big.Int).Lsh(ob, uint(ea-eb))
-	}
-	sum := make([]homenc.Ciphertext, s.dim)
-	parallel.ForEach(s.dimWorkers(), s.dim, func(j int) {
-		sum[j] = s.sch.Add(cta[j], ctb[j])
-	})
-	omega := new(big.Int).Add(oa, ob)
-	epoch := max(ea, eb) + 1
-
-	s.ct[a], s.omega[a], s.epoch[a] = sum, omega, epoch
+	m := MergeSum(s.sch, s.State(a), s.State(b), s.dimWorkers())
+	s.ct[a], s.omega[a], s.epoch[a] = m.CTs, m.Omega, m.Epoch
 	if full {
 		// The two sides share ciphertext values (immutable), but not the
-		// slice, so later in-place rescaling of one cannot corrupt the other.
-		cpy := make([]homenc.Ciphertext, s.dim)
-		copy(cpy, sum)
-		s.ct[b], s.omega[b], s.epoch[b] = cpy, new(big.Int).Set(omega), epoch
+		// slice or weight, so later in-place mutation of one cannot
+		// corrupt the other.
+		cpy := m.Clone()
+		s.ct[b], s.omega[b], s.epoch[b] = cpy.CTs, cpy.Omega, cpy.Epoch
 	}
+}
+
+// State returns node i's portable EESum state (shared slices; treat as
+// read-only or Clone).
+func (s *Sum) State(i sim.NodeID) SumState {
+	return SumState{CTs: s.ct[i], Omega: s.omega[i], Epoch: s.epoch[i]}
 }
 
 func scaleVec(sch homenc.Scheme, in []homenc.Ciphertext, shift uint, workers int) []homenc.Ciphertext {
@@ -180,14 +169,7 @@ func scaleVec(sch homenc.Scheme, in []homenc.Ciphertext, shift uint, workers int
 // plaintext integers v; what is added is E(v · ω_i), so the decoded
 // estimate shifts by exactly v.
 func (s *Sum) AddEncrypted(i sim.NodeID, v []*big.Int) error {
-	if len(v) != s.dim {
-		return errors.New("eesum: dimension mismatch")
-	}
-	parallel.ForEach(s.dimWorkers(), s.dim, func(j int) {
-		scaled := new(big.Int).Mul(v[j], s.omega[i])
-		s.ct[i][j] = s.sch.Add(s.ct[i][j], s.sch.Encrypt(scaled))
-	})
-	return nil
+	return AddEncryptedState(s.sch, s.State(i), v, s.dimWorkers())
 }
 
 // Ciphertexts returns node i's current encrypted vector (shared; do not

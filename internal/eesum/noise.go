@@ -50,15 +50,17 @@ type NoiseGen struct {
 	Enc *Sum        // encrypted sum of noise-share vectors
 	Ctr *gossip.Sum // cleartext count of contributing participants
 
-	corID  []uint64    // per-node correction identifier
-	corVec [][]float64 // per-node correction proposal
-	n      int
+	corID   []uint64    // per-node correction identifier
+	corVec  [][]float64 // per-node correction proposal
+	n       int
+	streams []*randx.RNG // per-node noise streams (NodeNoiseStreams)
 }
 
 // NewNoiseGen draws every node's noise-share vector (Definition 5),
 // encrypts it into an EESum, and initializes the participant counter.
 // rng must be the experiment's deterministic source; per-node streams
-// are derived from it.
+// are derived from it (NodeNoiseStreams), so a networked participant
+// holding the same seed draws bit-identical shares from its own stream.
 func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, rng *randx.RNG) (*NoiseGen, error) {
 	if cfg.Dim() < 1 || cfg.NShares < 1 {
 		return nil, errors.New("eesum: invalid noise configuration")
@@ -68,14 +70,16 @@ func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, 
 			return nil, errors.New("eesum: non-positive Laplace scale")
 		}
 	}
-	// The noise-shares are drawn strictly sequentially from the
+	// The noise-shares are drawn from per-node streams split off the
 	// deterministic rng (reproducibility per seed); only the encryption
 	// fan-out below runs on the worker pool.
+	streams := NodeNoiseStreams(rng, n)
 	initial := make([][]*big.Int, n)
 	for i := 0; i < n; i++ {
+		shares := NoiseShareVector(streams[i], cfg)
 		vec := make([]*big.Int, cfg.Dim())
 		for j := 0; j < cfg.Dim(); j++ {
-			vec[j] = codec.Encode(rng.NoiseShare(cfg.NShares, cfg.Lambdas[j]))
+			vec[j] = codec.Encode(shares[j])
 		}
 		initial[i] = vec
 	}
@@ -92,11 +96,12 @@ func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, 
 		ones[i] = 1
 	}
 	return &NoiseGen{
-		cfg:   cfg,
-		codec: codec,
-		Enc:   enc,
-		Ctr:   gossip.NewSum(ones, 0),
-		n:     n,
+		cfg:     cfg,
+		codec:   codec,
+		Enc:     enc,
+		Ctr:     gossip.NewSum(ones, 0),
+		n:       n,
+		streams: streams,
 	}, nil
 }
 
@@ -116,29 +121,16 @@ func (g *NoiseGen) ConcurrentExchangeSafe() bool { return true }
 // PrepareCorrections computes each node's local surplus estimate and
 // correction proposal (Section 4.2.2): if the counter says ctr > nν
 // participants contributed, the node draws ctr−nν extra noise-shares
-// summed into a correction vector, tagged with a random identifier.
+// summed into a correction vector, tagged with a random identifier —
+// all from the node's own noise stream (CorrectionProposal), so the
+// draws are local decisions a networked participant replicates exactly.
 // It must be called after the sum phase has converged.
-func (g *NoiseGen) PrepareCorrections(rng *randx.RNG) error {
+func (g *NoiseGen) PrepareCorrections() error {
 	g.corID = make([]uint64, g.n)
 	g.corVec = make([][]float64, g.n)
 	for i := 0; i < g.n; i++ {
 		est, ok := g.Ctr.Estimate(i)
-		if !ok {
-			// A node without a defined counter estimate proposes the
-			// identity correction with the worst identifier.
-			g.corID[i] = ^uint64(0)
-			g.corVec[i] = make([]float64, g.cfg.Dim())
-			continue
-		}
-		surplus := int(est+0.5) - g.cfg.NShares
-		vec := make([]float64, g.cfg.Dim())
-		for extra := 0; extra < surplus; extra++ {
-			for j := 0; j < g.cfg.Dim(); j++ {
-				vec[j] += rng.NoiseShare(g.cfg.NShares, g.cfg.Lambdas[j])
-			}
-		}
-		g.corID[i] = rng.Uint64()
-		g.corVec[i] = vec
+		g.corID[i], g.corVec[i] = CorrectionProposal(g.streams[i], g.cfg, est, ok)
 	}
 	return nil
 }
@@ -187,14 +179,5 @@ func (g *NoiseGen) ApplyCorrection(i sim.NodeID) error {
 // case where both EESums ran in lockstep on the same engine and hold
 // identical weights: then ciphertexts add directly.
 func (g *NoiseGen) PerturbMeans(i sim.NodeID, means *Sum) error {
-	if means.Dim() != g.Enc.Dim() {
-		return errors.New("eesum: dimension mismatch between means and noise")
-	}
-	if means.Omega(i).Cmp(g.Enc.Omega(i)) != 0 || means.Epoch(i) != g.Enc.Epoch(i) {
-		return errors.New("eesum: means and noise states not in lockstep")
-	}
-	for j := 0; j < means.Dim(); j++ {
-		means.ct[i][j] = means.sch.Add(means.ct[i][j], g.Enc.ct[i][j])
-	}
-	return nil
+	return PerturbState(means.sch, means.State(i), g.Enc.State(i))
 }

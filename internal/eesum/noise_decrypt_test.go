@@ -33,7 +33,7 @@ func TestNoiseGenExactPopulation(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.RunCycles(15, g.Exchange)
-		if err := g.PrepareCorrections(rng); err != nil {
+		if err := g.PrepareCorrections(); err != nil {
 			t.Fatal(err)
 		}
 		// Surplus should be zero: corrections are all-zero vectors.
@@ -80,7 +80,7 @@ func TestNoiseGenSurplusCorrection(t *testing.T) {
 			t.Fatalf("node %d: counter estimate %v (ok=%v), want %d", i, ctr, ok, n)
 		}
 	}
-	if err := g.PrepareCorrections(rng); err != nil {
+	if err := g.PrepareCorrections(); err != nil {
 		t.Fatal(err)
 	}
 	nonZero := 0

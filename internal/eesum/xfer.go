@@ -1,0 +1,257 @@
+// Transport-agnostic exchange transitions: the state updates of the
+// encrypted epidemic protocols (Algorithm 2 sum merge, Section 4.2.3
+// decryption adoption/partial gathering, Section 4.2.2 noise streams)
+// expressed over portable per-participant states, with no reference to
+// the simulation engine. The in-memory protocol drivers in this package
+// and the TCP runtime in internal/node both execute these exact
+// functions, which is what makes a networked run bit-reproduce a
+// simulated one at the same seed.
+
+package eesum
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/parallel"
+	"chiaroscuro/internal/randx"
+)
+
+// SumState is one participant's portable EESum state: the encrypted
+// vector, the integer epidemic weight, and the deferred-division epoch.
+// Its logical value is CTs / (Omega · 2^FracBits); the 2^Epoch scaling
+// is common to numerator and weight and cancels at decode time.
+type SumState struct {
+	CTs   []homenc.Ciphertext
+	Omega *big.Int
+	Epoch int
+}
+
+// Clone returns a deep-enough copy: the ciphertext slice and weight are
+// fresh, the (immutable) ciphertext values are shared.
+func (st SumState) Clone() SumState {
+	cts := make([]homenc.Ciphertext, len(st.CTs))
+	copy(cts, st.CTs)
+	return SumState{CTs: cts, Omega: new(big.Int).Set(st.Omega), Epoch: st.Epoch}
+}
+
+// MergeSum is the local update rule of Algorithm 2 as a pure function of
+// the two exchanging sides' states: the staler side is rescaled to the
+// fresher epoch (ciphertext exponentiation, weight shift), the vectors
+// are added homomorphically, the weights added, and the epoch advanced.
+// Neither input is mutated. Both sides of a full exchange adopt the
+// result (each via its own Clone when states must not alias).
+func MergeSum(sch homenc.Scheme, a, b SumState, workers int) SumState {
+	cta, ctb := a.CTs, b.CTs
+	oa, ob := a.Omega, b.Omega
+	if a.Epoch < b.Epoch {
+		cta = scaleVec(sch, cta, uint(b.Epoch-a.Epoch), workers)
+		oa = new(big.Int).Lsh(oa, uint(b.Epoch-a.Epoch))
+	} else if b.Epoch < a.Epoch {
+		ctb = scaleVec(sch, ctb, uint(a.Epoch-b.Epoch), workers)
+		ob = new(big.Int).Lsh(ob, uint(a.Epoch-b.Epoch))
+	}
+	sum := make([]homenc.Ciphertext, len(cta))
+	parallel.ForEach(workers, len(cta), func(j int) {
+		sum[j] = sch.Add(cta[j], ctb[j])
+	})
+	return SumState{
+		CTs:   sum,
+		Omega: new(big.Int).Add(oa, ob),
+		Epoch: max(a.Epoch, b.Epoch) + 1,
+	}
+}
+
+// AddEncryptedState homomorphically adds E(v_j · st.Omega) into st.CTs
+// in place — the "encrypted perturbation" of Algorithm 3 line 7 shape,
+// shifting the decoded estimate by exactly v.
+func AddEncryptedState(sch homenc.Scheme, st SumState, v []*big.Int, workers int) error {
+	if len(v) != len(st.CTs) {
+		return errors.New("eesum: dimension mismatch")
+	}
+	parallel.ForEach(workers, len(st.CTs), func(j int) {
+		scaled := new(big.Int).Mul(v[j], st.Omega)
+		st.CTs[j] = sch.Add(st.CTs[j], sch.Encrypt(scaled))
+	})
+	return nil
+}
+
+// PerturbState adds the noise state's ciphertexts element-wise into the
+// means state (Algorithm 3 line 7: M.s = M.s +h N.s). Both states must
+// have run in lockstep on the same exchanges, so their weights and
+// epochs agree and the ciphertexts add directly.
+func PerturbState(sch homenc.Scheme, means, noise SumState) error {
+	if len(means.CTs) != len(noise.CTs) {
+		return errors.New("eesum: dimension mismatch between means and noise")
+	}
+	if means.Omega.Cmp(noise.Omega) != 0 || means.Epoch != noise.Epoch {
+		return errors.New("eesum: means and noise states not in lockstep")
+	}
+	for j := range means.CTs {
+		means.CTs[j] = sch.Add(means.CTs[j], noise.CTs[j])
+	}
+	return nil
+}
+
+// DecodeState decodes a decrypted plaintext vector of a SumState using
+// its weight, centering residues into the plaintext space first.
+func DecodeState(sch homenc.Scheme, codec homenc.Codec, ms []*big.Int, omega *big.Int) ([]float64, error) {
+	if omega == nil || omega.Sign() == 0 {
+		return nil, errors.New("eesum: zero weight; estimate undefined")
+	}
+	out := make([]float64, len(ms))
+	for j, m := range ms {
+		out[j] = codec.Decode(homenc.Centered(m, sch.PlaintextSpace()), omega)
+	}
+	return out, nil
+}
+
+// DimWorkers gates a per-dimension worker count the way the in-memory
+// protocols do: vectors too short to amortize the fan-out run serial.
+func DimWorkers(dim, workers int) int {
+	if dim < minParallelDim || workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// --- Epidemic decryption transitions (Section 4.2.3) ---
+
+// DecAdopts reports whether the side holding gathered shares `mine`
+// adopts the peer state holding `theirs` — the latency optimization of
+// Section 4.2.3: the less advanced side erases its partially-decrypted
+// state and takes over the more advanced side's wholesale. Ties adopt
+// nothing.
+func DecAdopts(mine, theirs int) bool { return theirs > mine }
+
+// DecNeeds reports whether a state with the given gathered partials
+// still wants key-share idx: below the threshold and not yet present.
+func DecNeeds(parts map[int][]homenc.PartialDecryption, threshold, idx int) bool {
+	if len(parts) >= threshold {
+		return false
+	}
+	_, dup := parts[idx]
+	return !dup
+}
+
+// DecPartials computes key-share idx's partial decryption of every
+// element of cts — the unit of work one participant contributes to a
+// peer's (or its own) decryption state.
+func DecPartials(sch homenc.Scheme, idx int, cts []homenc.Ciphertext, workers int) ([]homenc.PartialDecryption, error) {
+	ps := make([]homenc.PartialDecryption, len(cts))
+	var firstErr error
+	var mu sync.Mutex
+	parallel.ForEach(workers, len(cts), func(j int) {
+		p, err := sch.PartialDecrypt(idx, cts[j])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		ps[j] = p
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ps, nil
+}
+
+// CopyParts copies a gathered-partials map, capped at threshold entries
+// (the adopting side never needs more than τ distinct shares).
+func CopyParts(parts map[int][]homenc.PartialDecryption, threshold int) map[int][]homenc.PartialDecryption {
+	dst := make(map[int][]homenc.PartialDecryption, threshold)
+	for k, v := range parts {
+		if len(dst) == threshold {
+			break
+		}
+		dst[k] = v
+	}
+	return dst
+}
+
+// CombineParts combines τ gathered partial-decryption vectors into the
+// plaintext vector of cts. parts maps share index to per-element
+// partials; threshold distinct shares must be present.
+func CombineParts(sch homenc.Scheme, cts []homenc.Ciphertext, parts map[int][]homenc.PartialDecryption, threshold, workers int) ([]*big.Int, error) {
+	if len(parts) < threshold {
+		return nil, errors.New("eesum: decryption incomplete")
+	}
+	out := make([]*big.Int, len(cts))
+	var mu sync.Mutex
+	var firstErr error
+	parallel.ForEach(workers, len(cts), func(j int) {
+		ps := make([]homenc.PartialDecryption, 0, threshold)
+		for _, shares := range parts {
+			ps = append(ps, shares[j])
+			if len(ps) == threshold {
+				break
+			}
+		}
+		m, err := sch.Combine(cts[j], ps)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[j] = m
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// --- Noise streams (Section 4.2.2) ---
+
+// NodeNoiseStreams derives the per-participant noise RNG streams from
+// the protocol's base source: stream i is Split(i), drawn in node order.
+// The derivation consumes a data-independent amount of the base source
+// (two values per node), so every participant of a networked deployment
+// holding the shared seed derives the identical stream family and keeps
+// only its own — while the simulator materializes all of them.
+func NodeNoiseStreams(rng *randx.RNG, n int) []*randx.RNG {
+	out := make([]*randx.RNG, n)
+	for i := range out {
+		out[i] = rng.Split(uint64(i))
+	}
+	return out
+}
+
+// NoiseShareVector draws one participant's noise-share vector
+// (Definition 5) from its stream: one ν = G1 − G2 per protocol variable.
+func NoiseShareVector(stream *randx.RNG, cfg NoiseConfig) []float64 {
+	vec := make([]float64, cfg.Dim())
+	for j := range vec {
+		vec[j] = stream.NoiseShare(cfg.NShares, cfg.Lambdas[j])
+	}
+	return vec
+}
+
+// CorrectionProposal draws one participant's surplus-correction proposal
+// (Section 4.2.2) from its stream: if the epidemic counter estimates
+// more than nν contributors, the surplus noise-shares are re-drawn and
+// summed into a correction vector tagged with a random identifier for
+// the min-identifier dissemination. A participant without a defined
+// counter estimate proposes the identity correction under the worst
+// identifier (it loses every dissemination comparison).
+func CorrectionProposal(stream *randx.RNG, cfg NoiseConfig, counterEst float64, ok bool) (uint64, []float64) {
+	if !ok {
+		return ^uint64(0), make([]float64, cfg.Dim())
+	}
+	surplus := int(counterEst+0.5) - cfg.NShares
+	vec := make([]float64, cfg.Dim())
+	for extra := 0; extra < surplus; extra++ {
+		for j := 0; j < cfg.Dim(); j++ {
+			vec[j] += stream.NoiseShare(cfg.NShares, cfg.Lambdas[j])
+		}
+	}
+	return stream.Uint64(), vec
+}

@@ -17,6 +17,17 @@ const (
 	wireNegative byte = 0x02
 )
 
+// DefaultMaxIntBytes bounds the magnitude of a decoded integer when the
+// caller supplies no tighter bound: 64 KiB covers Damgård–Jurik
+// ciphertexts up to a 4096-bit modulus at very high degrees with two
+// orders of magnitude to spare, while refusing the 4 GiB allocations a
+// hostile length prefix could otherwise request.
+const DefaultMaxIntBytes = 64 << 10
+
+// DefaultMaxVectorLen bounds the element count of a decoded ciphertext
+// vector when the caller supplies no tighter bound.
+const DefaultMaxVectorLen = 1 << 20
+
 // MarshalBinary implements encoding.BinaryMarshaler for ciphertexts.
 func (c Ciphertext) MarshalBinary() ([]byte, error) {
 	if c.V == nil {
@@ -25,9 +36,18 @@ func (c Ciphertext) MarshalBinary() ([]byte, error) {
 	return marshalInt(c.V), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler with the
+// DefaultMaxIntBytes magnitude bound.
 func (c *Ciphertext) UnmarshalBinary(data []byte) error {
-	v, rest, err := unmarshalInt(data)
+	return c.UnmarshalBinaryBound(data, DefaultMaxIntBytes)
+}
+
+// UnmarshalBinaryBound decodes a ciphertext whose magnitude must not
+// exceed maxBytes (callers on a network boundary pass the scheme's
+// actual ciphertext size, so a malicious frame cannot force a large
+// allocation).
+func (c *Ciphertext) UnmarshalBinaryBound(data []byte, maxBytes int) error {
+	v, rest, err := unmarshalInt(data, maxBytes)
 	if err != nil {
 		return err
 	}
@@ -49,13 +69,20 @@ func (p PartialDecryption) MarshalBinary() ([]byte, error) {
 	return append(out, marshalInt(p.V)...), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler with the
+// DefaultMaxIntBytes magnitude bound.
 func (p *PartialDecryption) UnmarshalBinary(data []byte) error {
+	return p.UnmarshalBinaryBound(data, DefaultMaxIntBytes)
+}
+
+// UnmarshalBinaryBound decodes a partial decryption whose magnitude
+// must not exceed maxBytes.
+func (p *PartialDecryption) UnmarshalBinaryBound(data []byte, maxBytes int) error {
 	if len(data) < 4 {
 		return errors.New("homenc: short partial decryption")
 	}
 	idx := binary.BigEndian.Uint32(data)
-	v, rest, err := unmarshalInt(data[4:])
+	v, rest, err := unmarshalInt(data[4:], maxBytes)
 	if err != nil {
 		return err
 	}
@@ -82,19 +109,38 @@ func MarshalVector(cts []Ciphertext) ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalVector decodes a MarshalVector payload.
+// UnmarshalVector decodes a MarshalVector payload with the default
+// bounds (DefaultMaxVectorLen elements of DefaultMaxIntBytes each).
 func UnmarshalVector(data []byte) ([]Ciphertext, error) {
+	return UnmarshalVectorBound(data, DefaultMaxVectorLen, DefaultMaxIntBytes)
+}
+
+// UnmarshalVectorBound decodes a MarshalVector payload rejecting more
+// than maxLen elements or any magnitude above maxBytes — both checked
+// before allocating, so a hostile count or length prefix cannot reserve
+// memory beyond what the frame itself carries.
+func UnmarshalVectorBound(data []byte, maxLen, maxBytes int) ([]Ciphertext, error) {
 	if len(data) < 4 {
 		return nil, errors.New("homenc: short vector")
 	}
 	n := binary.BigEndian.Uint32(data)
-	if n > 1<<24 {
-		return nil, fmt.Errorf("homenc: implausible vector length %d", n)
+	if maxLen < 0 {
+		maxLen = 0
+	}
+	if uint64(n) > uint64(maxLen) {
+		return nil, fmt.Errorf("homenc: vector length %d exceeds bound %d", n, maxLen)
 	}
 	data = data[4:]
-	out := make([]Ciphertext, 0, n)
+	// Every element costs at least 5 bytes on the wire, so the count can
+	// never exceed len(data)/5 in a well-formed payload: cap the
+	// pre-allocation by the bytes actually present.
+	capHint := n
+	if present := uint32(len(data) / 5); capHint > present {
+		capHint = present
+	}
+	out := make([]Ciphertext, 0, capHint)
 	for i := uint32(0); i < n; i++ {
-		v, rest, err := unmarshalInt(data)
+		v, rest, err := unmarshalInt(data, maxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -105,6 +151,18 @@ func UnmarshalVector(data []byte) ([]Ciphertext, error) {
 		return nil, errors.New("homenc: trailing bytes after vector")
 	}
 	return out, nil
+}
+
+// MarshalInt encodes an arbitrary big integer in the package's
+// canonical sign/length/magnitude format — the building block the wire
+// protocol layer uses for epidemic weights and other protocol integers.
+func MarshalInt(v *big.Int) []byte { return marshalInt(v) }
+
+// UnmarshalIntBound decodes one MarshalInt integer from the front of
+// data, rejecting magnitudes above maxBytes before allocating, and
+// returns the remaining bytes.
+func UnmarshalIntBound(data []byte, maxBytes int) (*big.Int, []byte, error) {
+	return unmarshalInt(data, maxBytes)
 }
 
 func marshalInt(v *big.Int) []byte {
@@ -120,7 +178,11 @@ func marshalInt(v *big.Int) []byte {
 	return out
 }
 
-func unmarshalInt(data []byte) (*big.Int, []byte, error) {
+// unmarshalInt decodes one tag/length/magnitude integer. maxBytes is
+// the caller's bound on the magnitude size: a length prefix beyond it
+// is rejected before any allocation happens, which is what protects a
+// network endpoint from a malicious frame advertising a huge integer.
+func unmarshalInt(data []byte, maxBytes int) (*big.Int, []byte, error) {
 	if len(data) < 5 {
 		return nil, nil, errors.New("homenc: short integer encoding")
 	}
@@ -129,6 +191,12 @@ func unmarshalInt(data []byte) (*big.Int, []byte, error) {
 		return nil, nil, fmt.Errorf("homenc: unknown integer tag 0x%02x", kind)
 	}
 	n := binary.BigEndian.Uint32(data[1:])
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	if uint64(n) > uint64(maxBytes) {
+		return nil, nil, fmt.Errorf("homenc: integer magnitude %d bytes exceeds bound %d", n, maxBytes)
+	}
 	if uint32(len(data)-5) < n {
 		return nil, nil, errors.New("homenc: truncated integer encoding")
 	}

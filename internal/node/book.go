@@ -1,0 +1,108 @@
+package node
+
+import (
+	"sync"
+
+	"chiaroscuro/internal/wireproto"
+)
+
+// book is a node's address-book view: the Newscast-style local view Λ
+// mapping population indices to dialable addresses with freshness
+// heartbeats. Unlike the protocol state, the book is connectivity
+// metadata — it is filled by hello/view gossip, never by the
+// deterministic schedule, and its contents carry no participant data.
+type book struct {
+	mu    sync.Mutex
+	self  int
+	n     int // population size; out-of-range indices are refused
+	items map[int]wireproto.ViewItem
+	clock int64
+	gone  map[int]bool // peers that announced a graceful leave
+}
+
+func newBook(self, n int, addr string) *book {
+	b := &book{
+		self:  self,
+		n:     n,
+		items: make(map[int]wireproto.ViewItem, n),
+		gone:  make(map[int]bool),
+	}
+	b.items[self] = wireproto.ViewItem{Index: uint32(self), Addr: addr, Heartbeat: 0}
+	return b
+}
+
+// merge folds incoming view items in, keeping the freshest entry per
+// index (the Newscast merge rule over (index, heartbeat)). Items
+// naming indices outside the population are dropped: junk entries must
+// not be able to satisfy the roster-complete check or grow the book.
+func (b *book) merge(items []wireproto.ViewItem) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, it := range items {
+		idx := int(it.Index)
+		if idx < 0 || idx >= b.n || idx == b.self {
+			continue
+		}
+		if prev, ok := b.items[idx]; !ok || it.Heartbeat > prev.Heartbeat {
+			b.items[idx] = it
+		}
+	}
+}
+
+// roster returns the current view with a fresh self item — the payload
+// of a view exchange or a hello-ack.
+func (b *book) roster() []wireproto.ViewItem {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock++
+	self := b.items[b.self]
+	self.Heartbeat = b.clock
+	b.items[b.self] = self
+	out := make([]wireproto.ViewItem, 0, len(b.items))
+	for _, it := range b.items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// learn records a directly-announced peer address (a hello) as the
+// freshest knowledge about that index.
+func (b *book) learn(idx int, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= b.n {
+		return
+	}
+	b.clock++
+	b.items[idx] = wireproto.ViewItem{Index: uint32(idx), Addr: addr, Heartbeat: b.clock}
+	delete(b.gone, idx)
+}
+
+// addr resolves a population index to its last known address ("" when
+// unknown or departed).
+func (b *book) addr(idx int) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gone[idx] {
+		return ""
+	}
+	it, ok := b.items[idx]
+	if !ok {
+		return ""
+	}
+	return it.Addr
+}
+
+// size returns how many distinct participants the view covers.
+func (b *book) size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// markGone records a graceful departure.
+func (b *book) markGone(idx int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gone[idx] = true
+}

@@ -1,0 +1,390 @@
+package node
+
+import (
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/wireproto"
+)
+
+// iterState is the participant's live protocol state for one iteration:
+// the two lockstep EESum states, the cleartext counter, the correction
+// proposal, and the decryption state. Only the exchange currently being
+// processed by the main loop touches it, so no locking is needed.
+type iterState struct {
+	means eesum.SumState
+	noise eesum.SumState
+	ctrS  float64
+	ctrW  float64
+
+	corID  uint64
+	corVec []float64
+
+	decCTs   []homenc.Ciphertext
+	decOmega *big.Int
+	decParts map[int][]homenc.PartialDecryption
+}
+
+// hdrFor stamps an exchange header for a scheduled slot.
+func (nd *Node) hdrFor(s slot, to int) wireproto.ExchangeHdr {
+	return wireproto.ExchangeHdr{
+		Iter:  uint32(s.iter),
+		Cycle: uint32(s.cycle),
+		Seq:   uint32(s.seq),
+		From:  uint32(nd.cfg.Index),
+		To:    uint32(to),
+	}
+}
+
+// sendFin emits the commit leg unless a test hook crashes the exchange
+// here. Modeled mid-exchange churn (full=false in the schedule) sends
+// an explicit abort so the responder resolves instantly; the slow path
+// — saying nothing and letting the responder's fin timeout fire — is
+// what a genuine crash produces, with the identical half-completed
+// outcome.
+func (nd *Node) sendFin(conn net.Conn, kind byte, hdr wireproto.ExchangeHdr, s slot, full bool, payload func(wireproto.ExchangeHdr) []byte) {
+	if nd.hookBeforeFin != nil && !nd.hookBeforeFin(s.phase, s) {
+		return // simulated crash between RESP and FIN
+	}
+	if !full {
+		hdr.Flags |= wireproto.FlagAbort
+	}
+	_ = nd.writeFrame(conn, kind, payload(hdr))
+}
+
+// --- sum phase (encrypted means + noise lockstep + counter) ---
+
+func (nd *Node) initiateSum(st *iterState, peer int, s slot, full bool) {
+	conn, err := nd.dial(peer)
+	if err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	defer conn.Close()
+	hdr := nd.hdrFor(s, peer)
+	req := wireproto.SumMsg{Hdr: hdr, Means: st.means, Noise: st.noise, CtrSigma: st.ctrS, CtrOmega: st.ctrW}
+	if err := nd.writeFrame(conn, wireproto.KindSumReq, wireproto.MarshalSum(req)); err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	f, err := nd.readFrame(conn)
+	if err != nil || f.Kind != wireproto.KindSumResp {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	resp, err := wireproto.UnmarshalSum(f.Payload, nd.lim)
+	if err != nil || !nd.validSumState(resp.Means, len(st.means.CTs)) || !nd.validSumState(resp.Noise, len(st.noise.CTs)) {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	// Initiator half: always applied once the responder's state is in
+	// hand (the sim's Exchange(a, b, *) a-side).
+	st.means = eesum.MergeSum(nd.cfg.Scheme, st.means, resp.Means, nd.dimWk)
+	st.noise = eesum.MergeSum(nd.cfg.Scheme, st.noise, resp.Noise, nd.dimWk)
+	st.ctrS, st.ctrW = (st.ctrS+resp.CtrSigma)/2, (st.ctrW+resp.CtrOmega)/2
+	nd.counters.Initiated.Add(1)
+	nd.sendFin(conn, wireproto.KindSumFin, hdr, s, full, func(h wireproto.ExchangeHdr) []byte {
+		return wireproto.MarshalFin(wireproto.Fin{Hdr: h})
+	})
+}
+
+func (nd *Node) respondSum(st *iterState, s slot, from int) {
+	in, ok := nd.reg.await(s, nd.cfg.ExchangeTimeout)
+	if !ok {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	defer in.conn.Close()
+	req, err := wireproto.UnmarshalSum(in.frame.Payload, nd.lim)
+	if err != nil || int(req.Hdr.From) != from ||
+		!nd.validSumState(req.Means, len(st.means.CTs)) || !nd.validSumState(req.Noise, len(st.noise.CTs)) {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	resp := wireproto.SumMsg{Hdr: req.Hdr, Means: st.means, Noise: st.noise, CtrSigma: st.ctrS, CtrOmega: st.ctrW}
+	if err := nd.writeFrame(in.conn, wireproto.KindSumResp, wireproto.MarshalSum(resp)); err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	fin, ok := nd.awaitFin(in.conn, wireproto.KindSumFin)
+	if !ok {
+		return // half-completed: the initiator applied, this side never does
+	}
+	if fin.Flags&wireproto.FlagAbort != 0 {
+		return // modeled mid-exchange churn: same half-completed outcome
+	}
+	// Responder half (the sim's Exchange b-side under full=true); the
+	// merge arguments keep (initiator, responder) order on both sides.
+	st.means = eesum.MergeSum(nd.cfg.Scheme, req.Means, st.means, nd.dimWk)
+	st.noise = eesum.MergeSum(nd.cfg.Scheme, req.Noise, st.noise, nd.dimWk)
+	st.ctrS, st.ctrW = (req.CtrSigma+st.ctrS)/2, (req.CtrOmega+st.ctrW)/2
+	nd.counters.Responded.Add(1)
+}
+
+// awaitFin reads the commit leg with the fin deadline; any failure or
+// kind mismatch counts as a mid-exchange loss.
+func (nd *Node) awaitFin(conn net.Conn, wantKind byte) (wireproto.ExchangeHdr, bool) {
+	_ = conn.SetReadDeadline(time.Now().Add(nd.cfg.FinTimeout))
+	f, err := nd.readFrame(conn)
+	if err != nil || f.Kind != wantKind {
+		nd.counters.Timeouts.Add(1)
+		return wireproto.ExchangeHdr{}, false
+	}
+	hdr, err := wireproto.PeekHdr(f.Payload)
+	if err != nil {
+		nd.counters.Rejected.Add(1)
+		return wireproto.ExchangeHdr{}, false
+	}
+	return hdr, true
+}
+
+// --- correction dissemination phase ---
+
+func (nd *Node) initiateDiss(st *iterState, peer int, s slot, full bool) {
+	conn, err := nd.dial(peer)
+	if err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	defer conn.Close()
+	hdr := nd.hdrFor(s, peer)
+	req := wireproto.DissMsg{Hdr: hdr, ID: st.corID, Vec: st.corVec}
+	if err := nd.writeFrame(conn, wireproto.KindDissReq, wireproto.MarshalDiss(req)); err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	f, err := nd.readFrame(conn)
+	if err != nil || f.Kind != wireproto.KindDissResp {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	resp, err := wireproto.UnmarshalDiss(f.Payload, nd.lim)
+	if err != nil || len(resp.Vec) != len(st.corVec) {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	if resp.ID < st.corID {
+		st.corID, st.corVec = resp.ID, resp.Vec
+	}
+	nd.counters.Initiated.Add(1)
+	nd.sendFin(conn, wireproto.KindDissFin, hdr, s, full, func(h wireproto.ExchangeHdr) []byte {
+		return wireproto.MarshalFin(wireproto.Fin{Hdr: h})
+	})
+}
+
+func (nd *Node) respondDiss(st *iterState, s slot, from int) {
+	in, ok := nd.reg.await(s, nd.cfg.ExchangeTimeout)
+	if !ok {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	defer in.conn.Close()
+	req, err := wireproto.UnmarshalDiss(in.frame.Payload, nd.lim)
+	if err != nil || int(req.Hdr.From) != from || len(req.Vec) != len(st.corVec) {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	resp := wireproto.DissMsg{Hdr: req.Hdr, ID: st.corID, Vec: st.corVec}
+	if err := nd.writeFrame(in.conn, wireproto.KindDissResp, wireproto.MarshalDiss(resp)); err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	fin, ok := nd.awaitFin(in.conn, wireproto.KindDissFin)
+	if !ok || fin.Flags&wireproto.FlagAbort != 0 {
+		return
+	}
+	if req.ID < st.corID {
+		st.corID, st.corVec = req.ID, req.Vec
+	}
+	nd.counters.Responded.Add(1)
+}
+
+// --- epidemic decryption phase ---
+
+func (nd *Node) initiateDec(st *iterState, peer int, s slot, full bool) {
+	conn, err := nd.dial(peer)
+	if err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	defer conn.Close()
+	hdr := nd.hdrFor(s, peer)
+	req := wireproto.DecMsg{Hdr: hdr, CTs: st.decCTs, Omega: st.decOmega, Parts: st.decParts}
+	if err := nd.writeFrame(conn, wireproto.KindDecReq, wireproto.MarshalDec(req)); err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	f, err := nd.readFrame(conn)
+	if err != nil || f.Kind != wireproto.KindDecResp {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	resp, err := wireproto.UnmarshalDec(f.Payload, nd.lim)
+	if err != nil || !validDecState(resp, len(st.decCTs), nd.cfg.Scheme.NumShares()) {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	tau := nd.cfg.Scheme.Threshold()
+	peerShare := peer + 1
+
+	// Everything below mirrors the sim's Exchange(a, b, full) with this
+	// node as a. Adoption decisions and the fin-leg partials depend only
+	// on pre-exchange states, so compute them before mutating anything.
+	aAdopts := eesum.DecAdopts(len(st.decParts), len(resp.Parts))
+	peerAdopts := eesum.DecAdopts(len(resp.Parts), len(st.decParts))
+
+	// FIN payload: this side's key-share applied to the responder's
+	// post-adoption ciphertexts (the sim's apply(b, a); adoption copies
+	// pre-exchange state, so pre-state is the right input).
+	var freshForPeer []homenc.PartialDecryption
+	if full {
+		peerPostCTs, peerPostParts := resp.CTs, resp.Parts
+		if peerAdopts {
+			peerPostCTs, peerPostParts = st.decCTs, st.decParts
+		}
+		if eesum.DecNeeds(peerPostParts, tau, nd.share) {
+			if ps, err := eesum.DecPartials(nd.cfg.Scheme, nd.share, peerPostCTs, nd.dimWk); err == nil {
+				freshForPeer = ps
+			}
+		}
+	}
+
+	// a-side transition (adopt, apply(a,b), apply(a,a)).
+	if aAdopts {
+		st.decCTs, st.decOmega = resp.CTs, resp.Omega
+		st.decParts = eesum.CopyParts(resp.Parts, tau)
+	}
+	if len(resp.Fresh) > 0 && eesum.DecNeeds(st.decParts, tau, peerShare) {
+		if ps, err := validPartials(resp.Fresh, peerShare, len(st.decCTs)); err == nil {
+			st.decParts[peerShare] = ps
+		} else {
+			nd.counters.Rejected.Add(1)
+		}
+	}
+	if eesum.DecNeeds(st.decParts, tau, nd.share) {
+		if ps, err := eesum.DecPartials(nd.cfg.Scheme, nd.share, st.decCTs, nd.dimWk); err == nil {
+			st.decParts[nd.share] = ps
+		}
+	}
+	nd.counters.Initiated.Add(1)
+
+	nd.sendFin(conn, wireproto.KindDecFin, hdr, s, full, func(h wireproto.ExchangeHdr) []byte {
+		return wireproto.MarshalDec(wireproto.DecMsg{Hdr: h, Fresh: freshForPeer})
+	})
+}
+
+func (nd *Node) respondDec(st *iterState, s slot, from int) {
+	in, ok := nd.reg.await(s, nd.cfg.ExchangeTimeout)
+	if !ok {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	defer in.conn.Close()
+	req, err := wireproto.UnmarshalDec(in.frame.Payload, nd.lim)
+	if err != nil || int(req.Hdr.From) != from || !validDecState(req, len(st.decCTs), nd.cfg.Scheme.NumShares()) {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	tau := nd.cfg.Scheme.Threshold()
+	myPartsPre, reqParts := len(st.decParts), len(req.Parts)
+
+	// This side's key-share over the initiator's post-adoption
+	// ciphertexts (the sim's apply(a, b)), computed before any commit.
+	reqAdopts := eesum.DecAdopts(reqParts, myPartsPre)
+	initPostCTs, initPostParts := req.CTs, req.Parts
+	if reqAdopts {
+		initPostCTs = st.decCTs
+		initPostParts = st.decParts
+	}
+	var fresh []homenc.PartialDecryption
+	if eesum.DecNeeds(initPostParts, tau, nd.share) {
+		if ps, err := eesum.DecPartials(nd.cfg.Scheme, nd.share, initPostCTs, nd.dimWk); err == nil {
+			fresh = ps
+		}
+	}
+	resp := wireproto.DecMsg{Hdr: req.Hdr, CTs: st.decCTs, Omega: st.decOmega, Parts: st.decParts, Fresh: fresh}
+	if err := nd.writeFrame(in.conn, wireproto.KindDecResp, wireproto.MarshalDec(resp)); err != nil {
+		nd.counters.Timeouts.Add(1)
+		return
+	}
+	_ = in.conn.SetReadDeadline(time.Now().Add(nd.cfg.FinTimeout))
+	f, err := nd.readFrame(in.conn)
+	if err != nil || f.Kind != wireproto.KindDecFin {
+		nd.counters.Timeouts.Add(1)
+		return // half-completed: initiator applied, this side never does
+	}
+	fin, err := wireproto.UnmarshalDec(f.Payload, nd.lim)
+	if err != nil {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	if fin.Hdr.Flags&wireproto.FlagAbort != 0 {
+		return // modeled mid-exchange churn
+	}
+
+	// b-side commit (sim's adopt(b,a), apply(b,a), apply(b,b)).
+	if eesum.DecAdopts(myPartsPre, reqParts) {
+		st.decCTs, st.decOmega = req.CTs, req.Omega
+		st.decParts = eesum.CopyParts(req.Parts, tau)
+	}
+	fromShare := from + 1
+	if len(fin.Fresh) > 0 && eesum.DecNeeds(st.decParts, tau, fromShare) {
+		if ps, err := validPartials(fin.Fresh, fromShare, len(st.decCTs)); err == nil {
+			st.decParts[fromShare] = ps
+		} else {
+			nd.counters.Rejected.Add(1)
+		}
+	}
+	if eesum.DecNeeds(st.decParts, tau, nd.share) {
+		if ps, err := eesum.DecPartials(nd.cfg.Scheme, nd.share, st.decCTs, nd.dimWk); err == nil {
+			st.decParts[nd.share] = ps
+		}
+	}
+	nd.counters.Responded.Add(1)
+}
+
+// validPartials checks a fresh partial vector claims the expected share
+// index on every element and covers the full vector.
+func validPartials(ps []homenc.PartialDecryption, share, dim int) ([]homenc.PartialDecryption, error) {
+	if len(ps) != dim {
+		return nil, fmt.Errorf("node: %d partials for a %d-vector", len(ps), dim)
+	}
+	for _, p := range ps {
+		if p.Index != share || p.V == nil {
+			return nil, fmt.Errorf("node: partial claims share %d, want %d", p.Index, share)
+		}
+	}
+	return ps, nil
+}
+
+// validDecState vets a peer's decryption state before any of it can be
+// adopted: the ciphertext vector covers the full dimension, the weight
+// is present, and every gathered partial set is a full-length vector
+// under its claimed share index — a malformed map must not be able to
+// panic CombineParts after adoption.
+func validDecState(m wireproto.DecMsg, dim, numShares int) bool {
+	if len(m.CTs) != dim || m.Omega == nil {
+		return false
+	}
+	for idx, ps := range m.Parts {
+		if idx < 1 || idx > numShares {
+			return false
+		}
+		if _, err := validPartials(ps, idx, dim); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// validSumState vets a peer's EESum state: full dimension, weight
+// present, and an epoch within the deployment's headroom bound — a
+// hostile epoch would otherwise drive a 2^(epoch diff) ciphertext
+// rescaling of unbounded cost.
+func (nd *Node) validSumState(st eesum.SumState, dim int) bool {
+	return len(st.CTs) == dim && st.Omega != nil && st.Epoch >= 0 && st.Epoch <= nd.maxEpoch
+}

@@ -1,0 +1,495 @@
+// Package node is the networked Chiaroscuro peer runtime: it drives
+// the full encrypted Diptych protocol — assignment, encrypted
+// means/noise sums, noise-surplus correction, epidemic threshold
+// decryption, centroid update — over real TCP connections framed by
+// internal/wireproto.
+//
+// Determinism model. Every participant is provisioned with the same
+// seed and protocol parameters, mirrors the simulation engine
+// (sim.Engine.DrawCycle) to derive the identical per-cycle exchange
+// schedule, and executes its own participations strictly in schedule
+// order. Exchanges that share no participant commute, and exchanges
+// sharing one are ordered identically on both sides, so the distributed
+// execution is conflict-serializable in the schedule order: a networked
+// run releases bit-identical centroids to an in-memory simulation of
+// the same seed and parameters (first iteration exactly; later
+// iterations each participant continues from its own decoded view, as
+// a real deployment must).
+//
+// Exchange shape. Each scheduled exchange is a three-leg round trip on
+// one TCP connection: REQ (initiator state) → RESP (responder pre-merge
+// state) → FIN (commit). The initiator applies its half after RESP; the
+// responder applies its half only after a clean FIN. A responder that
+// dies after RESP leaves the initiator with exactly the half-completed
+// state of the paper's Section 6.1.5 churn model; a FIN that never
+// arrives (initiator crash, or modeled churn's abort flag) leaves the
+// responder untouched the same way.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/sim"
+	"chiaroscuro/internal/timeseries"
+	"chiaroscuro/internal/wireproto"
+)
+
+// Config provisions one participant.
+type Config struct {
+	Index  int               // population index (0-based; key-share Index+1)
+	N      int               // population size
+	Series timeseries.Series // this participant's own time-series
+	Scheme homenc.Scheme     // shared threshold scheme (key material)
+	Proto  core.Config       // shared protocol parameters (seed included)
+	Epoch  uint64            // population epoch for the wire (0: derived from seed)
+
+	Listen    string // listen address (default "127.0.0.1:0")
+	Bootstrap string // address of any live peer ("" for the first node)
+
+	// ExchangeTimeout bounds every blocking step of an exchange: the
+	// dial, the wait for a scheduled request, and the response read.
+	// FinTimeout bounds only the responder's wait for the commit leg
+	// (shorter under modeled churn so half-completed exchanges resolve
+	// quickly). JoinTimeout bounds the roster bootstrap. ViewInterval
+	// paces the background address-book gossip (<0 disables).
+	ExchangeTimeout time.Duration
+	FinTimeout      time.Duration
+	JoinTimeout     time.Duration
+	ViewInterval    time.Duration
+}
+
+// Result is the participant's own outcome of a networked run.
+type Result struct {
+	Centroids    []timeseries.Series // this participant's released view (compacted)
+	Traces       []core.IterationTrace
+	TotalEpsilon float64
+	AvgMessages  float64 // scheduled messages per participant (mirror accounting)
+	AvgBytes     float64 // scheduled bytes per participant (mirror accounting)
+	Counters     wireproto.Counters
+}
+
+// Node is one live networked participant.
+type Node struct {
+	cfg      Config
+	codec    homenc.Codec
+	lim      wireproto.Limits
+	epoch    uint64
+	share    int // own 1-based key-share index
+	dimWk    int // worker count for per-dimension sweeps
+	maxEpoch int // EESum epoch bound a peer state may legitimately carry
+
+	ln   net.Listener
+	addr string
+
+	book *book
+	reg  *registry
+
+	mirror   *sim.Engine // schedule mirror (never executes exchanges)
+	protoRNG *randx.RNG  // base noise source; per-node streams split off
+	acct     *dp.Accountant
+
+	counters wireproto.CounterSet
+	iterNow  atomic.Int64 // current iteration, for metrics
+	phaseNow atomic.Int64 // current phase rank, for metrics
+
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// hookBeforeFin, when set by tests, is consulted before sending any
+	// fin leg; returning false crashes the exchange at exactly the
+	// half-completed point (initiator applied, responder never will).
+	hookBeforeFin func(phase int, s slot) bool
+}
+
+// New validates the configuration, normalizes the shared protocol
+// parameters exactly as the simulator does, and starts the listener.
+func New(cfg Config) (*Node, error) {
+	if cfg.N < 2 {
+		return nil, errors.New("node: population must be at least 2")
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.N {
+		return nil, fmt.Errorf("node: index %d out of range for population %d", cfg.Index, cfg.N)
+	}
+	if cfg.Scheme == nil {
+		return nil, errors.New("node: nil scheme")
+	}
+	if cfg.Scheme.NumShares() < cfg.N {
+		return nil, fmt.Errorf("node: scheme has %d key-shares for %d participants", cfg.Scheme.NumShares(), cfg.N)
+	}
+	if len(cfg.Series) == 0 {
+		return nil, errors.New("node: empty series")
+	}
+	if cfg.Proto.Epsilon <= 0 {
+		return nil, errors.New("node: epsilon must be positive")
+	}
+	if cfg.Proto.Threshold != 0 {
+		return nil, errors.New("node: networked runs use the fixed iteration schedule; set Threshold to 0")
+	}
+	if len(kmeans.Compact(cfg.Proto.InitCentroids)) == 0 {
+		return nil, kmeans.ErrNoCentroids
+	}
+	cfg.Proto = cfg.Proto.Normalize(cfg.N)
+	if cfg.Proto.DissCycles <= 0 || cfg.Proto.DecryptCycles <= 0 {
+		return nil, errors.New("node: networked runs need fixed DissCycles and DecryptCycles (no participant can observe global convergence)")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.ExchangeTimeout <= 0 {
+		cfg.ExchangeTimeout = 30 * time.Second
+	}
+	if cfg.FinTimeout <= 0 {
+		cfg.FinTimeout = cfg.ExchangeTimeout
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 30 * time.Second
+	}
+	if cfg.ViewInterval == 0 {
+		cfg.ViewInterval = 500 * time.Millisecond
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = cfg.Proto.Seed ^ 0xC41A305C0
+	}
+
+	codec := homenc.NewCodec(cfg.Proto.FracBits)
+	// Plaintext headroom: same pre-flight check the simulator performs.
+	if space := cfg.Scheme.PlaintextSpace(); space != nil {
+		bound := core.SumAbsBound(cfg.Proto, cfg.N, len(cfg.Series), codec)
+		needed := 8*cfg.Proto.Exchanges + 64
+		if have := core.HeadroomBits(space, bound); have < needed {
+			return nil, fmt.Errorf("node: plaintext space too small: %d epochs of headroom, need ~%d", have, needed)
+		}
+	}
+
+	mirror, err := sim.New(core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme), cfg.Proto.Sampler)
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(kmeans.Compact(cfg.Proto.InitCentroids)) * (len(cfg.Series) + 1)
+	nd := &Node{
+		cfg:      cfg,
+		codec:    codec,
+		lim:      wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), dim, cfg.Scheme.Threshold(), cfg.N),
+		epoch:    cfg.Epoch,
+		share:    cfg.Index + 1,
+		dimWk:    eesum.DimWorkers(dim, cfg.Proto.Workers),
+		maxEpoch: 8*cfg.Proto.Exchanges + 64,
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		mirror:   mirror,
+		protoRNG: core.ProtocolRNG(cfg.Proto.Seed),
+		acct:     &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
+		stop:     make(chan struct{}),
+	}
+	nd.book = newBook(cfg.Index, cfg.N, nd.addr)
+	nd.reg = newRegistry()
+	nd.wg.Add(1)
+	go nd.serve()
+	if cfg.ViewInterval > 0 {
+		nd.wg.Add(1)
+		go nd.viewLoop()
+	}
+	return nd, nil
+}
+
+// Addr returns the node's listen address.
+func (nd *Node) Addr() string { return nd.addr }
+
+// Index returns the node's population index.
+func (nd *Node) Index() int { return nd.cfg.Index }
+
+// Counters returns a snapshot of the node's wire counters.
+func (nd *Node) Counters() wireproto.Counters { return nd.counters.Snapshot() }
+
+// Progress returns the current iteration and phase rank, for metrics.
+func (nd *Node) Progress() (iter, phase int64) {
+	return nd.iterNow.Load(), nd.phaseNow.Load()
+}
+
+// RosterSize returns how many participants the address book covers.
+func (nd *Node) RosterSize() int { return nd.book.size() }
+
+// Join fills the address book: the node announces itself to the
+// bootstrap peer (when it has one) and polls known peers until it can
+// dial the entire population or the join timeout passes.
+func (nd *Node) Join() error {
+	deadline := time.Now().Add(nd.cfg.JoinTimeout)
+	for nd.book.size() < nd.cfg.N {
+		if nd.stopped.Load() {
+			return errors.New("node: closed during join")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node %d: roster has %d of %d peers after join timeout", nd.cfg.Index, nd.book.size(), nd.cfg.N)
+		}
+		if target := nd.helloTarget(); target != "" {
+			nd.hello(target)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+// helloTarget picks who to announce to: the bootstrap address first,
+// then any known peer (round-robining via random choice).
+func (nd *Node) helloTarget() string {
+	if nd.cfg.Bootstrap != "" {
+		if rand.IntN(2) == 0 {
+			return nd.cfg.Bootstrap
+		}
+	}
+	items := nd.book.roster()
+	cands := make([]string, 0, len(items))
+	for _, it := range items {
+		if int(it.Index) != nd.cfg.Index && it.Addr != "" {
+			cands = append(cands, it.Addr)
+		}
+	}
+	if len(cands) == 0 {
+		return nd.cfg.Bootstrap
+	}
+	return cands[rand.IntN(len(cands))]
+}
+
+// hello performs one hello round trip: announce, merge the ack roster.
+func (nd *Node) hello(addr string) {
+	conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+	payload := wireproto.MarshalHello(wireproto.Hello{
+		Index: uint32(nd.cfg.Index), Addr: nd.addr, N: uint32(nd.cfg.N),
+	})
+	if err := nd.writeFrame(conn, wireproto.KindHello, payload); err != nil {
+		return
+	}
+	f, err := nd.readFrame(conn)
+	if err != nil || f.Kind != wireproto.KindHelloAck {
+		return
+	}
+	items, err := wireproto.UnmarshalView(f.Payload, nd.lim)
+	if err != nil {
+		nd.counters.Rejected.Add(1)
+		return
+	}
+	nd.book.merge(items)
+}
+
+// viewLoop gossips the address-book view with random known peers — the
+// Newscast connectivity layer keeping rosters fresh while the protocol
+// runs (and after joins/leaves).
+func (nd *Node) viewLoop() {
+	defer nd.wg.Done()
+	for {
+		select {
+		case <-nd.stop:
+			return
+		case <-time.After(nd.cfg.ViewInterval):
+		}
+		addr := nd.helloTarget()
+		if addr == "" {
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+		if err != nil {
+			continue
+		}
+		_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+		if err := nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.roster())); err == nil {
+			if f, err := nd.readFrame(conn); err == nil && f.Kind == wireproto.KindView {
+				if items, err := wireproto.UnmarshalView(f.Payload, nd.lim); err == nil {
+					nd.book.merge(items)
+				}
+			}
+		}
+		_ = conn.Close()
+	}
+}
+
+// Leave departs gracefully: every known peer is notified so it can
+// mark this node gone instead of burning timeouts on it.
+func (nd *Node) Leave() error {
+	for _, it := range nd.book.roster() {
+		if int(it.Index) == nd.cfg.Index || it.Addr == "" {
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", it.Addr, time.Second)
+		if err != nil {
+			continue
+		}
+		_ = conn.SetDeadline(time.Now().Add(time.Second))
+		_ = nd.writeFrame(conn, wireproto.KindLeave, wireproto.MarshalLeave(wireproto.Leave{Index: uint32(nd.cfg.Index)}))
+		_ = conn.Close()
+	}
+	return nd.Close()
+}
+
+// Crash departs abruptly: no notice, connections die mid-flight — the
+// Section 6.1.5 failure mode.
+func (nd *Node) Crash() error { return nd.Close() }
+
+// Close stops the listener and loops.
+func (nd *Node) Close() error {
+	if nd.stopped.Swap(true) {
+		return nil
+	}
+	close(nd.stop)
+	err := nd.ln.Close()
+	nd.reg.close()
+	nd.wg.Wait()
+	return err
+}
+
+// serve accepts connections; each is one interaction (membership round
+// trip or a full three-leg exchange owned by the main loop).
+func (nd *Node) serve() {
+	defer nd.wg.Done()
+	for {
+		conn, err := nd.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		nd.wg.Add(1)
+		go nd.handleConn(conn)
+	}
+}
+
+func (nd *Node) handleConn(conn net.Conn) {
+	defer nd.wg.Done()
+	_ = conn.SetReadDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+	f, err := nd.readFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if f.Epoch != nd.epoch {
+		nd.counters.Rejected.Add(1)
+		_ = conn.Close()
+		return
+	}
+	switch f.Kind {
+	case wireproto.KindHello:
+		h, err := wireproto.UnmarshalHello(f.Payload, nd.lim)
+		if err != nil || int(h.N) != nd.cfg.N || int(h.Index) >= nd.cfg.N {
+			nd.counters.Rejected.Add(1)
+			_ = conn.Close()
+			return
+		}
+		nd.book.learn(int(h.Index), h.Addr)
+		_ = conn.SetWriteDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+		_ = nd.writeFrame(conn, wireproto.KindHelloAck, wireproto.MarshalView(nd.book.roster()))
+		_ = conn.Close()
+
+	case wireproto.KindView:
+		items, err := wireproto.UnmarshalView(f.Payload, nd.lim)
+		if err != nil {
+			nd.counters.Rejected.Add(1)
+			_ = conn.Close()
+			return
+		}
+		nd.book.merge(items)
+		_ = conn.SetWriteDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+		_ = nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.roster()))
+		_ = conn.Close()
+
+	case wireproto.KindLeave:
+		l, err := wireproto.UnmarshalLeave(f.Payload)
+		if err == nil && int(l.Index) < nd.cfg.N {
+			nd.book.markGone(int(l.Index))
+		}
+		_ = conn.Close()
+
+	case wireproto.KindSumReq, wireproto.KindDissReq, wireproto.KindDecReq:
+		hdr, err := wireproto.PeekHdr(f.Payload)
+		if err != nil || int(hdr.To) != nd.cfg.Index || int(hdr.From) >= nd.cfg.N {
+			nd.counters.Rejected.Add(1)
+			_ = conn.Close()
+			return
+		}
+		s := slot{iter: int(hdr.Iter), phase: phaseOfKind(f.Kind), cycle: int(hdr.Cycle), seq: int(hdr.Seq)}
+		// The responder's main loop owns the connection from here on.
+		_ = conn.SetDeadline(time.Time{})
+		nd.reg.deliver(s, inbound{frame: f, conn: conn})
+
+	default:
+		nd.counters.Rejected.Add(1)
+		_ = conn.Close()
+	}
+}
+
+func phaseOfKind(kind byte) int {
+	switch kind {
+	case wireproto.KindSumReq:
+		return phaseSum
+	case wireproto.KindDissReq:
+		return phaseDiss
+	default:
+		return phaseDec
+	}
+}
+
+// writeFrame and readFrame wrap the wire layer with byte accounting.
+func (nd *Node) writeFrame(conn net.Conn, kind byte, payload []byte) error {
+	err := wireproto.WriteFrame(conn, kind, nd.epoch, payload)
+	if err == nil {
+		nd.counters.BytesSent.Add(int64(14 + len(payload)))
+	}
+	return err
+}
+
+func (nd *Node) readFrame(conn net.Conn) (wireproto.Frame, error) {
+	f, err := wireproto.ReadFrame(conn, nd.lim.MaxFrameLen)
+	if err == nil {
+		nd.counters.BytesRecv.Add(int64(14 + len(f.Payload)))
+	}
+	return f, err
+}
+
+// dial opens a connection to a peer with the exchange deadline set.
+func (nd *Node) dial(idx int) (net.Conn, error) {
+	addr := nd.book.addr(idx)
+	if addr == "" {
+		return nil, fmt.Errorf("node: no address for peer %d", idx)
+	}
+	conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+	return conn, nil
+}
+
+// encryptState builds this participant's initial EESum state for one
+// phase: its encrypted vector, weight 1 on participant 0 (Section 3.2
+// footnote 5), epoch 0.
+func (nd *Node) encryptState(vec []*big.Int) eesum.SumState {
+	cts := make([]homenc.Ciphertext, len(vec))
+	for j, v := range vec {
+		cts[j] = nd.cfg.Scheme.Encrypt(v)
+	}
+	omega := big.NewInt(0)
+	if nd.cfg.Index == 0 {
+		omega = big.NewInt(1)
+	}
+	return eesum.SumState{CTs: cts, Omega: omega, Epoch: 0}
+}

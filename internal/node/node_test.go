@@ -1,0 +1,369 @@
+package node
+
+import (
+	"math/big"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/timeseries"
+)
+
+// testSetup is a shared deployment description for sim-vs-wire runs.
+type testSetup struct {
+	n      int
+	data   *timeseries.Dataset
+	scheme *damgardjurik.Scheme
+	proto  core.Config
+}
+
+func newSetup(t *testing.T, n int, churn float64) testSetup {
+	t.Helper()
+	data, _ := datasets.GenerateCER(n, randx.New(7, 0))
+	scheme, err := damgardjurik.NewTestScheme(128, 4, n, max(2, n/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data-independent seeds: two flat series at distinct levels.
+	seeds := make([]timeseries.Series, 2)
+	for c := range seeds {
+		s := make(timeseries.Series, data.Dim())
+		for j := range s {
+			s[j] = 10 + 30*float64(c)
+		}
+		seeds[c] = s
+	}
+	return testSetup{
+		n:      n,
+		data:   data,
+		scheme: scheme,
+		proto: core.Config{
+			K:             2,
+			InitCentroids: seeds,
+			DMin:          datasets.CERMin,
+			DMax:          datasets.CERMax,
+			Epsilon:       1e4, // huge budget: noise cannot wipe centroids
+			MaxIterations: 1,
+			Exchanges:     10,
+			DissCycles:    8,
+			DecryptCycles: 10,
+			FracBits:      24,
+			Seed:          21,
+			Churn:         churn,
+			MidFailure:    churn > 0,
+			Workers:       2,
+		},
+	}
+}
+
+// runSim executes the in-memory simulator on the setup.
+func runSim(t *testing.T, ts testSetup) *core.Result {
+	t.Helper()
+	nw, err := core.NewNetwork(ts.data, ts.scheme, ts.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// launchNodes starts the full population as real TCP listeners and runs
+// the protocol, returning each node's own result.
+func launchNodes(t *testing.T, ts testSetup) []*Result {
+	t.Helper()
+	nodes := make([]*Node, ts.n)
+	var bootstrap string
+	for i := 0; i < ts.n; i++ {
+		cfg := Config{
+			Index:           i,
+			N:               ts.n,
+			Series:          ts.data.Row(i),
+			Scheme:          ts.scheme,
+			Proto:           ts.proto,
+			Bootstrap:       bootstrap,
+			ExchangeTimeout: 20 * time.Second,
+			FinTimeout:      20 * time.Second,
+			JoinTimeout:     20 * time.Second,
+			ViewInterval:    200 * time.Millisecond,
+		}
+		nd, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Close() })
+		nodes[i] = nd
+		if i == 0 {
+			bootstrap = nd.Addr()
+		}
+	}
+	results := make([]*Result, ts.n)
+	errs := make([]error, ts.n)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *Node) {
+			defer wg.Done()
+			results[i], errs[i] = nd.Run()
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+func assertCentroidsEqual(t *testing.T, label string, want, got []timeseries.Series) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d centroids, want %d", label, len(got), len(want))
+	}
+	for c := range want {
+		if (want[c] == nil) != (got[c] == nil) {
+			t.Fatalf("%s: centroid %d liveness differs", label, c)
+		}
+		if want[c] == nil {
+			continue
+		}
+		for j := range want[c] {
+			if got[c][j] != want[c][j] {
+				t.Fatalf("%s: centroid %d[%d] = %v, want %v (bit mismatch)",
+					label, c, j, got[c][j], want[c][j])
+			}
+		}
+	}
+}
+
+// TestNetworkedBitMatchesSimulator is the acceptance end-to-end: 12 real
+// TCP nodes running test-scheme Damgård–Jurik crypto complete a full
+// clustering round over the wire, and participant 0's released
+// centroids bit-match the in-memory simulator at the same seed.
+func TestNetworkedBitMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	ts := newSetup(t, 12, 0)
+	simRes := runSim(t, ts)
+	if len(simRes.Centroids) == 0 {
+		t.Fatal("simulator produced no centroids")
+	}
+	results := launchNodes(t, ts)
+	assertCentroidsEqual(t, "node 0 vs sim", simRes.Centroids, results[0].Centroids)
+	if results[0].AvgMessages != simRes.AvgMessages || results[0].AvgBytes != simRes.AvgBytes {
+		t.Fatalf("mirror accounting diverged: %v/%v vs %v/%v",
+			results[0].AvgMessages, results[0].AvgBytes, simRes.AvgMessages, simRes.AvgBytes)
+	}
+	// Every participant finished with released centroids and real wire
+	// traffic on the counters.
+	for i, r := range results {
+		if len(r.Centroids) == 0 {
+			t.Fatalf("node %d released no centroids", i)
+		}
+		if r.Counters.Exchanges() == 0 || r.Counters.BytesSent == 0 {
+			t.Fatalf("node %d saw no wire traffic: %+v", i, r.Counters)
+		}
+	}
+}
+
+// TestNetworkedChurnMatchesSimulator runs the same end-to-end under the
+// Section 6.1.5 churn model (disconnections + mid-exchange failures).
+// The mirror schedule reproduces the sim's churn draws, and the abort
+// fin leg reproduces its half-completed exchanges, so the released
+// centroids must still bit-match the simulator's churn handling.
+func TestNetworkedChurnMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	ts := newSetup(t, 8, 0.3)
+	ts.proto.DissCycles = 16
+	ts.proto.DecryptCycles = 16
+	simRes := runSim(t, ts)
+	if len(simRes.Centroids) == 0 {
+		t.Fatal("simulator produced no centroids under churn")
+	}
+	results := launchNodes(t, ts)
+	assertCentroidsEqual(t, "node 0 vs sim (churn)", simRes.Centroids, results[0].Centroids)
+}
+
+// TestCrashMidExchangeLeavesHalfCompletedState exercises the genuine
+// crash path (no abort frame, just silence): the initiator applies its
+// half after RESP, the responder times out waiting for FIN and applies
+// nothing — exactly the state the simulator's Exchange(a, b, false)
+// produces.
+func TestCrashMidExchangeLeavesHalfCompletedState(t *testing.T) {
+	ts := newSetup(t, 2, 0)
+	vecA := []*big.Int{big.NewInt(5 << 24), big.NewInt(-3 << 24), big.NewInt(7 << 24), big.NewInt(1 << 24)}
+	vecB := []*big.Int{big.NewInt(2 << 24), big.NewInt(9 << 24), big.NewInt(-4 << 24), big.NewInt(6 << 24)}
+
+	// Reference: the simulator's half-completed exchange on the same
+	// initial plaintexts.
+	ref, err := eesum.NewSumWorkers(ts.scheme, [][]*big.Int{vecA, vecB}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Exchange(0, 1, false)
+
+	mk := func(idx int, bootstrap string) *Node {
+		cfg := Config{
+			Index: idx, N: 2,
+			Series: ts.data.Row(idx), Scheme: ts.scheme, Proto: ts.proto,
+			Bootstrap:       bootstrap,
+			ExchangeTimeout: 5 * time.Second,
+			FinTimeout:      300 * time.Millisecond,
+			ViewInterval:    -1,
+		}
+		nd, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Close() })
+		return nd
+	}
+	ndA := mk(0, "")
+	ndB := mk(1, ndA.Addr())
+	ndA.book.learn(1, ndB.Addr())
+	ndB.book.learn(0, ndA.Addr())
+
+	mkState := func(nd *Node, vec []*big.Int) *iterState {
+		return &iterState{
+			means: nd.encryptState(vec),
+			noise: nd.encryptState(vec),
+			ctrS:  1, ctrW: float64(1 - nd.cfg.Index),
+		}
+	}
+	stA := mkState(ndA, vecA)
+	stB := mkState(ndB, vecB)
+	preB := stB.means.Clone()
+
+	// The initiator crashes right before the FIN leg.
+	ndA.hookBeforeFin = func(phase int, s slot) bool { return false }
+
+	s := slot{iter: 1, phase: phaseSum, cycle: 0, seq: 0}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ndB.respondSum(stB, s, 0)
+	}()
+	ndA.initiateSum(stA, 1, s, true)
+	<-done
+
+	// Initiator holds the sim's post-exchange initiator state...
+	want := ref.State(0)
+	if stA.means.Epoch != want.Epoch || stA.means.Omega.Cmp(want.Omega) != 0 {
+		t.Fatalf("initiator epoch/omega = (%d, %v), want (%d, %v)",
+			stA.means.Epoch, stA.means.Omega, want.Epoch, want.Omega)
+	}
+	decrypt := func(cts []homenc.Ciphertext) []*big.Int {
+		out := make([]*big.Int, len(cts))
+		for j, c := range cts {
+			out[j] = ts.scheme.Decrypt(c)
+		}
+		return out
+	}
+	gotPlain := decrypt(stA.means.CTs)
+	wantPlain := decrypt(want.CTs)
+	for j := range wantPlain {
+		if gotPlain[j].Cmp(wantPlain[j]) != 0 {
+			t.Fatalf("initiator plaintext[%d] = %v, want %v", j, gotPlain[j], wantPlain[j])
+		}
+	}
+	// ...and the responder never applied its half.
+	if stB.means.Epoch != preB.Epoch || stB.means.Omega.Cmp(preB.Omega) != 0 {
+		t.Fatal("responder applied a half-completed exchange")
+	}
+	gotB := decrypt(stB.means.CTs)
+	preBPlain := decrypt(preB.CTs)
+	for j := range preBPlain {
+		if gotB[j].Cmp(preBPlain[j]) != 0 {
+			t.Fatalf("responder plaintext[%d] changed on a half-completed exchange", j)
+		}
+	}
+	if ndB.Counters().Timeouts == 0 {
+		t.Fatal("responder did not record the fin timeout")
+	}
+}
+
+// TestLeaveMarksPeerGone checks the graceful departure path: a leave
+// notice removes the peer from the address book so no exchange dials it.
+func TestLeaveMarksPeerGone(t *testing.T) {
+	ts := newSetup(t, 2, 0)
+	cfgA := Config{Index: 0, N: 2, Series: ts.data.Row(0), Scheme: ts.scheme, Proto: ts.proto, ViewInterval: -1}
+	ndA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ndA.Close() })
+	cfgB := Config{Index: 1, N: 2, Series: ts.data.Row(1), Scheme: ts.scheme, Proto: ts.proto,
+		Bootstrap: ndA.Addr(), ViewInterval: -1, JoinTimeout: 5 * time.Second}
+	ndB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ndB.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ndA.book.addr(1); got != ndB.Addr() {
+		t.Fatalf("bootstrap learned %q for peer 1, want %q", got, ndB.Addr())
+	}
+	if err := ndB.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ndA.book.addr(1) != "" {
+		if time.Now().After(deadline) {
+			t.Fatal("leave notice did not mark the peer gone")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRegistryOrdering pins the registry contract: early requests park,
+// stale requests are refused, pruning closes passed slots.
+func TestRegistryOrdering(t *testing.T) {
+	r := newRegistry()
+	s0 := slot{iter: 1, phase: phaseSum, cycle: 0, seq: 0}
+	s1 := slot{iter: 1, phase: phaseSum, cycle: 0, seq: 3}
+	c1, c2 := newFakeConn(), newFakeConn()
+	if !r.deliver(s1, inbound{conn: c1}) {
+		t.Fatal("early delivery refused")
+	}
+	if in, ok := r.await(s1, time.Second); !ok || in.conn != c1 {
+		t.Fatal("parked request not delivered")
+	}
+	r.advance(slot{iter: 1, phase: phaseDiss})
+	if r.deliver(s0, inbound{conn: c2}) {
+		t.Fatal("stale delivery accepted")
+	}
+	if !c2.closed.Load() {
+		t.Fatal("stale connection left open")
+	}
+	if _, ok := r.await(slot{iter: 2, phase: phaseSum}, 20*time.Millisecond); ok {
+		t.Fatal("await invented a request")
+	}
+}
+
+// fakeConn is a net.Conn stub recording Close for registry tests.
+type fakeConn struct {
+	net.Conn
+	closed atomic.Bool
+}
+
+func newFakeConn() *fakeConn { return &fakeConn{} }
+
+func (f *fakeConn) Close() error {
+	f.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,195 @@
+package node
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"chiaroscuro/internal/wireproto"
+)
+
+// phase ranks order the three exchange phases within an iteration.
+const (
+	phaseSum  = 0
+	phaseDiss = 1
+	phaseDec  = 2
+)
+
+// slot identifies one scheduled exchange globally: iteration, phase,
+// cycle, sequence within the cycle. Slots are totally ordered; each
+// peer processes its own participations strictly in slot order, which
+// makes the distributed execution conflict-serializable in the global
+// schedule order (exchanges not sharing a node commute).
+type slot struct {
+	iter  int
+	phase int
+	cycle int
+	seq   int
+}
+
+func (s slot) before(o slot) bool {
+	if s.iter != o.iter {
+		return s.iter < o.iter
+	}
+	if s.phase != o.phase {
+		return s.phase < o.phase
+	}
+	if s.cycle != o.cycle {
+		return s.cycle < o.cycle
+	}
+	return s.seq < o.seq
+}
+
+// inbound is a parked exchange request: the decoded frame and the
+// connection the response legs travel on. The responder's main loop
+// owns the connection once it consumes the entry.
+type inbound struct {
+	frame wireproto.Frame
+	conn  net.Conn
+}
+
+// registry parks inbound exchange requests until the responder's main
+// loop reaches their slot. Requests may arrive arbitrarily early (the
+// initiator runs ahead) or never (the initiator died); the main loop
+// waits with a deadline and prunes entries that fall behind its
+// position. A slot the owner has already consumed or given up on is
+// tombstoned, so a late delivery can never strand a connection in an
+// unreachable channel.
+type registry struct {
+	mu      sync.Mutex
+	pending map[slot]chan inbound
+	done    map[slot]bool // consumed or abandoned slots (pruned by advance)
+	horizon slot          // the owner's current position; earlier slots are stale
+	closed  bool
+}
+
+func newRegistry() *registry {
+	return &registry{
+		pending: make(map[slot]chan inbound),
+		done:    make(map[slot]bool),
+	}
+}
+
+// channel returns the slot's channel, creating it if needed. Callers
+// hold r.mu.
+func (r *registry) channel(s slot) chan inbound {
+	if ch, ok := r.pending[s]; ok {
+		return ch
+	}
+	ch := make(chan inbound, 1)
+	r.pending[s] = ch
+	return ch
+}
+
+// deliver parks a request. Requests for slots already passed,
+// consumed, abandoned, or arriving after close are refused: the
+// connection is closed and false returned. The buffered send happens
+// under the lock, so a delivery can never race into a channel the
+// owner has already given up on.
+func (r *registry) deliver(s slot, in inbound) bool {
+	r.mu.Lock()
+	if r.closed || r.done[s] || s.before(r.horizon) {
+		r.mu.Unlock()
+		_ = in.conn.Close()
+		return false
+	}
+	ch := r.channel(s)
+	ok := false
+	select {
+	case ch <- in:
+		ok = true
+	default: // duplicate request for the slot
+	}
+	r.mu.Unlock()
+	if !ok {
+		_ = in.conn.Close()
+	}
+	return ok
+}
+
+// await blocks until the request for slot s arrives or the deadline
+// passes. Either way the slot is finished afterwards: later deliveries
+// are refused at the door.
+func (r *registry) await(s slot, timeout time.Duration) (inbound, bool) {
+	r.mu.Lock()
+	if r.closed || r.done[s] {
+		r.mu.Unlock()
+		return inbound{}, false
+	}
+	ch := r.channel(s)
+	r.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case in := <-ch:
+		r.finish(s, ch)
+		return in, true
+	case <-t.C:
+		// Resolve the race between the timer and a delivery under the
+		// lock: whatever is in the channel now is the last word.
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.done[s] = true
+		delete(r.pending, s)
+		select {
+		case in := <-ch:
+			return in, true
+		default:
+			return inbound{}, false
+		}
+	}
+}
+
+// finish marks a slot consumed, drops its channel, and closes out any
+// duplicate delivery that slipped in between the owner's receive and
+// the tombstone.
+func (r *registry) finish(s slot, ch chan inbound) {
+	r.mu.Lock()
+	r.done[s] = true
+	delete(r.pending, s)
+	select {
+	case dup := <-ch:
+		_ = dup.conn.Close()
+	default:
+	}
+	r.mu.Unlock()
+}
+
+// advance moves the owner's position: entries for earlier slots can
+// never be consumed anymore and are closed out, and earlier tombstones
+// are garbage-collected.
+func (r *registry) advance(pos slot) {
+	r.mu.Lock()
+	r.horizon = pos
+	for s, ch := range r.pending {
+		if s.before(pos) {
+			select {
+			case in := <-ch:
+				_ = in.conn.Close()
+			default:
+			}
+			delete(r.pending, s)
+		}
+	}
+	for s := range r.done {
+		if s.before(pos) {
+			delete(r.done, s)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// close refuses all future deliveries and drains parked connections.
+func (r *registry) close() {
+	r.mu.Lock()
+	r.closed = true
+	for s, ch := range r.pending {
+		select {
+		case in := <-ch:
+			_ = in.conn.Close()
+		default:
+		}
+		delete(r.pending, s)
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,203 @@
+package node
+
+import (
+	"fmt"
+	"math/big"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/timeseries"
+)
+
+// Run joins the population (if Join was not called yet) and drives the
+// full clustering protocol to completion, returning this participant's
+// own released view.
+//
+// The iteration schedule is fixed (Exchanges + DissCycles +
+// DecryptCycles per iteration, MaxIterations iterations or until the
+// budget runs dry): with no global observer, participants stay in
+// lockstep by construction rather than by agreement. The first
+// iteration's released centroids are bit-identical to the in-memory
+// simulator at the same seed and parameters; from the second iteration
+// on each participant continues from its own decoded view (the
+// simulator instead replays participant 0's view for everyone), so
+// views may drift within the gossip-error envelope the paper's unicity
+// argument bounds.
+func (nd *Node) Run() (*Result, error) {
+	if nd.book.size() < nd.cfg.N {
+		if err := nd.Join(); err != nil {
+			return nil, err
+		}
+	}
+	centroids := kmeans.Compact(nd.cfg.Proto.InitCentroids)
+	res := &Result{}
+	for it := 1; it <= nd.cfg.Proto.MaxIterations; it++ {
+		epsIter := nd.cfg.Proto.Budget.Epsilon(it)
+		if epsIter <= 0 {
+			break // privacy budget exhausted
+		}
+		if err := nd.acct.Spend(epsIter); err != nil {
+			return nil, err
+		}
+		nd.iterNow.Store(int64(it))
+		trace, next, err := nd.iterate(it, centroids, epsIter)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalEpsilon += epsIter
+		res.Traces = append(res.Traces, *trace)
+		if len(kmeans.Compact(next)) == 0 {
+			break // noise overwhelmed every centroid in this node's view
+		}
+		// Keep the full slot layout (lost means stay nil): participants
+		// may disagree on which slots died, but the protocol dimensions
+		// stay population-wide constants.
+		centroids = next
+	}
+	res.Centroids = kmeans.Compact(centroids)
+	res.AvgMessages = nd.mirror.AvgMessages()
+	res.AvgBytes = nd.mirror.AvgBytes()
+	res.Counters = nd.counters.Snapshot()
+	return res, nil
+}
+
+// iterate runs one full protocol iteration over the wire.
+func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) (*core.IterationTrace, []timeseries.Series, error) {
+	k := len(centroids)
+	n := len(nd.cfg.Series)
+	trace := &core.IterationTrace{Iteration: it, CentroidsIn: len(kmeans.Compact(centroids)), EpsilonSpent: epsIter}
+
+	// --- Assignment step (local, cleartext).
+	st := &iterState{}
+	st.means = nd.encryptState(core.BuildContribution(nd.cfg.Series, centroids, nd.codec))
+
+	// --- Noise shares: drawn from this node's own stream of the shared
+	// seed's stream family (every participant derives the same family
+	// and keeps stream Index — the simulator materializes all of them).
+	streams := eesum.NodeNoiseStreams(nd.protoRNG, nd.cfg.N)
+	myStream := streams[nd.cfg.Index]
+	noiseCfg := eesum.NoiseConfig{
+		Lambdas: core.NoiseLambdas(k, n, epsIter, nd.cfg.Proto.SumShare, nd.cfg.Proto.DMin, nd.cfg.Proto.DMax),
+		NShares: nd.cfg.Proto.NoiseShares,
+	}
+	shares := eesum.NoiseShareVector(myStream, noiseCfg)
+	noiseVec := make([]*big.Int, len(shares))
+	for j, x := range shares {
+		noiseVec[j] = nd.codec.Encode(x)
+	}
+	st.noise = nd.encryptState(noiseVec)
+	st.ctrS = 1
+	if nd.cfg.Index == 0 {
+		st.ctrW = 1
+	}
+
+	// --- Algorithm 3 (a): means and noise sums in lockstep, counter
+	// piggybacking, over the wire.
+	nd.phaseNow.Store(phaseSum)
+	nd.runPhase(it, phaseSum, nd.cfg.Proto.Exchanges, st)
+	trace.SumCycles = nd.cfg.Proto.Exchanges
+
+	// --- Algorithm 3 (b): correction proposal from own stream, min-
+	// identifier dissemination, local application.
+	est, ok := 0.0, st.ctrW > 0
+	if ok {
+		est = st.ctrS / st.ctrW
+	}
+	st.corID, st.corVec = eesum.CorrectionProposal(myStream, noiseCfg, est, ok)
+	nd.phaseNow.Store(phaseDiss)
+	nd.runPhase(it, phaseDiss, nd.cfg.Proto.DissCycles, st)
+	trace.DissCycles = nd.cfg.Proto.DissCycles
+	cor := make([]*big.Int, len(st.corVec))
+	for j, x := range st.corVec {
+		cor[j] = new(big.Int).Neg(nd.codec.Encode(x))
+	}
+	if err := eesum.AddEncryptedState(nd.cfg.Scheme, st.noise, cor, nd.dimWk); err != nil {
+		return nil, nil, err
+	}
+	if err := eesum.PerturbState(nd.cfg.Scheme, st.means, st.noise); err != nil {
+		return nil, nil, fmt.Errorf("node %d: %w", nd.cfg.Index, err)
+	}
+
+	// --- Algorithm 3 (c): epidemic threshold decryption over the wire.
+	st.decCTs = st.means.CTs
+	st.decOmega = st.means.Omega
+	st.decParts = make(map[int][]homenc.PartialDecryption, nd.cfg.Scheme.Threshold())
+	nd.phaseNow.Store(phaseDec)
+	nd.runPhase(it, phaseDec, nd.cfg.Proto.DecryptCycles, st)
+	trace.DecryptCycles = nd.cfg.Proto.DecryptCycles
+
+	tau := nd.cfg.Scheme.Threshold()
+	if len(st.decParts) < tau {
+		return nil, nil, fmt.Errorf("node %d: gathered %d of %d key-shares in the fixed decryption budget", nd.cfg.Index, len(st.decParts), tau)
+	}
+	ms, err := eesum.CombineParts(nd.cfg.Scheme, st.decCTs, st.decParts, tau, nd.dimWk)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := eesum.DecodeState(nd.cfg.Scheme, nd.codec, ms, st.decOmega)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- Convergence step (local).
+	next := core.Postprocess(vals, k, n, core.PostprocessParams{
+		DMin: nd.cfg.Proto.DMin, DMax: nd.cfg.Proto.DMax,
+		RangeSlack: nd.cfg.Proto.RangeSlack, CountFloor: nd.cfg.Proto.CountFloor,
+		Smooth: nd.cfg.Proto.Smooth, SMAFraction: nd.cfg.Proto.SMAFraction,
+	})
+	trace.CentroidsOut = len(kmeans.Compact(next))
+	return trace, next, nil
+}
+
+// runPhase executes one phase's fixed cycle budget: every cycle's
+// schedule is drawn from the mirror engine (identical on every
+// participant), and this node's participations execute strictly in
+// schedule order.
+func (nd *Node) runPhase(it, phase, cycles int, st *iterState) {
+	me := nd.cfg.Index
+	for c := 0; c < cycles; c++ {
+		if nd.stopped.Load() {
+			return
+		}
+		sched := nd.mirror.DrawCycle()
+		for seq, ex := range sched {
+			if ex.A != me && ex.B != me {
+				continue
+			}
+			if nd.stopped.Load() {
+				return
+			}
+			s := slot{iter: it, phase: phase, cycle: c, seq: seq}
+			if ex.A == me {
+				nd.initiate(phase, st, ex.B, s, ex.Full)
+			} else {
+				nd.respond(phase, st, s, ex.A)
+			}
+		}
+		nd.reg.advance(slot{iter: it, phase: phase, cycle: c + 1})
+	}
+}
+
+func (nd *Node) initiate(phase int, st *iterState, peer int, s slot, full bool) {
+	switch phase {
+	case phaseSum:
+		nd.initiateSum(st, peer, s, full)
+	case phaseDiss:
+		nd.initiateDiss(st, peer, s, full)
+	default:
+		nd.initiateDec(st, peer, s, full)
+	}
+}
+
+func (nd *Node) respond(phase int, st *iterState, s slot, from int) {
+	switch phase {
+	case phaseSum:
+		nd.respondSum(st, s, from)
+	case phaseDiss:
+		nd.respondDiss(st, s, from)
+	default:
+		nd.respondDec(st, s, from)
+	}
+}

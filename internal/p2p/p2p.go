@@ -25,7 +25,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"chiaroscuro/internal/wireproto"
 )
+
+// stateBytes is the notional wire size of one exchanged (σ, ω) state —
+// what a deployment would put on the wire per leg; used for the byte
+// counters so the in-memory runtime reports deployment-shaped numbers.
+const stateBytes = 16
 
 // SumNetwork hosts the asynchronous epidemic sum.
 type SumNetwork struct {
@@ -42,6 +49,7 @@ type SumNetwork struct {
 	world sync.RWMutex
 
 	exchanges atomic.Int64
+	counters  wireproto.CounterSet
 	wg        sync.WaitGroup
 	stopped   atomic.Bool
 }
@@ -173,6 +181,13 @@ func (n *SumNetwork) Size() int {
 
 // Exchanges returns the total number of completed exchanges.
 func (n *SumNetwork) Exchanges() int64 { return n.exchanges.Load() }
+
+// Stats returns the network-wide counters in the same shape the
+// transport layer and chiaroscurod export: initiated/responded halves
+// of completed exchanges, aborted attempts (a peer crashed between
+// selection and lock — the in-memory analogue of an exchange timeout),
+// and notional byte volume.
+func (n *SumNetwork) Stats() wireproto.Counters { return n.counters.Snapshot() }
 
 // Estimate returns participant id's current estimate σ/ω of the global
 // sum, and whether it is defined (ω > 0).
@@ -330,11 +345,18 @@ func (node *sumNode) exchange(peer *sumNode) {
 	defer second.mu.Unlock()
 	defer first.mu.Unlock()
 	if node.gone || peer.gone {
-		return // the peer crashed between selection and lock
+		// The peer crashed between selection and lock — the in-memory
+		// analogue of a wire exchange abandoned on a deadline.
+		node.net.counters.Timeouts.Add(1)
+		return
 	}
 	ms := (node.sigma + peer.sigma) / 2
 	mw := (node.omega + peer.omega) / 2
 	node.sigma, node.omega = ms, mw
 	peer.sigma, peer.omega = ms, mw
 	node.net.exchanges.Add(1)
+	node.net.counters.Initiated.Add(1)
+	node.net.counters.Responded.Add(1)
+	node.net.counters.BytesSent.Add(2 * stateBytes) // one state each way
+	node.net.counters.BytesRecv.Add(2 * stateBytes)
 }

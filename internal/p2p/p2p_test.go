@@ -196,3 +196,22 @@ func TestStopIdempotent(t *testing.T) {
 		t.Error("network not empty after Stop")
 	}
 }
+
+func TestStatsMirrorExchanges(t *testing.T) {
+	n := NewSumNetwork(100 * time.Microsecond)
+	for i := 0; i < 8; i++ {
+		n.Join(float64(i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Exchanges() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	n.Stop() // freeze the counters before comparing snapshots
+	s := n.Stats()
+	if s.Initiated != n.Exchanges() || s.Responded != n.Exchanges() {
+		t.Fatalf("stats %d/%d, exchanges %d", s.Initiated, s.Responded, n.Exchanges())
+	}
+	if s.BytesSent == 0 || s.BytesSent != s.BytesRecv {
+		t.Fatalf("byte accounting off: sent %d, recv %d", s.BytesSent, s.BytesRecv)
+	}
+}

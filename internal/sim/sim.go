@@ -140,42 +140,45 @@ func (e *Engine) resampleChurn() {
 // RunCycle executes one cycle: every connected node, in random order,
 // initiates one exchange with a peer from its view. It returns the
 // number of exchanges that took place.
+//
+// The cycle's schedule is pre-drawn (see schedule), so RunCycle consumes
+// the engine RNG exactly like the parallel path and DrawCycle do —
+// protocol exchanges themselves never touch the engine RNG.
 func (e *Engine) RunCycle(x Exchange) int {
-	e.resampleChurn()
-	exchanges := 0
-	order := e.rng.Perm(e.cfg.N)
-	for _, a := range order {
-		if !e.alive[a] {
-			continue
-		}
-		b, ok := e.sampler.Pick(a, e.alive, e.rng)
-		if !ok {
-			continue
-		}
-		full := true
-		if e.cfg.MidFailure && e.cfg.Churn > 0 {
-			window := e.cfg.MidFailureWindow
-			if window == 0 {
-				window = 0.05
-			}
-			if e.rng.Bernoulli(e.cfg.Churn * window) {
-				// The responder vanished mid-exchange: the initiator
-				// applied its update from the responder's stale state
-				// but the responder never applied its half.
-				full = false
-			}
-		}
-		x(a, b, full)
-		// One message in each direction.
-		e.msgs[a]++
-		e.msgs[b]++
-		e.bytes[a] += int64(e.cfg.MessageBytes)
-		e.bytes[b] += int64(e.cfg.MessageBytes)
-		e.sampler.AfterExchange(a, b, e.rng)
-		exchanges++
+	sched := e.schedule()
+	for _, s := range sched {
+		x(s.a, s.b, s.full)
 	}
 	e.cycle++
-	return exchanges
+	return len(sched)
+}
+
+// Scheduled is one pre-drawn exchange of a cycle: initiator A contacts
+// responder B; Full=false marks a half-completed exchange (the responder
+// disconnects mid-exchange and never applies its update, Section 6.1.5).
+type Scheduled struct {
+	A, B NodeID
+	Full bool
+}
+
+// DrawCycle advances the engine by one cycle — churn resampling,
+// initiator permutation, peer picks, mid-failure draws, accounting and
+// sampler view updates, in the exact order RunCycle performs them — but
+// executes no protocol exchanges, returning the schedule instead.
+//
+// This is the replication hook for the networked runtime: every peer
+// holding the same seed and configuration mirrors an Engine, draws the
+// same schedule, and executes its own participations over real
+// connections. A run driven by DrawCycle schedules is exchange-for-
+// exchange identical to a RunCycle simulation at the same seed.
+func (e *Engine) DrawCycle() []Scheduled {
+	sched := e.schedule()
+	out := make([]Scheduled, len(sched))
+	for i, s := range sched {
+		out[i] = Scheduled{A: s.a, B: s.b, Full: s.full}
+	}
+	e.cycle++
+	return out
 }
 
 // RunCycles runs the given number of cycles.

@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"chiaroscuro/internal/wireproto"
 )
 
 // wire is the JSON frame of one exchange leg.
@@ -45,6 +47,10 @@ type Node struct {
 	wg        sync.WaitGroup
 	exchanges atomic.Int64
 	closed    atomic.Bool
+
+	// counters mirrors the wire accounting chiaroscurod exports:
+	// exchanges by role, timeouts, byte volume.
+	counters wireproto.CounterSet
 }
 
 // NewNode starts a listener on 127.0.0.1 (ephemeral port) holding the
@@ -102,6 +108,10 @@ func (n *Node) Estimate() (float64, bool) {
 // Exchanges returns how many exchanges this node completed (both roles).
 func (n *Node) Exchanges() int64 { return n.exchanges.Load() }
 
+// Stats returns the node's wire counters (exchanges by role, timeouts,
+// byte volume) — the same shape chiaroscurod exports as metrics.
+func (n *Node) Stats() wireproto.Counters { return n.counters.Snapshot() }
+
 // Close stops the loops and the listener.
 func (n *Node) Close() error {
 	if n.closed.Swap(true) {
@@ -111,6 +121,25 @@ func (n *Node) Close() error {
 	err := n.ln.Close()
 	n.wg.Wait()
 	return err
+}
+
+// countingConn counts the bytes actually moved on the wire into the
+// node's counters — exact accounting with no re-serialization.
+type countingConn struct {
+	net.Conn
+	c *wireproto.CounterSet
+}
+
+func (cc countingConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	cc.c.BytesRecv.Add(int64(n))
+	return n, err
+}
+
+func (cc countingConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	cc.c.BytesSent.Add(int64(n))
+	return n, err
 }
 
 // serve accepts exchange requests: read one frame, merge, adopt, reply.
@@ -126,13 +155,16 @@ func (n *Node) serve() {
 			defer n.wg.Done()
 			defer conn.Close()
 			_ = conn.SetDeadline(time.Now().Add(n.timeout))
+			cc := countingConn{Conn: conn, c: &n.counters}
 			var req wire
-			if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+			if err := json.NewDecoder(bufio.NewReader(cc)).Decode(&req); err != nil {
+				n.counters.Rejected.Add(1)
 				return
 			}
 			merged := n.merge(req)
 			enc, _ := json.Marshal(merged)
-			_, _ = conn.Write(append(enc, '\n'))
+			_, _ = cc.Write(append(enc, '\n'))
+			n.counters.Responded.Add(1)
 		}(conn)
 	}
 }
@@ -173,8 +205,10 @@ func (n *Node) loop() {
 			// reply was lost, the global mass is corrupted — exactly the
 			// mid-exchange churn hazard of Section 6.1.5, rare on a
 			// loopback with generous timeouts.
+			n.counters.Timeouts.Add(1)
 			continue
 		}
+		n.counters.Initiated.Add(1)
 		n.mu.Lock()
 		// Concurrent exchanges may have changed our state since `mine`
 		// was snapshotted; reconcile by keeping the difference so the
@@ -195,12 +229,13 @@ func (n *Node) call(addr string, req wire) (wire, error) {
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(n.timeout))
+	cc := countingConn{Conn: conn, c: &n.counters}
 	enc, _ := json.Marshal(req)
-	if _, err := conn.Write(append(enc, '\n')); err != nil {
+	if _, err := cc.Write(append(enc, '\n')); err != nil {
 		return wire{}, err
 	}
 	var resp wire
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+	if err := json.NewDecoder(bufio.NewReader(cc)).Decode(&resp); err != nil {
 		return wire{}, err
 	}
 	return resp, nil

@@ -113,3 +113,28 @@ func TestSurvivesDeadPeer(t *testing.T) {
 		t.Errorf("survivors diverged: [%v, %v]", lo, hi)
 	}
 }
+
+func TestCountersTrackExchanges(t *testing.T) {
+	c, err := NewCluster([]float64{1, 2, 3}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.WaitConverged(1e-6, 5*time.Second) {
+		t.Fatal("cluster did not converge")
+	}
+	var total int64
+	for i, n := range c.Nodes {
+		s := n.Stats()
+		if s.Exchanges() != n.Exchanges() {
+			t.Fatalf("node %d: Stats().Exchanges()=%d, Exchanges()=%d", i, s.Exchanges(), n.Exchanges())
+		}
+		if s.Initiated > 0 && s.BytesSent == 0 {
+			t.Fatalf("node %d initiated exchanges but sent no bytes", i)
+		}
+		total += s.Exchanges()
+	}
+	if total == 0 {
+		t.Fatal("no exchanges counted across the cluster")
+	}
+}

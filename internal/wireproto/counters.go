@@ -1,0 +1,42 @@
+package wireproto
+
+import "sync/atomic"
+
+// CounterSet is the live wire-level accounting every networked
+// component keeps: exchanges by role, timeouts, and byte volume. It is
+// safe for concurrent use; Snapshot returns a consistent-enough copy
+// for metrics export (fields are read independently, which is fine for
+// monotone counters).
+type CounterSet struct {
+	Initiated atomic.Int64 // exchanges this peer started
+	Responded atomic.Int64 // exchanges this peer answered
+	Timeouts  atomic.Int64 // exchanges abandoned on a deadline
+	Rejected  atomic.Int64 // frames refused (bad version/epoch/bounds)
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+}
+
+// Counters is a plain snapshot of a CounterSet.
+type Counters struct {
+	Initiated int64
+	Responded int64
+	Timeouts  int64
+	Rejected  int64
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Snapshot copies the current counter values.
+func (c *CounterSet) Snapshot() Counters {
+	return Counters{
+		Initiated: c.Initiated.Load(),
+		Responded: c.Responded.Load(),
+		Timeouts:  c.Timeouts.Load(),
+		Rejected:  c.Rejected.Load(),
+		BytesSent: c.BytesSent.Load(),
+		BytesRecv: c.BytesRecv.Load(),
+	}
+}
+
+// Exchanges returns the total exchange count (both roles).
+func (c Counters) Exchanges() int64 { return c.Initiated + c.Responded }

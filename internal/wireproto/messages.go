@@ -1,0 +1,404 @@
+package wireproto
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+)
+
+// ExchangeHdr tags every exchange-phase message with its scheduled
+// slot, which is how peers running the deterministic schedule pair up
+// requests with the exchange they are waiting for: iteration, gossip
+// cycle within the phase, index within the cycle's schedule, and the
+// population indices of both sides.
+type ExchangeHdr struct {
+	Iter  uint32
+	Cycle uint32
+	Seq   uint32
+	From  uint32
+	To    uint32
+	Flags byte
+}
+
+// FlagAbort on a fin leg tells the responder its half of the exchange
+// is lost — the initiator applied its update, the responder must not.
+// Modeled mid-exchange churn sends it explicitly; a genuine crash
+// produces the same half-completed outcome via the fin timeout.
+const FlagAbort byte = 0x01
+
+func (h ExchangeHdr) encode(e *enc) {
+	e.u32(h.Iter)
+	e.u32(h.Cycle)
+	e.u32(h.Seq)
+	e.u32(h.From)
+	e.u32(h.To)
+	e.u8(h.Flags)
+}
+
+func decodeHdr(d *dec) ExchangeHdr {
+	return ExchangeHdr{
+		Iter:  d.u32(),
+		Cycle: d.u32(),
+		Seq:   d.u32(),
+		From:  d.u32(),
+		To:    d.u32(),
+		Flags: d.u8(),
+	}
+}
+
+// PeekHdr decodes just the leading ExchangeHdr of an exchange payload,
+// letting a listener route a request to its scheduled slot without
+// paying for the full (possibly large) message decode.
+func PeekHdr(data []byte) (ExchangeHdr, error) {
+	d := dec{b: data}
+	h := decodeHdr(&d)
+	if d.err != nil {
+		return ExchangeHdr{}, d.err
+	}
+	return h, nil
+}
+
+// --- membership ---
+
+// Hello is a joiner's first message to any known peer: its population
+// index, listen address, and the population size it was provisioned
+// for.
+type Hello struct {
+	Index uint32
+	Addr  string
+	N     uint32
+}
+
+// MarshalHello encodes a Hello payload.
+func MarshalHello(h Hello) []byte {
+	var e enc
+	e.u32(h.Index)
+	e.str(h.Addr)
+	e.u32(h.N)
+	return e.bytes()
+}
+
+// UnmarshalHello decodes a Hello payload.
+func UnmarshalHello(data []byte, lim Limits) (Hello, error) {
+	d := dec{b: data}
+	h := Hello{Index: d.u32()}
+	h.Addr = d.str(lim.MaxAddrLen)
+	h.N = d.u32()
+	return h, d.done()
+}
+
+// ViewItem is one serializable Newscast news item: who (population
+// index and dialable address) and how fresh. It is the wire form of a
+// newscast.Item extended with the address a real deployment needs.
+type ViewItem struct {
+	Index     uint32
+	Addr      string
+	Heartbeat int64
+}
+
+// MarshalView encodes a view exchange (or HelloAck roster) payload.
+func MarshalView(items []ViewItem) []byte {
+	var e enc
+	e.u32(uint32(len(items)))
+	for _, it := range items {
+		e.u32(it.Index)
+		e.str(it.Addr)
+		e.u64(uint64(it.Heartbeat))
+	}
+	return e.bytes()
+}
+
+// UnmarshalView decodes a view payload, bounded by lim.MaxPeers.
+func UnmarshalView(data []byte, lim Limits) ([]ViewItem, error) {
+	d := dec{b: data}
+	n := int(d.u32())
+	if d.err == nil && n > lim.MaxPeers {
+		return nil, fmt.Errorf("wireproto: view of %d items exceeds bound %d", n, lim.MaxPeers)
+	}
+	items := make([]ViewItem, 0, minInt(n, len(data)/7+1))
+	for i := 0; i < n; i++ {
+		it := ViewItem{Index: d.u32()}
+		it.Addr = d.str(lim.MaxAddrLen)
+		it.Heartbeat = int64(d.u64())
+		if d.err != nil {
+			break
+		}
+		items = append(items, it)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// Leave is a graceful departure notice.
+type Leave struct {
+	Index uint32
+}
+
+// MarshalLeave encodes a Leave payload.
+func MarshalLeave(l Leave) []byte {
+	var e enc
+	e.u32(l.Index)
+	return e.bytes()
+}
+
+// UnmarshalLeave decodes a Leave payload.
+func UnmarshalLeave(data []byte) (Leave, error) {
+	d := dec{b: data}
+	l := Leave{Index: d.u32()}
+	return l, d.done()
+}
+
+// --- encrypted sum phase ---
+
+// SumMsg carries one side's full sum-phase state: the encrypted means
+// EESum state, the encrypted noise EESum state running in lockstep, and
+// the cleartext participant counter piggybacking on the same exchange.
+type SumMsg struct {
+	Hdr      ExchangeHdr
+	Means    eesum.SumState
+	Noise    eesum.SumState
+	CtrSigma float64
+	CtrOmega float64
+}
+
+func encodeSumState(e *enc, st eesum.SumState) {
+	e.u32(uint32(len(st.CTs)))
+	for _, ct := range st.CTs {
+		e.raw(homenc.MarshalInt(ct.V))
+	}
+	e.raw(homenc.MarshalInt(st.Omega))
+	e.u32(uint32(st.Epoch))
+}
+
+func decodeSumState(d *dec, lim Limits) eesum.SumState {
+	n := int(d.u32())
+	if d.err == nil && n > lim.MaxDim {
+		d.fail("sum state dimension exceeds bound")
+		return eesum.SumState{}
+	}
+	st := eesum.SumState{CTs: make([]homenc.Ciphertext, 0, minInt(n, len(d.b)/5+1))}
+	for i := 0; i < n && d.err == nil; i++ {
+		st.CTs = append(st.CTs, homenc.Ciphertext{V: d.bigInt(lim.MaxCTBytes)})
+	}
+	st.Omega = d.bigInt(lim.MaxCTBytes)
+	st.Epoch = int(d.u32())
+	return st
+}
+
+// MarshalSum encodes a SumMsg payload (KindSumReq and KindSumResp).
+func MarshalSum(m SumMsg) []byte {
+	var e enc
+	m.Hdr.encode(&e)
+	encodeSumState(&e, m.Means)
+	encodeSumState(&e, m.Noise)
+	e.f64(m.CtrSigma)
+	e.f64(m.CtrOmega)
+	return e.bytes()
+}
+
+// UnmarshalSum decodes a SumMsg payload.
+func UnmarshalSum(data []byte, lim Limits) (SumMsg, error) {
+	d := dec{b: data}
+	m := SumMsg{Hdr: decodeHdr(&d)}
+	m.Means = decodeSumState(&d, lim)
+	m.Noise = decodeSumState(&d, lim)
+	m.CtrSigma = d.f64()
+	m.CtrOmega = d.f64()
+	return m, d.done()
+}
+
+// Fin is the bare commit leg closing a sum or dissemination exchange:
+// the responder applies its half only when it arrives, which is what
+// reproduces the half-completed exchange of Section 6.1.5 when the
+// initiator (or the link) dies in between.
+type Fin struct {
+	Hdr ExchangeHdr
+}
+
+// MarshalFin encodes a Fin payload (KindSumFin, KindDissFin).
+func MarshalFin(f Fin) []byte {
+	var e enc
+	f.Hdr.encode(&e)
+	return e.bytes()
+}
+
+// UnmarshalFin decodes a Fin payload.
+func UnmarshalFin(data []byte) (Fin, error) {
+	d := dec{b: data}
+	f := Fin{Hdr: decodeHdr(&d)}
+	return f, d.done()
+}
+
+// --- noise-correction dissemination ---
+
+// DissMsg carries one side's correction proposal: the random identifier
+// and the surplus correction vector (min identifier wins, Section
+// 4.2.2).
+type DissMsg struct {
+	Hdr ExchangeHdr
+	ID  uint64
+	Vec []float64
+}
+
+// MarshalDiss encodes a DissMsg payload (KindDissReq, KindDissResp).
+func MarshalDiss(m DissMsg) []byte {
+	var e enc
+	m.Hdr.encode(&e)
+	e.u64(m.ID)
+	e.u32(uint32(len(m.Vec)))
+	for _, v := range m.Vec {
+		e.f64(v)
+	}
+	return e.bytes()
+}
+
+// UnmarshalDiss decodes a DissMsg payload.
+func UnmarshalDiss(data []byte, lim Limits) (DissMsg, error) {
+	d := dec{b: data}
+	m := DissMsg{Hdr: decodeHdr(&d), ID: d.u64()}
+	n := int(d.u32())
+	if d.err == nil && n > lim.MaxDim {
+		return m, fmt.Errorf("wireproto: correction vector of %d exceeds bound %d", n, lim.MaxDim)
+	}
+	m.Vec = make([]float64, 0, minInt(n, len(d.b)/8+1))
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Vec = append(m.Vec, d.f64())
+	}
+	return m, d.done()
+}
+
+// --- epidemic decryption ---
+
+// DecMsg carries one side's epidemic decryption state — the ciphertext
+// vector it is decrypting, the weight that decodes it, and the partial
+// decryptions gathered so far — plus, on the response and fin legs,
+// the sender's own key-share applied to the receiver's (post-adoption)
+// ciphertexts. Fresh is empty on KindDecReq; CTs/Omega/Parts are empty
+// on KindDecFin.
+type DecMsg struct {
+	Hdr   ExchangeHdr
+	CTs   []homenc.Ciphertext
+	Omega *big.Int
+	Parts map[int][]homenc.PartialDecryption
+	Fresh []homenc.PartialDecryption
+}
+
+func encodePartials(e *enc, ps []homenc.PartialDecryption) {
+	e.u32(uint32(len(ps)))
+	for _, p := range ps {
+		e.u32(uint32(p.Index))
+		e.raw(homenc.MarshalInt(p.V))
+	}
+}
+
+func decodePartials(d *dec, lim Limits) []homenc.PartialDecryption {
+	n := int(d.u32())
+	if d.err == nil && n > lim.MaxDim+1 {
+		d.fail("partials vector exceeds bound")
+		return nil
+	}
+	ps := make([]homenc.PartialDecryption, 0, minInt(n, len(d.b)/9+1))
+	for i := 0; i < n && d.err == nil; i++ {
+		idx := int(d.u32())
+		v := d.bigInt(lim.MaxCTBytes)
+		ps = append(ps, homenc.PartialDecryption{Index: idx, V: v})
+	}
+	return ps
+}
+
+// MarshalDec encodes a DecMsg payload (KindDecReq, KindDecResp,
+// KindDecFin).
+func MarshalDec(m DecMsg) []byte {
+	var e enc
+	m.Hdr.encode(&e)
+	e.u32(uint32(len(m.CTs)))
+	for _, ct := range m.CTs {
+		e.raw(homenc.MarshalInt(ct.V))
+	}
+	if m.Omega == nil {
+		e.raw(homenc.MarshalInt(big.NewInt(0)))
+	} else {
+		e.raw(homenc.MarshalInt(m.Omega))
+	}
+	e.u16(uint16(len(m.Parts)))
+	// Canonical share-index order: encoding must not depend on map
+	// iteration order (peers compare and hash frames in tests).
+	idxs := make([]int, 0, len(m.Parts))
+	for idx := range m.Parts {
+		idxs = append(idxs, idx)
+	}
+	sortInts(idxs)
+	for _, idx := range idxs {
+		e.u32(uint32(idx))
+		encodePartials(&e, m.Parts[idx])
+	}
+	encodePartials(&e, m.Fresh)
+	return e.bytes()
+}
+
+// UnmarshalDec decodes a DecMsg payload.
+func UnmarshalDec(data []byte, lim Limits) (DecMsg, error) {
+	d := dec{b: data}
+	m := DecMsg{Hdr: decodeHdr(&d)}
+	n := int(d.u32())
+	if d.err == nil && n > lim.MaxDim {
+		return m, fmt.Errorf("wireproto: ciphertext vector of %d exceeds bound %d", n, lim.MaxDim)
+	}
+	m.CTs = make([]homenc.Ciphertext, 0, minInt(n, len(d.b)/5+1))
+	for i := 0; i < n && d.err == nil; i++ {
+		m.CTs = append(m.CTs, homenc.Ciphertext{V: d.bigInt(lim.MaxCTBytes)})
+	}
+	m.Omega = d.bigInt(lim.MaxCTBytes)
+	nParts := int(d.u16())
+	if d.err == nil && nParts > lim.MaxParts {
+		return m, fmt.Errorf("wireproto: %d partial sets exceed bound %d", nParts, lim.MaxParts)
+	}
+	m.Parts = make(map[int][]homenc.PartialDecryption, nParts)
+	for i := 0; i < nParts && d.err == nil; i++ {
+		idx := int(d.u32())
+		ps := decodePartials(&d, lim)
+		if d.err == nil {
+			if _, dup := m.Parts[idx]; dup {
+				return m, errors.New("wireproto: duplicate partial share index")
+			}
+			m.Parts[idx] = ps
+		}
+	}
+	m.Fresh = decodePartials(&d, lim)
+	return m, d.done()
+}
+
+// bigInt consumes one homenc canonical integer from the cursor.
+func (d *dec) bigInt(maxBytes int) *big.Int {
+	if d.err != nil {
+		return nil
+	}
+	v, rest, err := homenc.UnmarshalIntBound(d.b, maxBytes)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.b = rest
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortInts(v []int) {
+	// Insertion sort: share-index sets are tiny (≤ τ).
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package wireproto is Chiaroscuro's binary wire protocol: the framing
+// and message encodings that carry every protocol interaction of the
+// Diptych between real peers — Newscast view exchanges, the encrypted
+// means/noise push-pull (EESum states as homenc wire encodings), the
+// noise-correction dissemination, epidemic partial-decryption shares,
+// and membership (hello/roster/leave).
+//
+// A frame is
+//
+//	uint32 BE  length of everything after this field
+//	byte       protocol version (Version)
+//	byte       message kind (Kind*)
+//	uint64 BE  population epoch — identifies the run a peer belongs to;
+//	           frames from another epoch are rejected at the door
+//	payload    kind-specific binary encoding
+//
+// Every decoder takes explicit Limits so a malicious frame cannot force
+// allocations beyond what its own bytes justify; integers and
+// ciphertexts reuse homenc's canonical bounded encoding.
+package wireproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version byte. A peer speaking another version
+// is rejected (no negotiation: populations are provisioned together).
+const Version = 1
+
+// Message kinds.
+const (
+	// Membership and connectivity.
+	KindHello    byte = 0x01 // joiner -> bootstrap: index + listen address
+	KindHelloAck byte = 0x02 // bootstrap -> joiner: current roster view
+	KindView     byte = 0x03 // Newscast view push (either direction)
+	KindLeave    byte = 0x04 // graceful departure notice
+
+	// Encrypted sum phase (means + noise EESum lockstep + counter).
+	KindSumReq  byte = 0x10 // initiator state push
+	KindSumResp byte = 0x11 // responder pre-merge state
+	KindSumFin  byte = 0x12 // commit: responder applies its half
+
+	// Noise-correction min-identifier dissemination.
+	KindDissReq  byte = 0x20
+	KindDissResp byte = 0x21
+	KindDissFin  byte = 0x22
+
+	// Epidemic threshold decryption.
+	KindDecReq  byte = 0x30 // initiator decryption state
+	KindDecResp byte = 0x31 // responder pre-merge state + its share's partials for the initiator
+	KindDecFin  byte = 0x32 // initiator's share partials for the responder; commit
+)
+
+// maxFrameHard is the absolute frame-size ceiling regardless of Limits:
+// no Chiaroscuro message legitimately approaches it.
+const maxFrameHard = 1 << 28
+
+// headerBytes is the fixed frame overhead after the length prefix.
+const headerBytes = 1 + 1 + 8
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Kind    byte
+	Epoch   uint64
+	Payload []byte
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, kind byte, epoch uint64, payload []byte) error {
+	if len(payload) > maxFrameHard-headerBytes {
+		return fmt.Errorf("wireproto: payload of %d bytes exceeds the frame ceiling", len(payload))
+	}
+	buf := make([]byte, 4+headerBytes+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(headerBytes+len(payload)))
+	buf[4] = Version
+	buf[5] = kind
+	binary.BigEndian.PutUint64(buf[6:], epoch)
+	copy(buf[4+headerBytes:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting frames longer than maxFrame (a
+// value <= 0 uses the hard ceiling) before allocating the payload.
+func ReadFrame(r io.Reader, maxFrame int) (Frame, error) {
+	if maxFrame <= 0 || maxFrame > maxFrameHard {
+		maxFrame = maxFrameHard
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerBytes {
+		return Frame{}, errors.New("wireproto: frame shorter than its header")
+	}
+	if uint64(n) > uint64(maxFrame) {
+		return Frame{}, fmt.Errorf("wireproto: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	if body[0] != Version {
+		return Frame{}, fmt.Errorf("wireproto: version %d, want %d", body[0], Version)
+	}
+	return Frame{
+		Kind:    body[1],
+		Epoch:   binary.BigEndian.Uint64(body[2:10]),
+		Payload: body[10:],
+	}, nil
+}
+
+// Limits bounds every allocation a decoder performs on behalf of a
+// remote peer. The zero value is unusable; build one from the scheme
+// and protocol dimensions with NewLimits.
+type Limits struct {
+	MaxCTBytes  int // ciphertext / weight / partial magnitude bound
+	MaxDim      int // protocol vector length bound (k·(n+1) slots)
+	MaxParts    int // gathered partial-decryption share bound (τ)
+	MaxPeers    int // roster / view entries bound
+	MaxAddrLen  int // peer address string bound
+	MaxFrameLen int // whole-frame bound derived from the above
+}
+
+// NewLimits derives decoder limits from the deployment's actual sizes:
+// ctBytes is the scheme's ciphertext wire size, dim the protocol vector
+// length, parts the decryption threshold, peers the population bound.
+func NewLimits(ctBytes, dim, parts, peers int) Limits {
+	l := Limits{
+		// Weights grow by one bit per exchange epoch on top of the
+		// plaintext size; doubling the ciphertext bound leaves orders of
+		// magnitude of slack while still refusing absurd frames.
+		MaxCTBytes: 2*ctBytes + 64,
+		MaxDim:     dim,
+		MaxParts:   parts,
+		MaxPeers:   peers,
+		MaxAddrLen: 256,
+	}
+	// A decryption response is the largest message: a full state (dim
+	// ciphertexts) plus up to parts×dim gathered partials plus dim fresh
+	// partials, each integer costing at most MaxCTBytes+5 bytes.
+	perInt := l.MaxCTBytes + 16
+	l.MaxFrameLen = headerBytes + 64 + (parts+2)*(dim+1)*perInt + peers*(l.MaxAddrLen+16)
+	if l.MaxFrameLen > maxFrameHard {
+		l.MaxFrameLen = maxFrameHard
+	}
+	return l
+}
+
+// --- primitive cursors ---
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) raw(p []byte)  { e.b = append(e.b, p...) }
+func (e *enc) str(s string)  { e.u16(uint16(len(s))); e.b = append(e.b, s...) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) bytes() []byte { return e.b }
+
+// dec is a sticky-error payload reader.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = errors.New("wireproto: " + msg)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail("short payload")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail("short payload")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail("short payload")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("short payload")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str(maxLen int) string {
+	n := int(d.u16())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		d.fail("string exceeds bound")
+		return ""
+	}
+	if len(d.b) < n {
+		d.fail("short payload")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return errors.New("wireproto: trailing bytes")
+	}
+	return nil
+}

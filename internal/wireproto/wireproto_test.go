@@ -1,0 +1,245 @@
+package wireproto
+
+import (
+	"bytes"
+	"math/big"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chiaroscuro/internal/eesum"
+	"chiaroscuro/internal/homenc"
+)
+
+func testLimits() Limits { return NewLimits(64, 16, 4, 32) }
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteFrame(&buf, KindSumReq, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, KindLeave, 42, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindSumReq || f.Epoch != 42 || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("frame mismatch: %+v", f)
+	}
+	f2, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Kind != KindLeave || len(f2.Payload) != 0 {
+		t.Fatalf("second frame mismatch: %+v", f2)
+	}
+}
+
+func TestFrameRejectsOversizeAndBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindView, 1, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 100); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	// Corrupt the version byte.
+	raw := buf.Bytes()
+	raw[4] = 99
+	if _, err := ReadFrame(bytes.NewReader(raw), 0); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+	// A length prefix shorter than the header is refused.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 2, 1, 1}), 0); err == nil {
+		t.Fatal("undersize frame accepted")
+	}
+}
+
+func TestHelloViewLeaveRoundTrip(t *testing.T) {
+	lim := testLimits()
+	h := Hello{Index: 7, Addr: "127.0.0.1:9000", N: 12}
+	got, err := UnmarshalHello(MarshalHello(h), lim)
+	if err != nil || got != h {
+		t.Fatalf("hello round trip: %+v, %v", got, err)
+	}
+	items := []ViewItem{
+		{Index: 0, Addr: "127.0.0.1:9000", Heartbeat: 3},
+		{Index: 5, Addr: "10.0.0.8:1234", Heartbeat: -1},
+	}
+	gotItems, err := UnmarshalView(MarshalView(items), lim)
+	if err != nil || !reflect.DeepEqual(items, gotItems) {
+		t.Fatalf("view round trip: %+v, %v", gotItems, err)
+	}
+	l := Leave{Index: 3}
+	gotLeave, err := UnmarshalLeave(MarshalLeave(l))
+	if err != nil || gotLeave != l {
+		t.Fatalf("leave round trip: %+v, %v", gotLeave, err)
+	}
+}
+
+func TestViewRejectsHostileCount(t *testing.T) {
+	lim := testLimits()
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := UnmarshalView(hostile, lim); err == nil {
+		t.Fatal("hostile view count accepted")
+	}
+}
+
+func sumState(vals ...int64) eesum.SumState {
+	cts := make([]homenc.Ciphertext, len(vals))
+	for i, v := range vals {
+		cts[i] = homenc.Ciphertext{V: big.NewInt(v)}
+	}
+	return eesum.SumState{CTs: cts, Omega: big.NewInt(3), Epoch: 5}
+}
+
+func sumStatesEqual(a, b eesum.SumState) bool {
+	if len(a.CTs) != len(b.CTs) || a.Epoch != b.Epoch || a.Omega.Cmp(b.Omega) != 0 {
+		return false
+	}
+	for i := range a.CTs {
+		if a.CTs[i].V.Cmp(b.CTs[i].V) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSumMsgRoundTrip(t *testing.T) {
+	lim := testLimits()
+	m := SumMsg{
+		Hdr:      ExchangeHdr{Iter: 1, Cycle: 2, Seq: 3, From: 4, To: 5},
+		Means:    sumState(10, -20, 30),
+		Noise:    sumState(7, 8, 9),
+		CtrSigma: 12.5,
+		CtrOmega: 1,
+	}
+	got, err := UnmarshalSum(MarshalSum(m), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hdr != m.Hdr || got.CtrSigma != m.CtrSigma || got.CtrOmega != m.CtrOmega {
+		t.Fatalf("header/counter mismatch: %+v", got)
+	}
+	if !sumStatesEqual(got.Means, m.Means) || !sumStatesEqual(got.Noise, m.Noise) {
+		t.Fatal("sum states mismatch")
+	}
+}
+
+func TestSumMsgRejectsOversizeDim(t *testing.T) {
+	lim := testLimits()
+	cts := make([]homenc.Ciphertext, lim.MaxDim+1)
+	for i := range cts {
+		cts[i] = homenc.Ciphertext{V: big.NewInt(int64(i))}
+	}
+	m := SumMsg{Means: eesum.SumState{CTs: cts, Omega: big.NewInt(1)},
+		Noise: sumState(1)}
+	if _, err := UnmarshalSum(MarshalSum(m), lim); err == nil {
+		t.Fatal("oversize dimension accepted")
+	}
+}
+
+func TestDissAndFinRoundTrip(t *testing.T) {
+	lim := testLimits()
+	m := DissMsg{Hdr: ExchangeHdr{Iter: 2, Seq: 9, From: 1, To: 2}, ID: 0xDEAD, Vec: []float64{1.5, -2.25}}
+	got, err := UnmarshalDiss(MarshalDiss(m), lim)
+	if err != nil || got.ID != m.ID || !reflect.DeepEqual(got.Vec, m.Vec) || got.Hdr != m.Hdr {
+		t.Fatalf("diss round trip: %+v, %v", got, err)
+	}
+	f := Fin{Hdr: ExchangeHdr{Iter: 2, Cycle: 1, Seq: 9, From: 1, To: 2}}
+	gotF, err := UnmarshalFin(MarshalFin(f))
+	if err != nil || gotF != f {
+		t.Fatalf("fin round trip: %+v, %v", gotF, err)
+	}
+}
+
+func TestDecMsgRoundTrip(t *testing.T) {
+	lim := testLimits()
+	m := DecMsg{
+		Hdr:   ExchangeHdr{Iter: 1, Cycle: 4, Seq: 0, From: 2, To: 6},
+		CTs:   []homenc.Ciphertext{{V: big.NewInt(99)}, {V: big.NewInt(-100)}},
+		Omega: big.NewInt(8),
+		Parts: map[int][]homenc.PartialDecryption{
+			3: {{Index: 3, V: big.NewInt(11)}, {Index: 3, V: big.NewInt(12)}},
+			1: {{Index: 1, V: big.NewInt(21)}, {Index: 1, V: big.NewInt(22)}},
+		},
+		Fresh: []homenc.PartialDecryption{{Index: 5, V: big.NewInt(31)}, {Index: 5, V: big.NewInt(32)}},
+	}
+	got, err := UnmarshalDec(MarshalDec(m), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hdr != m.Hdr || got.Omega.Cmp(m.Omega) != 0 || len(got.CTs) != 2 {
+		t.Fatalf("dec header mismatch: %+v", got)
+	}
+	if len(got.Parts) != 2 || len(got.Parts[3]) != 2 || got.Parts[1][1].V.Int64() != 22 {
+		t.Fatalf("parts mismatch: %+v", got.Parts)
+	}
+	if len(got.Fresh) != 2 || got.Fresh[0].Index != 5 || got.Fresh[1].V.Int64() != 32 {
+		t.Fatalf("fresh mismatch: %+v", got.Fresh)
+	}
+	// Encoding is canonical: re-encoding the decoded message yields the
+	// identical bytes regardless of map iteration order.
+	if !bytes.Equal(MarshalDec(m), MarshalDec(got)) {
+		t.Fatal("dec encoding not canonical")
+	}
+}
+
+func TestDecMsgRejectsDuplicateShares(t *testing.T) {
+	lim := testLimits()
+	// Hand-build a payload whose two part sets claim the same share index.
+	var e enc
+	ExchangeHdr{}.encode(&e)
+	e.u32(0)                                // no cts
+	e.raw(homenc.MarshalInt(big.NewInt(1))) // omega
+	e.u16(2)                                // two part sets
+	for i := 0; i < 2; i++ {
+		e.u32(2) // same share index both times
+		e.u32(1) // one partial
+		e.u32(2)
+		e.raw(homenc.MarshalInt(big.NewInt(7)))
+	}
+	e.u32(0) // no fresh partials
+	if _, err := UnmarshalDec(e.bytes(), lim); err == nil {
+		t.Fatal("duplicate share index accepted")
+	}
+}
+
+func TestGarbagePayloadsError(t *testing.T) {
+	lim := testLimits()
+	garbage := [][]byte{
+		nil,
+		{0x00},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0xAB}, 64),
+	}
+	for _, g := range garbage {
+		if _, err := UnmarshalSum(g, lim); err == nil {
+			t.Fatalf("sum accepted garbage %x", g)
+		}
+		if _, err := UnmarshalDec(g, lim); err == nil {
+			t.Fatalf("dec accepted garbage %x", g)
+		}
+		if _, err := UnmarshalDiss(g, lim); err == nil {
+			t.Fatalf("diss accepted garbage %x", g)
+		}
+		if _, err := UnmarshalHello(g, lim); err == nil {
+			t.Fatalf("hello accepted garbage %x", g)
+		}
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	var cs CounterSet
+	cs.Initiated.Add(3)
+	cs.Responded.Add(4)
+	cs.BytesSent.Add(100)
+	snap := cs.Snapshot()
+	if snap.Exchanges() != 7 || snap.BytesSent != 100 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}

@@ -2,11 +2,16 @@ package chiaroscuro
 
 import (
 	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
 
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/homenc/damgardjurik"
 	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/node"
 	"chiaroscuro/internal/sim"
 )
 
@@ -55,6 +60,16 @@ type NetworkOptions struct {
 
 	NoiseShares int // nν lower bound (default: population size)
 	Exchanges   int // gossip cycles per sum phase (default: Theorem 3)
+
+	// DissCycles and DecryptCycles, when positive, fix the correction-
+	// dissemination and epidemic-decryption phase lengths instead of
+	// stopping at (globally observed) convergence — the schedule a
+	// networked deployment must use, and the setting that makes a
+	// simulation cycle-for-cycle comparable to RunNetworked. Zero keeps
+	// the simulator's adaptive behavior (and, for RunNetworked, derives
+	// FixedPhaseCycles defaults).
+	DissCycles    int
+	DecryptCycles int
 
 	Churn      float64 // per-cycle disconnection probability
 	MidFailure bool    // corrupt in-flight exchanges under churn
@@ -105,6 +120,8 @@ func Run(d *Dataset, scheme Scheme, opts NetworkOptions) (*NetworkResult, error)
 		Exchanges:     opts.Exchanges,
 		Churn:         opts.Churn,
 		MidFailure:    opts.MidFailure,
+		DissCycles:    opts.DissCycles,
+		DecryptCycles: opts.DecryptCycles,
 		FracBits:      opts.FracBits,
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
@@ -115,4 +132,130 @@ func Run(d *Dataset, scheme Scheme, opts NetworkOptions) (*NetworkResult, error)
 		return nil, err
 	}
 	return nw.Run()
+}
+
+// NetworkedOptions parametrizes RunNetworked: the shared protocol
+// options plus the wire-runtime knobs.
+type NetworkedOptions struct {
+	NetworkOptions
+
+	// ExchangeTimeout bounds every blocking exchange step on every
+	// node (default 30s).
+	ExchangeTimeout time.Duration
+}
+
+// FixedPhaseCycles returns deterministic phase lengths for a population
+// of np participants: enough cycles for the min-identifier
+// dissemination and the τ-share epidemic decryption to complete with
+// ample slack (both finish in O(log np) cycles; extra cycles are
+// protocol no-ops). Networked deployments need fixed lengths — no
+// participant can observe global convergence — and a simulation
+// configured with the same values is cycle-for-cycle identical.
+func FixedPhaseCycles(np int) (dissCycles, decryptCycles int) {
+	logN := bits.Len(uint(np))
+	return 6 + 2*logN, 8 + 2*logN
+}
+
+// RunNetworked executes the complete Chiaroscuro protocol over real TCP
+// connections: one listener (and one goroutine-driven peer runtime) per
+// series of d, all on the loopback interface, exchanging ciphertexts,
+// noise shares, correction proposals and partial decryptions through
+// the binary wire protocol. It returns participant 0's view, which for
+// a single-iteration run bit-matches Run on the same seed and
+// parameters (see internal/node for the determinism model).
+//
+// For one daemon process per participant — real deployments — see
+// cmd/chiaroscurod, which drives the same runtime over a key file and
+// a bootstrap address.
+func RunNetworked(d *Dataset, scheme Scheme, opts NetworkedOptions) (*NetworkResult, error) {
+	if scheme == nil {
+		return nil, errors.New("chiaroscuro: nil scheme")
+	}
+	if opts.Threshold != 0 {
+		return nil, errors.New("chiaroscuro: networked runs use the fixed iteration schedule; set Threshold to 0")
+	}
+	np := d.Len()
+	if opts.DissCycles == 0 || opts.DecryptCycles == 0 {
+		diss, dec := FixedPhaseCycles(np)
+		if opts.DissCycles == 0 {
+			opts.DissCycles = diss
+		}
+		if opts.DecryptCycles == 0 {
+			opts.DecryptCycles = dec
+		}
+	}
+	nodes := make([]*node.Node, np)
+	defer func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				_ = nd.Close()
+			}
+		}
+	}()
+	bootstrap := ""
+	for i := 0; i < np; i++ {
+		var sampler sim.Sampler
+		if opts.Newscast {
+			sampler = &sim.NewscastSampler{ViewSize: 30}
+		}
+		nd, err := node.New(node.Config{
+			Index:  i,
+			N:      np,
+			Series: d.Row(i),
+			Scheme: scheme,
+			Proto: core.Config{
+				K:             opts.K,
+				InitCentroids: opts.InitCentroids,
+				DMin:          opts.DMin,
+				DMax:          opts.DMax,
+				Epsilon:       opts.Epsilon,
+				Budget:        opts.Budget,
+				MaxIterations: opts.MaxIterations,
+				Smooth:        opts.Smooth,
+				NoiseShares:   opts.NoiseShares,
+				Exchanges:     opts.Exchanges,
+				Churn:         opts.Churn,
+				MidFailure:    opts.MidFailure,
+				DissCycles:    opts.DissCycles,
+				DecryptCycles: opts.DecryptCycles,
+				FracBits:      opts.FracBits,
+				Seed:          opts.Seed,
+				Workers:       opts.Workers,
+				Sampler:       sampler,
+			},
+			Bootstrap:       bootstrap,
+			ExchangeTimeout: opts.ExchangeTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
+		}
+		nodes[i] = nd
+		if i == 0 {
+			bootstrap = nd.Addr()
+		}
+	}
+	results := make([]*node.Result, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *node.Node) {
+			defer wg.Done()
+			results[i], errs[i] = nd.Run()
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
+		}
+	}
+	r0 := results[0]
+	return &NetworkResult{
+		Centroids:    r0.Centroids,
+		Traces:       r0.Traces,
+		TotalEpsilon: r0.TotalEpsilon,
+		AvgMessages:  r0.AvgMessages,
+		AvgBytes:     r0.AvgBytes,
+	}, nil
 }

@@ -1,0 +1,86 @@
+package chiaroscuro
+
+import (
+	"testing"
+)
+
+// TestRunNetworkedMatchesRun drives the public entry points: the same
+// seed and parameters through the in-memory simulator and through N
+// real TCP listeners must release bit-identical centroids (single
+// iteration; the fixed phase lengths make the two runs cycle-for-cycle
+// identical).
+func TestRunNetworkedMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	data, _ := GenerateCER(10, 11)
+	seeds := SeedCentroids("cer", 2, 12)
+	scheme, err := NewTestScheme(128, 4, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diss, dec := FixedPhaseCycles(data.Len())
+	opts := NetworkOptions{
+		K: 2, InitCentroids: seeds,
+		DMin: CERMin, DMax: CERMax,
+		Epsilon: 1e4, MaxIterations: 1, Exchanges: 10,
+		DissCycles: diss, DecryptCycles: dec,
+		FracBits: 24, Seed: 33, Workers: 2,
+	}
+	want, err := Run(data, scheme, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunNetworked(data, scheme, NetworkedOptions{NetworkOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Centroids) != len(want.Centroids) || len(want.Centroids) == 0 {
+		t.Fatalf("centroid count %d, want %d (non-zero)", len(got.Centroids), len(want.Centroids))
+	}
+	for c := range want.Centroids {
+		for j := range want.Centroids[c] {
+			if got.Centroids[c][j] != want.Centroids[c][j] {
+				t.Fatalf("centroid %d[%d]: networked %v, sim %v", c, j, got.Centroids[c][j], want.Centroids[c][j])
+			}
+		}
+	}
+	if got.AvgMessages != want.AvgMessages || got.AvgBytes != want.AvgBytes {
+		t.Fatalf("accounting diverged: %v/%v vs %v/%v", got.AvgMessages, got.AvgBytes, want.AvgMessages, want.AvgBytes)
+	}
+}
+
+// TestRunNetworkedMultiIteration checks the runtime survives several
+// iterations end to end (later iterations proceed from each node's own
+// decoded view, so only liveness and shape are asserted).
+func TestRunNetworkedMultiIteration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	data, _ := GenerateCER(8, 5)
+	seeds := SeedCentroids("cer", 2, 6)
+	scheme, err := NewTestScheme(128, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNetworked(data, scheme, NetworkedOptions{NetworkOptions: NetworkOptions{
+		K: 2, InitCentroids: seeds,
+		DMin: CERMin, DMax: CERMax,
+		Epsilon: 1e4, MaxIterations: 2, Exchanges: 8,
+		FracBits: 24, Seed: 9, Workers: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("ran %d iterations, want 2", len(res.Traces))
+	}
+	if len(res.Centroids) == 0 {
+		t.Fatal("no centroids released")
+	}
+	for _, c := range res.Centroids {
+		if len(c) != data.Dim() {
+			t.Fatalf("centroid length %d, want %d", len(c), data.Dim())
+		}
+	}
+}
