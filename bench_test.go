@@ -229,9 +229,14 @@ func BenchmarkEndToEndPlain64(b *testing.B) {
 	}
 }
 
-func BenchmarkEndToEndRealCrypto12(b *testing.B) {
+// endToEndRealCrypto12 runs the 12-participant real-crypto protocol at
+// the given packing; the pair below tracks the packing speedup across
+// PRs (both release bit-identical centroids, see internal/core tests).
+func endToEndRealCrypto12(b *testing.B, packSlots int) {
+	b.Helper()
 	data, _ := GenerateCER(12, 7)
 	seeds := SeedCentroids("cer", 2, 8)
+	var bytesPerNode float64
 	for i := 0; i < b.N; i++ {
 		scheme, err := NewTestScheme(128, 4, 12, 4)
 		if err != nil {
@@ -241,7 +246,7 @@ func BenchmarkEndToEndRealCrypto12(b *testing.B) {
 			K: 2, InitCentroids: seeds,
 			DMin: CERMin, DMax: CERMax,
 			Epsilon: 1e4, MaxIterations: 1, Exchanges: 12,
-			FracBits: 24, Seed: uint64(i),
+			FracBits: 24, PackSlots: packSlots, Seed: uint64(i),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -249,8 +254,21 @@ func BenchmarkEndToEndRealCrypto12(b *testing.B) {
 		if len(res.Centroids) == 0 {
 			b.Fatal("no centroids")
 		}
+		bytesPerNode = res.AvgBytes
 	}
+	b.ReportMetric(bytesPerNode, "wirebytes/node")
 }
+
+// PackSlots is pinned to 1 so this benchmark keeps measuring the
+// unpacked baseline it always measured (0 would auto-pack on this s=4
+// scheme and silently shift the trajectory).
+func BenchmarkEndToEndRealCrypto12(b *testing.B) { endToEndRealCrypto12(b, 1) }
+
+// BenchmarkEndToEndRealCrypto12Packed is the packed counterpart: the
+// 128-bit s=4 plaintext space holds 2 guarded slots at this exchange
+// budget, halving the ciphertexts per frame. The wirebytes/node metric
+// makes the bandwidth division visible next to the time speedup.
+func BenchmarkEndToEndRealCrypto12Packed(b *testing.B) { endToEndRealCrypto12(b, 2) }
 
 // --- Substrate benchmarks used for the EXPERIMENTS.md cost model.
 

@@ -64,6 +64,7 @@ func main() {
 		smooth      = flag.Bool("smooth", true, "SMA smoothing of perturbed means")
 		seed        = flag.Uint64("seed", 1, "shared deterministic seed (fixes the exchange schedule)")
 		fracBits    = flag.Uint("frac-bits", 24, "fixed-point fractional bits")
+		packSlots   = flag.Int("pack-slots", 0, "ciphertext packing slots (0 = auto from the plaintext space, 1 = off; all daemons must agree)")
 		keyBits     = flag.Int("keybits", 128, "test-scheme key size for -genkeys (128/256/512/1024)")
 		degree      = flag.Int("degree", 4, "Damgård–Jurik degree s for -genkeys")
 		tau         = flag.Int("threshold", 0, "decryption threshold for -genkeys (0 = population/3, min 2)")
@@ -126,6 +127,7 @@ func main() {
 			DissCycles:    diss,
 			DecryptCycles: dec,
 			FracBits:      *fracBits,
+			PackSlots:     *packSlots,
 			Seed:          *seed,
 		},
 		Listen:          *listen,

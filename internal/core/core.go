@@ -51,8 +51,9 @@ type Diptych struct {
 	// Centroids is the cleartext, perturbed centroid set C (nil entries
 	// are lost means).
 	Centroids []timeseries.Series
-	// Means is the participant's encrypted means state M: the k·(n+1)
-	// EESum vector holding E(σ_sum) and E(σ_count) per cluster, plus
+	// Means is the participant's encrypted means state M: the EESum
+	// vector holding E(σ_sum) and E(σ_count) per cluster — k·(n+1)
+	// values, laid out in ⌈k·(n+1)/PackSlots⌉ packed ciphertexts — plus
 	// the cleartext weight ω (inside the EESum state).
 	Means *eesum.Sum
 }
@@ -81,6 +82,18 @@ type Config struct {
 
 	FracBits uint   // fixed-point fractional bits (default homenc.DefaultFracBits)
 	Seed     uint64 // simulation seed
+
+	// PackSlots controls ciphertext packing of the encrypted means and
+	// noise vectors: how many fixed-point values share one plaintext,
+	// each slot padded with a guard band covering the exchange budget's
+	// worst-case epoch growth. 0 auto-sizes from the scheme's
+	// PlaintextSpace() (falling back to 1 when the space has no room
+	// for 2 guarded slots — in particular for every s=1 key at realistic
+	// exchange counts); 1 disables packing; >= 2 demands that many slots
+	// and fails construction when they do not fit. Packing divides the
+	// per-exchange ciphertext count and wire bytes by the pack factor
+	// and releases bit-identical centroids (slot arithmetic is exact).
+	PackSlots int
 
 	Churn      float64 // per-cycle disconnection probability
 	MidFailure bool    // corrupt in-flight exchanges under churn
@@ -148,6 +161,7 @@ type Network struct {
 	cfg      Config
 	sch      homenc.Scheme
 	codec    homenc.Codec
+	pack     homenc.PackedCodec
 	data     *timeseries.Dataset
 	np       int
 	engine   *sim.Engine
@@ -185,7 +199,11 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 		return nil, errors.New("core: epsilon must be positive")
 	}
 	cfg = cfg.Normalize(np)
-	engine, err := sim.New(MirrorEngineConfig(cfg, np, data.Dim(), sch), cfg.Sampler)
+	pack, err := PackingFor(cfg, np, data.Dim(), sch)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.New(MirrorEngineConfig(cfg, np, data.Dim(), sch, pack), cfg.Sampler)
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +212,7 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 		cfg:    cfg,
 		sch:    sch,
 		codec:  codec,
+		pack:   pack,
 		data:   data,
 		np:     np,
 		engine: engine,
@@ -203,16 +222,6 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 	nw.shareIdx = make([]int, np)
 	for i := range nw.shareIdx {
 		nw.shareIdx[i] = i + 1
-	}
-	// Plaintext headroom: the EESum epoch grows by one per exchange a
-	// node participates in, with cascades across a cycle. Require a
-	// comfortable margin so a full run cannot overflow.
-	if space := sch.PlaintextSpace(); space != nil {
-		bound := nw.sumAbsBound()
-		needed := 8*cfg.Exchanges + 64
-		if have := HeadroomBits(space, bound); have < needed {
-			return nil, fmt.Errorf("core: plaintext space too small: %d epochs of headroom, need ~%d (raise key bits or the scheme degree s)", have, needed)
-		}
 	}
 	return nw, nil
 }
@@ -255,14 +264,20 @@ func (cfg Config) Normalize(np int) Config {
 // MirrorEngineConfig is the exact engine configuration a deployment of
 // np participants runs on — shared so every networked peer can mirror
 // the engine (same seed, same churn model, same accounting) and draw
-// the identical exchange schedule the simulator executes.
-func MirrorEngineConfig(cfg Config, np, seriesDim int, sch homenc.Scheme) sim.Config {
+// the identical exchange schedule the simulator executes. pack is the
+// deployment's slot layout (from PackingFor): the byte accounting
+// counts packed ciphertexts, so the Figure 5(b) bandwidth divides by
+// the pack factor, while the exchange schedule itself is byte-
+// independent — which is why a packed run stays cycle-for-cycle
+// identical to an unpacked one.
+func MirrorEngineConfig(cfg Config, np, seriesDim int, sch homenc.Scheme, pack homenc.PackedCodec) sim.Config {
+	ctPerSet := pack.PackedLen(cfg.K * (seriesDim + 1))
 	return sim.Config{
 		N:            np,
 		Seed:         cfg.Seed,
 		Churn:        cfg.Churn,
 		MidFailure:   cfg.MidFailure,
-		MessageBytes: sch.CiphertextBytes() * (cfg.K*(seriesDim+1) + 1),
+		MessageBytes: sch.CiphertextBytes() * (ctPerSet + 1),
 		Workers:      cfg.Workers,
 	}
 }
@@ -291,12 +306,6 @@ func (l lockstep) ConcurrentExchangeSafe() bool {
 	return l.means.ConcurrentExchangeSafe() && l.noise.ConcurrentExchangeSafe()
 }
 
-// sumAbsBound upper-bounds the absolute encoded value any EESum slot can
-// reach before epoch scaling.
-func (nw *Network) sumAbsBound() *big.Int {
-	return SumAbsBound(nw.cfg, nw.np, nw.data.Dim(), nw.codec)
-}
-
 // SumAbsBound upper-bounds the absolute encoded value any EESum slot
 // can reach before epoch scaling: the global sum of measures plus the
 // worst-case noise magnitude (taken very generously at 64 λ_max). It is
@@ -318,14 +327,44 @@ func SumAbsBound(cfg Config, np, seriesDim int, codec homenc.Codec) *big.Int {
 }
 
 // HeadroomBits returns how many doubling epochs fit between bound and
-// half the plaintext space.
+// half the plaintext space — strictly below it, per the shared
+// homenc.HeadroomEpochs boundary math (this used to duplicate the
+// quotient logic, with an off-by-one at exact power-of-two quotients).
 func HeadroomBits(space, bound *big.Int) int {
-	half := new(big.Int).Rsh(space, 1)
-	if bound.Sign() <= 0 {
-		return half.BitLen()
+	return homenc.HeadroomEpochs(space, bound)
+}
+
+// HeadroomNeeded is the epoch headroom a full run must fit: the EESum
+// epoch grows by one per exchange a node participates in, with cascades
+// across a cycle, so 8 per scheduled gossip cycle plus slack is a
+// comfortable margin. The same bound sizes the per-slot guard bands of
+// the packed layout and the wire-side epoch sanity check.
+func HeadroomNeeded(exchanges int) int { return 8*exchanges + 64 }
+
+// PackingFor derives the ciphertext packing layout a deployment of np
+// participants runs with — slot guard bands sized from the corrected
+// headroom math for the configured exchange count, slot counts resolved
+// against the scheme's plaintext space per cfg.PackSlots — and performs
+// the plaintext-headroom pre-flight: a packed layout (>= 2 slots)
+// carries its guard band inside every slot by construction, while an
+// unpacked run must fit the whole epoch budget between the sum bound
+// and half the plaintext space. It is computable from the shared
+// (normalized) configuration alone, so the simulator, every networked
+// peer, and the mirror byte accounting all derive the identical layout.
+func PackingFor(cfg Config, np, seriesDim int, sch homenc.Scheme) (homenc.PackedCodec, error) {
+	codec := homenc.NewCodec(cfg.FracBits)
+	bound := SumAbsBound(cfg, np, seriesDim, codec)
+	needed := HeadroomNeeded(cfg.Exchanges)
+	pc, err := homenc.NewPackedCodec(codec, sch.PlaintextSpace(), bound, needed, cfg.PackSlots)
+	if err != nil {
+		return pc, fmt.Errorf("core: %w", err)
 	}
-	q := new(big.Int).Quo(half, bound)
-	return q.BitLen() - 1
+	if space := sch.PlaintextSpace(); pc.Slots == 1 && space != nil {
+		if have := HeadroomBits(space, bound); have < needed {
+			return pc, fmt.Errorf("core: plaintext space too small: %d epochs of headroom, need ~%d (raise key bits or the scheme degree s)", have, needed)
+		}
+	}
+	return pc, nil
 }
 
 // Run executes the full protocol until convergence or the iteration cap
@@ -371,10 +410,11 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	trace := &IterationTrace{Iteration: it, CentroidsIn: k, EpsilonSpent: epsIter}
 
 	// --- Assignment step (local, cleartext): every participant builds
-	// its encrypted means contribution.
+	// its encrypted means contribution, packed into the deployment's
+	// slot layout before encryption.
 	initial := make([][]*big.Int, nw.np)
 	for i := 0; i < nw.np; i++ {
-		initial[i] = BuildContribution(nw.data.Row(i), centroids, nw.codec)
+		initial[i] = nw.pack.Pack(BuildContribution(nw.data.Row(i), centroids, nw.codec))
 	}
 	meansSum, err := eesum.NewSumWorkers(nw.sch, initial, 0, nw.cfg.Workers)
 	if err != nil {
@@ -396,6 +436,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 		Lambdas: lambdas,
 		NShares: nw.cfg.NoiseShares,
 		Workers: nw.cfg.Workers,
+		Packing: nw.pack,
 	}, nw.np, nw.rng)
 	if err != nil {
 		return nil, nil, err
@@ -462,7 +503,7 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	// perturbed means and post-processes locally.
 	perCentroids := make([][]timeseries.Series, nw.np)
 	for i := 0; i < nw.np; i++ {
-		vals, err := dec.Values(i, nw.codec)
+		vals, err := dec.ValuesPacked(i, nw.pack, k*(n+1))
 		if err != nil {
 			return nil, nil, err
 		}

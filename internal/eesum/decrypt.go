@@ -185,6 +185,16 @@ func (d *Decryption) Values(i sim.NodeID, codec homenc.Codec) ([]float64, error)
 	return DecodeState(d.sch, codec, ms, d.states[i].Omega)
 }
 
+// ValuesPacked decodes node i's decrypted packed plaintexts into the
+// dim per-slot floats. With pc.Slots == 1 it equals Values.
+func (d *Decryption) ValuesPacked(i sim.NodeID, pc homenc.PackedCodec, dim int) ([]float64, error) {
+	ms, err := d.Plaintexts(i)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePackedState(d.sch, pc, ms, d.states[i].Omega, dim)
+}
+
 // DecryptionLatency is the counting-only model of the epidemic
 // decryption used for the large-population latency experiment (Figure
 // 4(b)), where what matters is how many exchanges each node needs to
@@ -261,13 +271,27 @@ func (dl *DecryptionLatency) Exchange(a, b sim.NodeID, full bool) {
 	}
 }
 
+// adopt copies the more advanced side's share-set, truncating at
+// Threshold over the ascending share ids — never over Go map iteration
+// order, which would make the surviving set (and every later membership
+// test) nondeterministic. The public transitions cap every set at
+// Threshold, so the truncation branch is defensive here; the protocol's
+// live truncation path is CopyParts (wire peers may present more than τ
+// parts), which applies the same ordered rule.
 func (dl *DecryptionLatency) adopt(to, from sim.NodeID) {
-	dst := make(map[int32]struct{}, len(dl.sets[from]))
-	for k := range dl.sets[from] {
-		if len(dst) == dl.Threshold {
-			break
+	src := dl.sets[from]
+	dst := make(map[int32]struct{}, len(src))
+	if len(src) <= dl.Threshold {
+		for k := range src {
+			dst[k] = struct{}{}
 		}
-		dst[k] = struct{}{}
+	} else {
+		for _, k := range sortedKeys(src) {
+			if len(dst) == dl.Threshold {
+				break
+			}
+			dst[k] = struct{}{}
+		}
 	}
 	dl.sets[to] = dst
 	dl.count[to] = int32(len(dst))

@@ -203,17 +203,8 @@ func (s *Sum) EstimateWith(i sim.NodeID, codec homenc.Codec, decrypt func(homenc
 // scaled plaintexts could overflow half the plaintext space (values must
 // stay centered-representable). sumAbsBound is an upper bound on the
 // absolute value of the global (fixed-point encoded) sum. A scheme
-// without a plaintext bound returns maxInt.
+// without a plaintext bound returns maxInt. The boundary math lives in
+// homenc.HeadroomEpochs, shared with core's pre-flight check.
 func (s *Sum) HeadroomExchanges(sumAbsBound *big.Int) int {
-	space := s.sch.PlaintextSpace()
-	if space == nil {
-		return int(^uint(0) >> 1)
-	}
-	half := new(big.Int).Rsh(space, 1)
-	if sumAbsBound.Sign() <= 0 {
-		return int(^uint(0) >> 1)
-	}
-	// Largest e with sumAbsBound · 2^e < half.
-	q := new(big.Int).Quo(half, sumAbsBound)
-	return q.BitLen() - 1
+	return homenc.HeadroomEpochs(s.sch.PlaintextSpace(), sumAbsBound)
 }

@@ -25,10 +25,28 @@ type NoiseConfig struct {
 	// (0 uses the process-wide parallel.Workers() default, 1 forces
 	// serial execution).
 	Workers int
+
+	// Packing, when set (Slots >= 2), folds the encoded noise-share and
+	// correction vectors into multi-slot plaintexts before encryption,
+	// so the encrypted sum runs over PackedLen(Dim()) ciphertexts. It
+	// must be the same layout as the means sum this noise runs in
+	// lockstep with (PerturbMeans adds the ciphertexts element-wise).
+	// Noise draws happen per variable before packing, so the Laplace
+	// stream consumption is identical packed or not.
+	Packing homenc.PackedCodec
 }
 
 // Dim returns the number of Laplace variables to produce.
 func (c NoiseConfig) Dim() int { return len(c.Lambdas) }
+
+// pack folds an encoded vector through the configured packing layout
+// (identity when packing is off or unset).
+func (c NoiseConfig) pack(vec []*big.Int) []*big.Int {
+	if c.Packing.Slots <= 1 {
+		return vec
+	}
+	return c.Packing.Pack(vec)
+}
 
 // UniformLambdas builds a NoiseConfig scale vector with a single scale.
 func UniformLambdas(dim int, lambda float64) []float64 {
@@ -81,7 +99,7 @@ func NewNoiseGen(sch homenc.Scheme, codec homenc.Codec, cfg NoiseConfig, n int, 
 		for j := 0; j < cfg.Dim(); j++ {
 			vec[j] = codec.Encode(shares[j])
 		}
-		initial[i] = vec
+		initial[i] = cfg.pack(vec)
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -166,7 +184,9 @@ func (g *NoiseGen) ApplyCorrection(i sim.NodeID) error {
 	for j, x := range g.corVec[i] {
 		v[j] = new(big.Int).Neg(g.codec.Encode(x))
 	}
-	return g.Enc.AddEncrypted(i, v)
+	// Packing is linear, so the packed negated correction subtracts
+	// exactly per slot.
+	return g.Enc.AddEncrypted(i, g.cfg.pack(v))
 }
 
 // PerturbMeans adds node i's converged encrypted noise into node i's

@@ -12,6 +12,7 @@ package eesum
 import (
 	"errors"
 	"math/big"
+	"slices"
 	"sync"
 
 	"chiaroscuro/internal/homenc"
@@ -108,6 +109,29 @@ func DecodeState(sch homenc.Scheme, codec homenc.Codec, ms []*big.Int, omega *bi
 	return out, nil
 }
 
+// DecodePackedState is DecodeState for a packed SumState: the decrypted
+// plaintexts are centered, split into their dim slot values, and each
+// slot decoded with the weight. With pc.Slots == 1 it is exactly
+// DecodeState over dim plaintexts.
+func DecodePackedState(sch homenc.Scheme, pc homenc.PackedCodec, ms []*big.Int, omega *big.Int, dim int) ([]float64, error) {
+	if omega == nil || omega.Sign() == 0 {
+		return nil, errors.New("eesum: zero weight; estimate undefined")
+	}
+	centered := make([]*big.Int, len(ms))
+	for j, m := range ms {
+		centered[j] = homenc.Centered(m, sch.PlaintextSpace())
+	}
+	slots, err := pc.Unpack(centered, dim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, dim)
+	for j, m := range slots {
+		out[j] = pc.Codec.Decode(m, omega)
+	}
+	return out, nil
+}
+
 // DimWorkers gates a per-dimension worker count the way the in-memory
 // protocols do: vectors too short to amortize the fan-out run serial.
 func DimWorkers(dim, workers int) int {
@@ -162,16 +186,36 @@ func DecPartials(sch homenc.Scheme, idx int, cts []homenc.Ciphertext, workers in
 }
 
 // CopyParts copies a gathered-partials map, capped at threshold entries
-// (the adopting side never needs more than τ distinct shares).
+// (the adopting side never needs more than τ distinct shares). The cap
+// keeps the lowest share indices: truncating by map iteration order
+// would make which shares survive — and every downstream state —
+// nondeterministic across runs of the same seed.
 func CopyParts(parts map[int][]homenc.PartialDecryption, threshold int) map[int][]homenc.PartialDecryption {
 	dst := make(map[int][]homenc.PartialDecryption, threshold)
-	for k, v := range parts {
+	if len(parts) <= threshold {
+		for k, v := range parts {
+			dst[k] = v
+		}
+		return dst
+	}
+	for _, k := range sortedKeys(parts) {
 		if len(dst) == threshold {
 			break
 		}
-		dst[k] = v
+		dst[k] = parts[k]
 	}
 	return dst
+}
+
+// sortedKeys returns a map's keys in ascending order — the deterministic
+// iteration order for any truncation decision.
+func sortedKeys[V any, K ~int | ~int32](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
 }
 
 // CombineParts combines τ gathered partial-decryption vectors into the

@@ -290,13 +290,22 @@ func TestFig5bAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2 {
+	// paper accounting, s=1 exact, s=4 exact, s=4 packed.
+	if len(tab.Rows) != 4 {
 		t.Fatalf("fig5b rows = %d", len(tab.Rows))
 	}
 	paper, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
 	ours, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
 	if ours <= paper {
 		t.Errorf("exact accounting (%v kB) should exceed the paper's (%v kB)", ours, paper)
+	}
+	s4, _ := strconv.ParseFloat(tab.Rows[2][1], 64)
+	packed, _ := strconv.ParseFloat(tab.Rows[3][1], 64)
+	if packed >= s4 {
+		t.Errorf("packed set (%v kB) should undercut the same-degree unpacked set (%v kB)", packed, s4)
+	}
+	if packed >= ours {
+		t.Errorf("packed set (%v kB) should undercut the s=1 baseline (%v kB) even at the CI key size", packed, ours)
 	}
 	// At the paper's scale the first row reproduces ~125 kB.
 	tabP, err := Fig5b(Params{Scale: Paper, Seed: 1})

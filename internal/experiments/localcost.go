@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"time"
 
+	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/homenc/damgardjurik"
 	"chiaroscuro/internal/randx"
@@ -113,18 +114,36 @@ func statRow(op string, ds []time.Duration) []string {
 	}
 }
 
-// Fig5b reports the bandwidth for transferring one set of encrypted
-// means, in the paper's accounting (one key-length per encrypted value)
-// and in this implementation's exact accounting ((s+1)·key bits per
-// Damgård–Jurik ciphertext), plus per-exchange protocol volumes.
-func Fig5b(p Params) (*Table, error) {
-	sch, err := damgardjurik.NewTestScheme(p.Scale.keyBits(), 1, 5, 3)
-	if err != nil {
-		return nil, err
+// fig5bPackedDegree is the Damgård–Jurik degree of the packed rows:
+// s=4 leaves enough plaintext room for multiple guarded slots at every
+// scale's key size (s=1, the unpacked baseline, never has room).
+const fig5bPackedDegree = 4
+
+// fig5bDeployment is the representative deployment the packed layout is
+// sized for: a 1000-participant CER-like run with a 20-cycle sum phase.
+// The guard bands come from the protocol's own headroom math
+// (core.PackingFor), so the reported slot counts are exactly what a run
+// with these parameters would use.
+func fig5bDeployment() (core.Config, int, int) {
+	const np, seriesDim = 1000, figure5Measures
+	cfg := core.Config{
+		K:    figure5Means,
+		DMin: 0, DMax: 80, // CER measure range
+		Epsilon:       math.Ln2,
+		MaxIterations: 10,
+		Exchanges:     20,
 	}
+	return cfg.Normalize(np), np, seriesDim
+}
+
+// Fig5b reports the bandwidth for transferring one set of encrypted
+// means, in the paper's accounting (one key-length per encrypted
+// value), in this implementation's exact accounting per degree
+// ((s+1)·key bits per Damgård–Jurik ciphertext — the old table
+// hard-coded s=1), and with ciphertext packing on the s>=2 degree,
+// where ⌈dim/slots⌉ ciphertexts carry the whole set.
+func Fig5b(p Params) (*Table, error) {
 	dim := figure5Means * (figure5Measures + 1)
-	ctBytes := sch.CiphertextBytes()
-	setBytes := dim * ctBytes
 	paperAccounting := figure5Means * figure5Measures * p.Scale.keyBits() / 8
 
 	t := &Table{
@@ -132,15 +151,41 @@ func Fig5b(p Params) (*Table, error) {
 		Title:   "Bandwidth for Transferring One Set of 50 Means (kB)",
 		Columns: []string{"accounting", "kB per set", "kB per sum exchange (2 sets)", "kB per decrypt exchange (4 sets)"},
 	}
-	t.AddRow("paper (key-bits per value, sums only)",
-		f(float64(paperAccounting)/1024),
-		f(float64(2*paperAccounting)/1024),
-		f(float64(4*paperAccounting)/1024))
-	t.AddRow("this implementation ((s+1)·key-bits, sums+counts)",
-		f(float64(setBytes)/1024),
-		f(float64(2*setBytes)/1024),
-		f(float64(4*setBytes)/1024))
-	t.Note("key size %d bits; ciphertext %d bytes; %d encrypted values per set", p.Scale.keyBits(), ctBytes, dim)
-	t.Note("at a humble 1 Mb/s uplink, one set transfers in ~%.1f s", float64(setBytes*8)/1e6)
+	addRow := func(label string, setBytes int) {
+		t.AddRow(label,
+			f(float64(setBytes)/1024),
+			f(float64(2*setBytes)/1024),
+			f(float64(4*setBytes)/1024))
+	}
+	addRow("paper (key-bits per value, sums only)", paperAccounting)
+
+	cfg, np, seriesDim := fig5bDeployment()
+	var baseline, packedBytes, packedLen int
+	for _, degree := range []int{1, fig5bPackedDegree} {
+		sch, err := damgardjurik.NewTestScheme(p.Scale.keyBits(), degree, 5, 3)
+		if err != nil {
+			return nil, err
+		}
+		ctBytes := sch.CiphertextBytes()
+		addRow(fmt.Sprintf("this implementation (s=%d, (s+1)·key-bits, sums+counts)", sch.S), dim*ctBytes)
+		if degree == 1 {
+			baseline = dim * ctBytes
+			continue
+		}
+		pack, err := core.PackingFor(cfg, np, seriesDim, sch)
+		if err != nil {
+			return nil, err
+		}
+		packedLen = pack.PackedLen(dim)
+		packedBytes = packedLen * ctBytes
+		addRow(fmt.Sprintf("this implementation (s=%d, packed, %d slots)", sch.S, pack.Slots), packedBytes)
+		t.Note("packed: %d ciphertexts instead of %d (%d slots of %d bits; guard band sized for %d-participant, %d-exchange runs)",
+			pack.PackedLen(dim), dim, pack.Slots, pack.SlotBits, np, cfg.Exchanges)
+	}
+	t.Note("key size %d bits; %d encrypted values per set", p.Scale.keyBits(), dim)
+	t.Note("packing divides the same-degree set volume by %.2f; net vs the s=1 baseline: %.2f×",
+		float64(dim)/float64(packedLen), float64(baseline)/float64(packedBytes))
+	t.Note("at a humble 1 Mb/s uplink, one unpacked s=1 set transfers in ~%.1f s, the packed set in ~%.1f s",
+		float64(baseline*8)/1e6, float64(packedBytes*8)/1e6)
 	return t, nil
 }

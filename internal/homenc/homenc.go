@@ -67,6 +67,37 @@ type Scheme interface {
 	Combine(c Ciphertext, parts []PartialDecryption) (*big.Int, error)
 }
 
+// HeadroomEpochs returns the largest e with bound·2^e < half(space) —
+// how many doubling epochs an EESum run can accumulate before a value
+// of magnitude bound stops being centered-representable. The inequality
+// is strict: for an even space the epoch that scales bound to exactly
+// space/2 is unsafe (-space/2 has no centered representative; the
+// residue decodes as +space/2), so it is not counted. For an odd space
+// ±half are both representable and the strict rule gives up that one
+// boundary epoch — deliberately, keeping a single conservative rule
+// (the boundary is a measure-zero case for real Damgård–Jurik spaces).
+// A nil space or non-positive bound means no constraint (the maximum
+// int is returned).
+//
+// This is the single source of truth for the protocol's plaintext
+// headroom math; eesum.Sum.HeadroomExchanges and core.HeadroomBits are
+// thin wrappers.
+func HeadroomEpochs(space, bound *big.Int) int {
+	maxInt := int(^uint(0) >> 1)
+	if space == nil || bound == nil || bound.Sign() <= 0 {
+		return maxInt
+	}
+	half := new(big.Int).Rsh(space, 1)
+	q, r := new(big.Int).QuoRem(half, bound, new(big.Int))
+	e := q.BitLen() - 1 // 2^e <= q, so bound·2^e <= half
+	if e >= 0 && r.Sign() == 0 && q.TrailingZeroBits() == uint(e) {
+		// q is an exact power of two and divides half exactly:
+		// bound·2^e == half violates the strict bound.
+		e--
+	}
+	return e
+}
+
 // Centered maps a residue v in [0, space) to its centered representative
 // in (-space/2, space/2], recovering negative plaintexts. A nil space
 // returns v unchanged.

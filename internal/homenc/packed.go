@@ -1,0 +1,139 @@
+// Ciphertext packing: with scheme degree s >= 2 the plaintext space n^s
+// has room for many fixed-point values per plaintext, each padded with a
+// guard band sized to the gossip epoch headroom. EESum only ever adds
+// ciphertexts and multiplies them by powers of two, and both operations
+// act on the packed integer
+//
+//	P = Σ_j m_j · 2^(j·SlotBits)
+//
+// linearly and slot-wise: as long as every slot value stays inside
+// (-2^(SlotBits-1), 2^(SlotBits-1)) — which the guard band guarantees
+// for the configured exchange budget — no slot ever carries into its
+// neighbor, and the whole encrypted pipeline runs unchanged over
+// ⌈dim/Slots⌉ ciphertexts instead of dim. Per-participant crypto work
+// and wire bytes divide by the packing factor (PERF.md).
+
+package homenc
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// PackedCodec lays fixed-point values out in slots of a plaintext.
+// Slots == 1 disables packing: Pack and Unpack are identities and the
+// pipeline behaves exactly as without a packed layer.
+type PackedCodec struct {
+	Codec    Codec // fixed-point encoding of the individual slot values
+	Slots    int   // values per plaintext (>= 1)
+	SlotBits uint  // slot width: value bits + guard band (0 iff Slots == 1)
+}
+
+// NewPackedCodec sizes a slot layout for the given plaintext space:
+// every slot holds values up to sumAbsBound in magnitude with room for
+// guardEpochs doublings on top (the corrected headroom requirement
+// sumAbsBound·2^guardEpochs < 2^(SlotBits-1) holds strictly by
+// construction). slots requests a slot count: 0 auto-sizes to the most
+// the space can hold (falling back to 1 — packing off — when there is
+// no room for 2 guarded slots, or when space is nil), 1 disables
+// packing, and >= 2 errors when the space cannot fit that many guarded
+// slots. A nil space with an explicit slots >= 2 is allowed: unbounded
+// plaintexts (the plain simulation scheme) pack fine.
+func NewPackedCodec(codec Codec, space, sumAbsBound *big.Int, guardEpochs, slots int) (PackedCodec, error) {
+	if slots < 0 {
+		return PackedCodec{}, fmt.Errorf("homenc: negative slot count %d", slots)
+	}
+	if slots == 1 || (slots == 0 && space == nil) {
+		return PackedCodec{Codec: codec, Slots: 1}, nil
+	}
+	if sumAbsBound == nil || sumAbsBound.Sign() <= 0 {
+		return PackedCodec{}, fmt.Errorf("homenc: packing needs a positive sum bound")
+	}
+	if guardEpochs < 0 {
+		guardEpochs = 0
+	}
+	slotBits := uint(sumAbsBound.BitLen() + guardEpochs + 1)
+	if space != nil {
+		// Every packed plaintext P satisfies |P| <= 2^(Slots·SlotBits),
+		// so Slots·SlotBits <= space bits - 3 keeps |P| < space/2
+		// (centered-representable on both signs).
+		maxSlots := (space.BitLen() - 3) / int(slotBits)
+		if slots == 0 {
+			slots = maxSlots
+			if slots < 2 {
+				return PackedCodec{Codec: codec, Slots: 1}, nil // no room: packing off
+			}
+		} else if slots > maxSlots {
+			return PackedCodec{}, fmt.Errorf(
+				"homenc: %d slots of %d bits (%d value + %d guard) exceed the %d-bit plaintext space (at most %d slots; raise the scheme degree s)",
+				slots, slotBits, sumAbsBound.BitLen(), guardEpochs+1, space.BitLen(), maxSlots)
+		}
+	}
+	return PackedCodec{Codec: codec, Slots: slots, SlotBits: slotBits}, nil
+}
+
+// PackedLen returns how many plaintexts hold dim values: ⌈dim/Slots⌉.
+func (pc PackedCodec) PackedLen(dim int) int {
+	if pc.Slots <= 1 {
+		return dim
+	}
+	return (dim + pc.Slots - 1) / pc.Slots
+}
+
+// Pack folds dim fixed-point integers (possibly negative) into
+// PackedLen(dim) plaintext integers, value j landing in slot j%Slots of
+// plaintext j/Slots. With Slots >= 2 the inputs are only read and the
+// result is freshly allocated; with Slots <= 1 the input slice itself
+// is returned — treat the result as read-only in either case.
+func (pc PackedCodec) Pack(vec []*big.Int) []*big.Int {
+	if pc.Slots <= 1 {
+		return vec
+	}
+	out := make([]*big.Int, pc.PackedLen(len(vec)))
+	for g := range out {
+		lo := g * pc.Slots
+		hi := min(lo+pc.Slots, len(vec))
+		p := new(big.Int)
+		for j := hi - 1; j >= lo; j-- { // Horner: high slot first
+			p.Lsh(p, pc.SlotBits)
+			p.Add(p, vec[j])
+		}
+		out[g] = p
+	}
+	return out
+}
+
+// Unpack splits centered plaintexts (as produced by Centered) back into
+// dim slot values with sign recovery: each slot's residue mod
+// 2^SlotBits is mapped into [-2^(SlotBits-1), 2^(SlotBits-1)), which is
+// exact for every value the guard band admits. With Slots == 1 the
+// input is returned unchanged.
+func (pc PackedCodec) Unpack(packed []*big.Int, dim int) ([]*big.Int, error) {
+	if pc.Slots <= 1 {
+		if len(packed) != dim {
+			return nil, fmt.Errorf("homenc: %d plaintexts for %d values", len(packed), dim)
+		}
+		return packed, nil
+	}
+	if want := pc.PackedLen(dim); len(packed) != want {
+		return nil, fmt.Errorf("homenc: %d packed plaintexts for %d values (want %d)", len(packed), dim, want)
+	}
+	mod := new(big.Int).Lsh(big.NewInt(1), pc.SlotBits)
+	half := new(big.Int).Lsh(big.NewInt(1), pc.SlotBits-1)
+	out := make([]*big.Int, dim)
+	for g, p := range packed {
+		lo := g * pc.Slots
+		hi := min(lo+pc.Slots, dim)
+		rem := new(big.Int).Set(p)
+		for j := lo; j < hi; j++ {
+			r := new(big.Int).Mod(rem, mod) // non-negative residue
+			if r.Cmp(half) >= 0 {
+				r.Sub(r, mod)
+			}
+			out[j] = r
+			rem.Sub(rem, r)
+			rem.Rsh(rem, pc.SlotBits) // exact: rem is divisible by 2^SlotBits
+		}
+	}
+	return out, nil
+}

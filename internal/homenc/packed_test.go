@@ -1,0 +1,249 @@
+package homenc
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeadroomEpochsBoundary(t *testing.T) {
+	maxInt := int(^uint(0) >> 1)
+	pow2 := func(k uint) *big.Int { return new(big.Int).Lsh(big.NewInt(1), k) }
+	cases := []struct {
+		name         string
+		space, bound *big.Int
+		want         int
+	}{
+		// The regression the fix is for: half/bound an exact power of
+		// two. space 16 → half 8, bound 1: the old q.BitLen()-1 logic
+		// returned 3, but 1·2^3 = 8 is NOT < 8 — the "safe" epoch
+		// scales the sum to exactly half the space, where the negative
+		// bound is not centered-representable.
+		{"exact-pow2-quotient", big.NewInt(16), big.NewInt(1), 2},
+		{"exact-pow2-quotient-large", pow2(64), pow2(13), 49},
+		// Non-exact quotients keep the old answer: half 8, bound 3 →
+		// 3·2^1 = 6 < 8, 3·2^2 = 12 ≥ 8.
+		{"plain-quotient", big.NewInt(16), big.NewInt(3), 1},
+		// Power-of-two quotient with a remainder is not at the boundary:
+		// half 9, bound 2 → q=4 r=1; 2·2^2 = 8 < 9.
+		{"pow2-quotient-with-remainder", big.NewInt(18), big.NewInt(2), 2},
+		{"bound-equals-half", big.NewInt(16), big.NewInt(8), -1},
+		{"bound-above-half", big.NewInt(16), big.NewInt(9), -1},
+		{"nil-space", nil, big.NewInt(5), maxInt},
+		{"zero-bound", big.NewInt(16), big.NewInt(0), maxInt},
+	}
+	for _, c := range cases {
+		if got := HeadroomEpochs(c.space, c.bound); got != c.want {
+			t.Errorf("%s: HeadroomEpochs = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestHeadroomEpochsStrictInvariant property-checks the definition:
+// bound·2^e < half and bound·2^(e+1) >= half for every returned e.
+func TestHeadroomEpochsStrictInvariant(t *testing.T) {
+	f := func(spaceBits uint8, boundRaw uint32) bool {
+		bits := uint(spaceBits%48) + 4
+		space := new(big.Int).Lsh(big.NewInt(1), bits)
+		space.Add(space, big.NewInt(int64(boundRaw%7))) // not always a power of two
+		bound := big.NewInt(int64(boundRaw%1021) + 1)
+		half := new(big.Int).Rsh(space, 1)
+		e := HeadroomEpochs(space, bound)
+		if e < 0 {
+			return new(big.Int).Lsh(bound, 0).Cmp(half) >= 0
+		}
+		at := new(big.Int).Lsh(bound, uint(e))
+		next := new(big.Int).Lsh(bound, uint(e)+1)
+		return at.Cmp(half) < 0 && next.Cmp(half) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// testPackedCodec builds a layout directly from a bound and guard, the
+// way the protocol does.
+func testPackedCodec(t *testing.T, spaceBits uint, bound int64, guard, slots int) PackedCodec {
+	t.Helper()
+	space := new(big.Int).Lsh(big.NewInt(1), spaceBits)
+	pc, err := NewPackedCodec(NewCodec(8), space, big.NewInt(bound), guard, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+func TestPackedCodecSizing(t *testing.T) {
+	// bound 1000 (10 bits) + guard 20 + sign = 31-bit slots; a 256-bit
+	// space fits (256-3)/31 = 8 of them.
+	pc := testPackedCodec(t, 256, 1000, 20, 0)
+	if pc.Slots != 8 || pc.SlotBits != 31 {
+		t.Fatalf("auto-sized to %d slots of %d bits, want 8 of 31", pc.Slots, pc.SlotBits)
+	}
+	// The per-slot guard band satisfies the corrected headroom math: a
+	// slot is its own little plaintext space of 2^SlotBits.
+	slotSpace := new(big.Int).Lsh(big.NewInt(1), pc.SlotBits)
+	if have := HeadroomEpochs(slotSpace, big.NewInt(1000)); have < 20 {
+		t.Fatalf("slot guard band gives %d epochs, want >= 20", have)
+	}
+	// Explicit requests: the max fits, one more errors.
+	if _, err := NewPackedCodec(NewCodec(8), new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1000), 20, 8); err != nil {
+		t.Fatalf("8 slots must fit: %v", err)
+	}
+	if _, err := NewPackedCodec(NewCodec(8), new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1000), 20, 9); err == nil {
+		t.Fatal("9 slots must not fit a 256-bit space")
+	}
+	// Slots == 1 and nil-space auto: packing off.
+	if pc := testPackedCodec(t, 256, 1000, 20, 1); pc.Slots != 1 {
+		t.Fatalf("explicit 1 slot: got %d", pc.Slots)
+	}
+	if pc, err := NewPackedCodec(NewCodec(8), nil, big.NewInt(1000), 20, 0); err != nil || pc.Slots != 1 {
+		t.Fatalf("nil-space auto: %d slots, %v", pc.Slots, err)
+	}
+	// Nil space with an explicit request packs (unbounded plaintexts).
+	if pc, err := NewPackedCodec(NewCodec(8), nil, big.NewInt(1000), 20, 16); err != nil || pc.Slots != 16 {
+		t.Fatalf("nil-space explicit: %d slots, %v", pc.Slots, err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	pc := testPackedCodec(t, 512, 1<<20, 8, 0)
+	space := new(big.Int).Lsh(big.NewInt(1), 512)
+	maxMag := new(big.Int).Lsh(big.NewInt(1<<20), 8) // bound·2^guard: the largest admissible slot value
+	f := func(raw []int32, scale uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vec := make([]*big.Int, len(raw))
+		for i, r := range raw {
+			v := new(big.Int).Mul(big.NewInt(int64(r)), big.NewInt(int64(scale%5)+1))
+			if v.CmpAbs(maxMag) > 0 {
+				v.SetInt64(int64(r % 1024))
+			}
+			vec[i] = v
+		}
+		packed := pc.Pack(vec)
+		if len(packed) != pc.PackedLen(len(vec)) {
+			return false
+		}
+		// Residue round-trip: what decryption sees is the packed value
+		// mod the plaintext space, centered back.
+		for i, p := range packed {
+			packed[i] = Centered(new(big.Int).Mod(p, space), space)
+		}
+		out, err := pc.Unpack(packed, len(vec))
+		if err != nil {
+			return false
+		}
+		for i := range vec {
+			if out[i].Cmp(vec[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackSlotBoundaries(t *testing.T) {
+	const bound, guard = 1, 3 // slotBits = 1 + 3 + 1 = 5, slot range [-16, 16)
+	pc := testPackedCodec(t, 64, bound, guard, 0)
+	if pc.SlotBits != 5 {
+		t.Fatalf("slot bits = %d, want 5", pc.SlotBits)
+	}
+	halfSlot := int64(1) << (pc.SlotBits - 1)
+	cases := [][]*big.Int{
+		// The guard-band extremes on every slot, alternating signs.
+		{big.NewInt(bound << guard), big.NewInt(-(bound << guard)), big.NewInt(bound << guard)},
+		// The true slot boundary: ±(2^(SlotBits-1)-1) and the asymmetric
+		// minimum -2^(SlotBits-1), which the residue decode must recover.
+		{big.NewInt(halfSlot - 1), big.NewInt(-halfSlot), big.NewInt(-(halfSlot - 1))},
+		// Zeros between extremes (no borrow leakage into empty slots).
+		{big.NewInt(0), big.NewInt(-halfSlot), big.NewInt(0), big.NewInt(halfSlot - 1)},
+	}
+	for ci, vec := range cases {
+		out, err := pc.Unpack(pc.Pack(vec), len(vec))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		for i := range vec {
+			if out[i].Cmp(vec[i]) != 0 {
+				t.Errorf("case %d slot %d: got %v, want %v", ci, i, out[i], vec[i])
+			}
+		}
+	}
+}
+
+// TestPackedArithmeticMatchesSlotwise is the EESum algebra over packed
+// plaintexts: sums of many packed vectors, each scaled by a power of
+// two up to the guard epoch, must unpack to the slot-wise results —
+// including through the mod-space residue a decryption produces.
+func TestPackedArithmeticMatchesSlotwise(t *testing.T) {
+	const nVec, dim, guard = 5, 11, 6
+	bound := big.NewInt(999)
+	space := new(big.Int).Lsh(big.NewInt(1), 160)
+	pc, err := NewPackedCodec(NewCodec(8), space, bound, guard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Slots < 2 {
+		t.Fatalf("layout did not pack: %d slots", pc.Slots)
+	}
+	vecs := make([][]*big.Int, nVec)
+	val := int64(-999)
+	for i := range vecs {
+		vecs[i] = make([]*big.Int, dim)
+		for j := range vecs[i] {
+			vecs[i][j] = big.NewInt(val)
+			val = (val*31 + 17) % 1000 // deterministic mixed-sign walk
+		}
+	}
+	// Each vector gets its own epoch shift; the shifted magnitudes sum
+	// to at most bound·2^guard per slot (weights: Σ 2^e_i ≤ 2^guard for
+	// the per-vector shares of the epidemic sum). Use shifts whose sum
+	// of 2^e is 2^guard: e = guard-1, guard-2, ..., and two zeros.
+	shifts := []uint{guard - 1, guard - 2, guard - 3, guard - 4, guard - 4}
+	packedAcc := make([]*big.Int, pc.PackedLen(dim))
+	for g := range packedAcc {
+		packedAcc[g] = new(big.Int)
+	}
+	slotAcc := make([]*big.Int, dim)
+	for j := range slotAcc {
+		slotAcc[j] = new(big.Int)
+	}
+	for i, vec := range vecs {
+		packed := pc.Pack(vec)
+		for g, p := range packed {
+			packedAcc[g].Add(packedAcc[g], new(big.Int).Lsh(p, shifts[i]))
+			packedAcc[g].Mod(packedAcc[g], space) // the scheme reduces every op
+		}
+		for j, v := range vec {
+			slotAcc[j].Add(slotAcc[j], new(big.Int).Lsh(v, shifts[i]))
+		}
+	}
+	for g := range packedAcc {
+		packedAcc[g] = Centered(packedAcc[g], space)
+	}
+	out, err := pc.Unpack(packedAcc, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range slotAcc {
+		if out[j].Cmp(slotAcc[j]) != 0 {
+			t.Fatalf("slot %d: packed arithmetic gave %v, slot-wise %v", j, out[j], slotAcc[j])
+		}
+	}
+}
+
+func TestUnpackLengthMismatch(t *testing.T) {
+	pc := testPackedCodec(t, 256, 1000, 20, 0)
+	if _, err := pc.Unpack([]*big.Int{big.NewInt(1)}, 100); err == nil {
+		t.Error("wrong packed length must error")
+	}
+	one := PackedCodec{Codec: NewCodec(8), Slots: 1}
+	if _, err := one.Unpack([]*big.Int{big.NewInt(1)}, 2); err == nil {
+		t.Error("identity layout with wrong length must error")
+	}
+}

@@ -85,6 +85,7 @@ type Result struct {
 type Node struct {
 	cfg      Config
 	codec    homenc.Codec
+	pack     homenc.PackedCodec // shared ciphertext slot layout (Slots == 1: packing off)
 	lim      wireproto.Limits
 	epoch    uint64
 	share    int // own 1-based key-share index
@@ -166,16 +167,15 @@ func New(cfg Config) (*Node, error) {
 	}
 
 	codec := homenc.NewCodec(cfg.Proto.FracBits)
-	// Plaintext headroom: same pre-flight check the simulator performs.
-	if space := cfg.Scheme.PlaintextSpace(); space != nil {
-		bound := core.SumAbsBound(cfg.Proto, cfg.N, len(cfg.Series), codec)
-		needed := 8*cfg.Proto.Exchanges + 64
-		if have := core.HeadroomBits(space, bound); have < needed {
-			return nil, fmt.Errorf("node: plaintext space too small: %d epochs of headroom, need ~%d", have, needed)
-		}
+	// Packing layout and plaintext-headroom pre-flight: the same shared
+	// derivation the simulator performs, so every peer agrees on the
+	// slot layout (and therefore on ciphertext vector lengths).
+	pack, err := core.PackingFor(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
 	}
 
-	mirror, err := sim.New(core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme), cfg.Proto.Sampler)
+	mirror, err := sim.New(core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme, pack), cfg.Proto.Sampler)
 	if err != nil {
 		return nil, err
 	}
@@ -184,15 +184,23 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	dim := len(kmeans.Compact(cfg.Proto.InitCentroids)) * (len(cfg.Series) + 1)
+	// fullDim bounds the wire decoders: the correction vectors of the
+	// dissemination phase stay unpacked (cleartext per-variable floats),
+	// so MaxDim must admit the full k·(n+1) length even when the
+	// ciphertext vectors travel packed. Exact per-phase lengths are
+	// enforced at the use sites (validSumState, validDecState, the
+	// corVec length checks).
+	fullDim := len(kmeans.Compact(cfg.Proto.InitCentroids)) * (len(cfg.Series) + 1)
+	dim := pack.PackedLen(fullDim)
 	nd := &Node{
 		cfg:      cfg,
 		codec:    codec,
-		lim:      wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), dim, cfg.Scheme.Threshold(), cfg.N),
+		pack:     pack,
+		lim:      wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), fullDim, cfg.Scheme.Threshold(), cfg.N),
 		epoch:    cfg.Epoch,
 		share:    cfg.Index + 1,
 		dimWk:    eesum.DimWorkers(dim, cfg.Proto.Workers),
-		maxEpoch: 8*cfg.Proto.Exchanges + 64,
+		maxEpoch: core.HeadroomNeeded(cfg.Proto.Exchanges),
 		ln:       ln,
 		addr:     ln.Addr().String(),
 		mirror:   mirror,

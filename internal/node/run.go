@@ -69,9 +69,10 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 	n := len(nd.cfg.Series)
 	trace := &core.IterationTrace{Iteration: it, CentroidsIn: len(kmeans.Compact(centroids)), EpsilonSpent: epsIter}
 
-	// --- Assignment step (local, cleartext).
+	// --- Assignment step (local, cleartext). The contribution is packed
+	// into the deployment's shared slot layout before encryption.
 	st := &iterState{}
-	st.means = nd.encryptState(core.BuildContribution(nd.cfg.Series, centroids, nd.codec))
+	st.means = nd.encryptState(nd.pack.Pack(core.BuildContribution(nd.cfg.Series, centroids, nd.codec)))
 
 	// --- Noise shares: drawn from this node's own stream of the shared
 	// seed's stream family (every participant derives the same family
@@ -87,7 +88,7 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 	for j, x := range shares {
 		noiseVec[j] = nd.codec.Encode(x)
 	}
-	st.noise = nd.encryptState(noiseVec)
+	st.noise = nd.encryptState(nd.pack.Pack(noiseVec))
 	st.ctrS = 1
 	if nd.cfg.Index == 0 {
 		st.ctrW = 1
@@ -113,7 +114,9 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 	for j, x := range st.corVec {
 		cor[j] = new(big.Int).Neg(nd.codec.Encode(x))
 	}
-	if err := eesum.AddEncryptedState(nd.cfg.Scheme, st.noise, cor, nd.dimWk); err != nil {
+	// Packing is linear, so the packed negated correction subtracts
+	// exactly per slot.
+	if err := eesum.AddEncryptedState(nd.cfg.Scheme, st.noise, nd.pack.Pack(cor), nd.dimWk); err != nil {
 		return nil, nil, err
 	}
 	if err := eesum.PerturbState(nd.cfg.Scheme, st.means, st.noise); err != nil {
@@ -136,7 +139,7 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 	if err != nil {
 		return nil, nil, err
 	}
-	vals, err := eesum.DecodeState(nd.cfg.Scheme, nd.codec, ms, st.decOmega)
+	vals, err := eesum.DecodePackedState(nd.cfg.Scheme, nd.pack, ms, st.decOmega, k*(n+1))
 	if err != nil {
 		return nil, nil, err
 	}

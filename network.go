@@ -78,6 +78,16 @@ type NetworkOptions struct {
 	FracBits uint   // fixed-point fractional bits (default 30)
 	Seed     uint64 // reproducibility
 
+	// PackSlots controls ciphertext packing: how many fixed-point values
+	// share one plaintext (slot width = value bits + a guard band sized
+	// to the exchange budget). 0 auto-sizes from the scheme's plaintext
+	// space (packing stays off when the space has no room, e.g. any s=1
+	// key); 1 disables packing; >= 2 demands that many slots and fails
+	// when they do not fit. Packing divides per-exchange ciphertext
+	// counts and wire bytes by the pack factor; released centroids are
+	// bit-identical either way.
+	PackSlots int
+
 	// Workers bounds the worker pool used for encryption fan-outs,
 	// per-dimension homomorphic loops, partial-decryption sweeps and
 	// parallel gossip cycles (0 = one worker per CPU, 1 = fully
@@ -123,6 +133,7 @@ func Run(d *Dataset, scheme Scheme, opts NetworkOptions) (*NetworkResult, error)
 		DissCycles:    opts.DissCycles,
 		DecryptCycles: opts.DecryptCycles,
 		FracBits:      opts.FracBits,
+		PackSlots:     opts.PackSlots,
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		Sampler:       sampler,
@@ -219,6 +230,7 @@ func RunNetworked(d *Dataset, scheme Scheme, opts NetworkedOptions) (*NetworkRes
 				DissCycles:    opts.DissCycles,
 				DecryptCycles: opts.DecryptCycles,
 				FracBits:      opts.FracBits,
+				PackSlots:     opts.PackSlots,
 				Seed:          opts.Seed,
 				Workers:       opts.Workers,
 				Sampler:       sampler,
