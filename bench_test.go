@@ -8,6 +8,7 @@ package chiaroscuro
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"math"
 	"math/big"
 	"runtime"
@@ -269,6 +270,56 @@ func BenchmarkEndToEndRealCrypto12(b *testing.B) { endToEndRealCrypto12(b, 1) }
 // budget, halving the ciphertexts per frame. The wirebytes/node metric
 // makes the bandwidth division visible next to the time speedup.
 func BenchmarkEndToEndRealCrypto12Packed(b *testing.B) { endToEndRealCrypto12(b, 2) }
+
+// BenchmarkJobEventOverhead is EndToEndRealCrypto12 driven through the
+// unified Job API with no Events subscriber attached: its ns/op must
+// track BenchmarkEndToEndRealCrypto12 (the legacy wrapper over the
+// same engine) — the event hooks threaded through every protocol loop
+// cost one atomic load when nobody listens, nothing more
+// (BenchmarkEventBusNoSubscriber pins the per-emission cost).
+func BenchmarkJobEventOverhead(b *testing.B) {
+	data, _ := GenerateCER(12, 7)
+	seeds := SeedCentroids("cer", 2, 8)
+	for i := 0; i < b.N; i++ {
+		scheme, err := NewTestScheme(128, 4, 12, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job, err := NewJob(data, Options{
+			Mode: Simulated, Scheme: scheme,
+			K: 2, InitCentroids: seeds,
+			DMin: CERMin, DMax: CERMax,
+			Epsilon: 1e4, MaxIterations: 1, Exchanges: 12,
+			FracBits: 24, PackSlots: 1, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := job.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Centroids) == 0 {
+			b.Fatal("no centroids")
+		}
+	}
+}
+
+// BenchmarkEventBusNoSubscriber measures one pass over every emission
+// site with no subscriber attached: each call must be a single atomic
+// load — ~0 ns, 0 allocs — because the hot protocol loops call these
+// unconditionally.
+func BenchmarkEventBusNoSubscriber(b *testing.B) {
+	em := &emitter{bus: newEventBus()}
+	centroids := SeedCentroids("cer", 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.iteration(1, centroids, 0.5, 1.0)
+		em.phase(1, PhaseSum, i, b.N)
+		em.churn(1, i, 0)
+	}
+}
 
 // --- Substrate benchmarks used for the EXPERIMENTS.md cost model.
 

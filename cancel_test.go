@@ -1,0 +1,179 @@
+package chiaroscuro
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkNoGoroutineLeak polls until the live goroutine count is back at
+// (or below) the pre-run baseline — cancelled runs must tear down node
+// listeners, connection loops, worker fan-outs and randomizer-pool
+// fillers, none of which may outlive the Job. On timeout it dumps every
+// stack.
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after cancellation\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestJobPreCancelled pins that every mode returns context.Canceled —
+// not a mode-specific failure — when the context is dead on arrival.
+func TestJobPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	data, simOpts := simSetup(t)
+	scheme, err := NewTestScheme(128, 4, data.Len(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netOpts := simOpts
+	netOpts.Mode = Networked
+	netOpts.Scheme = scheme
+	netOpts.Exchanges = 4
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"centralized", Options{Mode: Centralized, InitCentroids: simOpts.InitCentroids}},
+		{"centralized-dp", Options{
+			Mode: CentralizedDP, InitCentroids: simOpts.InitCentroids,
+			Epsilon: math.Ln2, DMin: CERMin, DMax: CERMax,
+		}},
+		{"simulated", simOpts},
+		{"networked", netOpts},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			job, err := NewJob(data, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := job.Run(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Run on a dead context: %v, want context.Canceled", err)
+			}
+			checkNoGoroutineLeak(t, baseline)
+		})
+	}
+}
+
+// cancelMidSum runs the job while watching its event stream, cancels
+// the context on the first completed sum-phase gossip cycle, and
+// asserts the run aborts with context.Canceled (also surfaced on the
+// terminal Done event).
+func cancelMidSum(t *testing.T, job *Job) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := job.Events()
+	go job.Run(ctx) //nolint:errcheck // outcome read through Wait
+	cancelled := false
+	var done Done
+	for ev := range events {
+		switch e := ev.(type) {
+		case PhaseProgress:
+			if e.Phase == PhaseSum && !cancelled {
+				cancel()
+				cancelled = true
+			}
+		case Done:
+			done = e
+		}
+	}
+	if !cancelled {
+		t.Fatal("no sum-phase PhaseProgress event ever arrived")
+	}
+	if _, err := job.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if !errors.Is(done.Err, context.Canceled) {
+		t.Fatalf("Done.Err = %v, want context.Canceled", done.Err)
+	}
+}
+
+// TestJobCancelMidSumSimulated cancels a simulated run in the middle of
+// its encrypted sum phase and checks the abort is clean: the cycle
+// loops stop, the run returns context.Canceled, no goroutine survives.
+func TestJobCancelMidSumSimulated(t *testing.T) {
+	data, opts := simSetup(t)
+	opts.Exchanges = 60 // a long sum phase: the cancel always lands inside it
+	baseline := runtime.NumGoroutine()
+	job, err := NewJob(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelMidSum(t, job)
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestJobCancelMidSumNetworked cancels a real-TCP run mid-sum-phase:
+// every node's listener and live connections must shut down — the
+// daemon-side guarantee — and nothing may leak.
+func TestJobCancelMidSumNetworked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	data, _ := GenerateCER(8, 5)
+	scheme, err := NewTestScheme(128, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	job, err := NewJob(data, Options{
+		Mode: Networked, Scheme: scheme,
+		K: 2, InitCentroids: SeedCentroids("cer", 2, 6),
+		DMin: CERMin, DMax: CERMax,
+		Epsilon: 1e4, MaxIterations: 2, Exchanges: 12,
+		FracBits: 24, Seed: 9, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelMidSum(t, job)
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestJobCancelBetweenIterations cancels a centralized run from a
+// watcher goroutine after the first released iteration.
+func TestJobCancelBetweenIterations(t *testing.T) {
+	data, _ := GenerateCER(20000, 1)
+	job, err := NewJob(data, Options{
+		// Plain centralized mode with θ = 0 runs every iteration of the
+		// budget — and the budget is far beyond what runs before the
+		// cancel lands (finishing it would take minutes), so a nil error
+		// can only mean cancellation did not propagate.
+		Mode: Centralized, InitCentroids: SeedCentroids("cer", 6, 2),
+		MaxIterations: 100000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := job.Events()
+	go job.Run(ctx) //nolint:errcheck // outcome read through Wait
+	for ev := range events {
+		if _, ok := ev.(IterationReleased); ok {
+			cancel()
+		}
+	}
+	if _, err := job.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}

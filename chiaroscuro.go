@@ -12,16 +12,33 @@
 // noise-shares, and perform the threshold decryption — with no
 // coordinator and tolerance to churn.
 //
-// Three entry points cover the paper's evaluation methodology:
+// Every run goes through one Job: NewJob validates a unified Options
+// set eagerly (rejecting bad combinations with the typed sentinel
+// errors of errors.go), Run executes it under a context.Context —
+// cancellation propagates into the gossip and decryption cycle loops
+// and shuts the TCP runtimes down cleanly — and Events streams typed
+// progress while the run is in flight. The Diptych releases a
+// cleartext, differentially private centroid set per iteration by
+// design (Section 4 of the paper); the stream surfaces exactly that
+// disclosure as it happens (IterationReleased), plus per-cycle phase
+// progress and churn. Options.Mode selects one of four backends over
+// the same knobs, covering the paper's evaluation methodology:
 //
-//   - Cluster: plain centralized k-means (the non-private baseline);
-//   - ClusterDP: centralized k-means with the paper's differentially
-//     private release of each iteration's sums and counts, budget
-//     concentration strategies (GREEDY, GREEDY_FLOOR, UNIFORM_FAST) and
-//     SMA smoothing — the configuration used for quality experiments at
-//     millions of series;
-//   - Run: the complete distributed protocol over a simulated
-//     population, with real or simulated encryption.
+//   - Centralized: plain k-means — the non-private quality baseline;
+//   - CentralizedDP: centralized k-means with the paper's
+//     differentially private release of each iteration's sums and
+//     counts, budget concentration strategies (GREEDY, GREEDY_FLOOR,
+//     UNIFORM_FAST) and SMA smoothing — the configuration used for
+//     quality experiments at millions of series;
+//   - Simulated: the complete distributed protocol over an in-memory
+//     cycle engine, with real or simulated encryption;
+//   - Networked: the same protocol over real TCP through the binary
+//     wire protocol, one peer runtime per series (cmd/chiaroscurod is
+//     the one-process-per-participant daemon).
+//
+// The deprecated entry points Cluster, ClusterDP, Run and RunNetworked
+// remain as thin wrappers over Job and release bit-identical centroids
+// per seed.
 //
 // The synthetic workload generators of the evaluation (CER-like smart
 // meter data, NUMED-like tumor-growth data, the A3 2-D benchmark) are

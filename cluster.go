@@ -1,12 +1,12 @@
 package chiaroscuro
 
-import (
-	"chiaroscuro/internal/dpkmeans"
-	"chiaroscuro/internal/kmeans"
-	"chiaroscuro/internal/randx"
-)
+import "context"
 
 // ClusterOptions parametrizes the centralized baselines.
+//
+// Deprecated: use Options with Mode Centralized and NewJob, which adds
+// context cancellation and the Events stream. Cluster remains as a
+// thin wrapper and releases bit-identical centroids.
 type ClusterOptions struct {
 	// InitCentroids seeds the clustering. Required.
 	InitCentroids []Series
@@ -47,36 +47,45 @@ func (r *ClusterResult) Best() []Series {
 	return r.Centroids
 }
 
+// clusterResult maps a unified Job result back onto the legacy shape.
+func clusterResult(res *Result) *ClusterResult {
+	return &ClusterResult{
+		Centroids:    res.Centroids,
+		History:      res.History,
+		BestIter:     res.BestIter,
+		Stats:        res.Stats,
+		Converged:    res.Converged,
+		TotalEpsilon: res.TotalEpsilon,
+	}
+}
+
 // Cluster runs plain (non-private) centralized k-means — the paper's
 // "No perturbation" baseline.
+//
+// Deprecated: use NewJob with Mode Centralized; Cluster is a thin
+// wrapper over it (bit-identical centroids) kept for compatibility.
 func Cluster(d *Dataset, opts ClusterOptions) (*ClusterResult, error) {
-	maxIt := opts.MaxIterations
-	if maxIt <= 0 {
-		maxIt = 10
-	}
-	res, err := kmeans.Run(d, kmeans.Config{
+	job, err := NewJob(d, Options{
+		Mode:          Centralized,
 		InitCentroids: opts.InitCentroids,
+		MaxIterations: max(opts.MaxIterations, 0),
 		Threshold:     opts.Threshold,
-		MaxIterations: maxIt,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &ClusterResult{Centroids: res.Centroids, Converged: res.Converged}
-	for _, s := range res.Stats {
-		out.Stats = append(out.Stats, ClusterStats{
-			Iteration:   s.Iteration,
-			Inertia:     s.IntraInertia,
-			Centroids:   s.Centroids,
-			PostInertia: s.IntraInertia,
-		})
+	res, err := job.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return clusterResult(res), nil
 }
 
 // DPOptions parametrizes the differentially private centralized run —
 // the configuration the paper uses for its quality evaluation at
 // millions of series (Section 6.1, item 2).
+//
+// Deprecated: use Options with Mode CentralizedDP and NewJob.
 type DPOptions struct {
 	InitCentroids []Series
 	// Budget is the ε concentration strategy (Greedy, GreedyFloor,
@@ -103,38 +112,29 @@ type DPOptions struct {
 // cluster sums and counts are released through the Laplace mechanism
 // under the budget strategy, then divided, smoothed, and filtered for
 // aberrant means exactly as the distributed protocol does.
+//
+// Deprecated: use NewJob with Mode CentralizedDP; ClusterDP is a thin
+// wrapper over it (bit-identical centroids per seed) kept for
+// compatibility.
 func ClusterDP(d *Dataset, opts DPOptions) (*ClusterResult, error) {
-	res, err := dpkmeans.Run(d, dpkmeans.Config{
+	job, err := NewJob(d, Options{
+		Mode:          CentralizedDP,
 		InitCentroids: opts.InitCentroids,
 		Budget:        opts.Budget,
 		DMin:          opts.DMin,
 		DMax:          opts.DMax,
 		Smooth:        opts.Smooth,
-		MaxIterations: opts.MaxIterations,
+		MaxIterations: max(opts.MaxIterations, 0),
 		Threshold:     opts.Threshold,
 		Churn:         opts.Churn,
-		KeepHistory:   true,
-		RNG:           randx.New(opts.Seed, 0xD9),
+		Seed:          opts.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	best, _ := res.BestIteration()
-	out := &ClusterResult{
-		Centroids:    res.Centroids,
-		History:      res.History,
-		BestIter:     best,
-		Converged:    res.Converged,
-		TotalEpsilon: res.TotalEpsilon,
+	res, err := job.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	for _, s := range res.Stats {
-		out.Stats = append(out.Stats, ClusterStats{
-			Iteration:    s.Iteration,
-			Inertia:      s.PreInertia,
-			Centroids:    s.CentroidsOut,
-			PostInertia:  s.PostInertia,
-			EpsilonSpent: s.EpsilonSpent,
-		})
-	}
-	return out, nil
+	return clusterResult(res), nil
 }

@@ -1,16 +1,20 @@
-// Command chiaroscuro runs a privacy-preserving clustering end to end.
+// Command chiaroscuro runs a privacy-preserving clustering end to end
+// through the unified Job API, streaming each iteration's released
+// centroids as the protocol decrypts them.
 //
-// Three modes mirror the library's entry points:
+// Four modes mirror the library's Job modes:
 //
-//	chiaroscuro -mode baseline  # centralized k-means, no privacy
-//	chiaroscuro -mode dp        # centralized with DP release (quality path)
-//	chiaroscuro -mode network   # full distributed protocol (simulated population)
+//	chiaroscuro -mode baseline   # centralized k-means, no privacy
+//	chiaroscuro -mode dp         # centralized with DP release (quality path)
+//	chiaroscuro -mode network    # full distributed protocol (simulated population)
+//	chiaroscuro -mode networked  # same protocol over real loopback TCP
 //
 // Data comes either from a CSV file (one series per row) or from the
 // built-in generators (-dataset cer|numed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -22,7 +26,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "dp", "baseline, dp, or network")
+		mode    = flag.String("mode", "dp", "baseline, dp, network, or networked")
 		dataset = flag.String("dataset", "cer", "built-in generator: cer or numed")
 		csvPath = flag.String("csv", "", "CSV file with one series per row (overrides -dataset)")
 		size    = flag.Int("n", 20000, "number of series to generate")
@@ -34,8 +38,9 @@ func main() {
 		maxIt   = flag.Int("iterations", 10, "maximum k-means iterations")
 		churn   = flag.Float64("churn", 0, "disconnection probability")
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		keyBits = flag.Int("keybits", 256, "Damgård–Jurik key size for -mode network (128/256/512/1024)")
+		keyBits = flag.Int("keybits", 256, "Damgård–Jurik key size for the distributed modes (128/256/512/1024)")
 		real    = flag.Bool("realcrypto", false, "network mode: real Damgård–Jurik instead of simulated encryption")
+		quiet   = flag.Bool("quiet", false, "suppress the live per-iteration event stream")
 	)
 	flag.Parse()
 
@@ -46,80 +51,91 @@ func main() {
 	seeds := chiaroscuro.SeedCentroids(kind, *k, *seed+1)
 	fmt.Printf("dataset: %d series × %d measures in [%g, %g]\n", data.Len(), data.Dim(), dmin, dmax)
 
+	opts := chiaroscuro.Options{
+		InitCentroids: seeds,
+		K:             *k,
+		DMin:          dmin, DMax: dmax,
+		Epsilon:       *eps,
+		Smooth:        *smooth,
+		MaxIterations: *maxIt,
+		Churn:         *churn,
+		Seed:          *seed,
+	}
+	title := ""
 	switch *mode {
 	case "baseline":
-		res, err := chiaroscuro.Cluster(data, chiaroscuro.ClusterOptions{
-			InitCentroids: seeds, MaxIterations: *maxIt,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printStats("centralized k-means (no privacy)", res)
+		opts.Mode = chiaroscuro.Centralized
+		opts.Epsilon, opts.Churn = 0, 0
+		title = "centralized k-means (no privacy)"
 
 	case "dp":
-		b, err := makeBudget(*budget, *eps, *param)
-		if err != nil {
+		opts.Mode = chiaroscuro.CentralizedDP
+		if opts.Budget, err = makeBudget(*budget, *eps, *param); err != nil {
 			fatal(err)
 		}
-		res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
-			InitCentroids: seeds,
-			Budget:        b,
-			DMin:          dmin, DMax: dmax,
-			Smooth:        *smooth,
-			MaxIterations: *maxIt,
-			Churn:         *churn,
-			Seed:          *seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printStats(fmt.Sprintf("perturbed k-means (%s, ε=%.3f)", *budget, *eps), res)
+		title = fmt.Sprintf("perturbed k-means (%s, ε=%.3f)", *budget, *eps)
 
-	case "network":
+	case "network", "networked":
 		if data.Len() > 512 {
-			fatal(fmt.Errorf("network mode simulates one participant per series; use -n <= 512 (got %d)", data.Len()))
+			fatal(fmt.Errorf("the distributed modes simulate one participant per series; use -n <= 512 (got %d)", data.Len()))
 		}
-		var scheme chiaroscuro.Scheme
-		if *real {
-			scheme, err = chiaroscuro.NewTestScheme(*keyBits, 3, data.Len(), max(2, data.Len()/4))
+		if opts.Budget, err = makeBudget(*budget, *eps, *param); err != nil {
+			fatal(err)
+		}
+		if *real || *mode == "networked" {
+			opts.Scheme, err = chiaroscuro.NewTestScheme(*keyBits, 3, data.Len(), max(2, data.Len()/4))
 		} else {
-			scheme, err = chiaroscuro.NewSimulationScheme(*keyBits/4, data.Len(), max(2, data.Len()/4))
+			opts.Scheme, err = chiaroscuro.NewSimulationScheme(*keyBits/4, data.Len(), max(2, data.Len()/4))
 		}
 		if err != nil {
 			fatal(err)
 		}
-		b, err := makeBudget(*budget, *eps, *param)
-		if err != nil {
-			fatal(err)
+		if *mode == "networked" {
+			opts.Mode = chiaroscuro.Networked
+			title = "distributed protocol (real loopback TCP)"
+		} else {
+			opts.Mode = chiaroscuro.Simulated
+			opts.TraceQuality = true
+			title = "distributed protocol (simulated population)"
 		}
-		res, err := chiaroscuro.Run(data, scheme, chiaroscuro.NetworkOptions{
-			K:             *k,
-			InitCentroids: seeds,
-			DMin:          dmin, DMax: dmax,
-			Epsilon:       *eps,
-			Budget:        b,
-			MaxIterations: *maxIt,
-			Smooth:        *smooth,
-			Churn:         *churn,
-			Seed:          *seed,
-			TraceQuality:  true,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "iter\tcentroids\tε spent\tsum cycles\tdecrypt cycles\tagreement\tinertia")
-		for _, tr := range res.Traces {
-			fmt.Fprintf(w, "%d\t%d→%d\t%.4f\t%d\t%d\t%.2e\t%.4g\n",
-				tr.Iteration, tr.CentroidsIn, tr.CentroidsOut, tr.EpsilonSpent,
-				tr.SumCycles, tr.DecryptCycles, tr.Agreement, tr.PreInertia)
-		}
-		w.Flush()
-		fmt.Printf("final: %d centroids, ε spent %.4f, %.0f msgs/participant, %.1f kB/participant\n",
-			len(res.Centroids), res.TotalEpsilon, res.AvgMessages, res.AvgBytes/1024)
 
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want baseline, dp, network, or networked)", *mode))
+	}
+
+	job, err := chiaroscuro.NewJob(data, opts)
+	if err != nil {
+		fatal(err)
+	}
+	var res *chiaroscuro.Result
+	if *quiet {
+		// No subscription at all: a silent run keeps the zero-cost
+		// no-subscriber emission path.
+		res, err = job.Run(context.Background())
+	} else {
+		// Stream the per-iteration releases live — the Diptych discloses
+		// one cleartext centroid set per iteration by design; show them
+		// as they happen instead of after the whole run.
+		events := job.Events()
+		go job.Run(context.Background())
+		for ev := range events {
+			if rel, ok := ev.(chiaroscuro.IterationReleased); ok {
+				fmt.Printf("released iteration %d: %d centroids (ε %.4f)\n",
+					rel.Iteration, len(rel.Centroids), rel.EpsilonSpent)
+			}
+		}
+		res, err = job.Wait()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println(title)
+	switch opts.Mode {
+	case chiaroscuro.Centralized, chiaroscuro.CentralizedDP:
+		printStats(res)
+	default:
+		printTraces(res)
 	}
 }
 
@@ -155,8 +171,7 @@ func makeBudget(name string, eps float64, param int) (chiaroscuro.Budget, error)
 	return nil, fmt.Errorf("unknown budget strategy %q (want G, GF, UF)", name)
 }
 
-func printStats(title string, res *chiaroscuro.ClusterResult) {
-	fmt.Println(title)
+func printStats(res *chiaroscuro.Result) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "iter\tinertia\tpost-inertia\tcentroids\tε spent")
 	for _, s := range res.Stats {
@@ -168,14 +183,20 @@ func printStats(title string, res *chiaroscuro.ClusterResult) {
 		len(res.Centroids), res.Converged, res.TotalEpsilon)
 }
 
+func printTraces(res *chiaroscuro.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "iter\tcentroids\tε spent\tsum cycles\tdecrypt cycles\tagreement\tinertia")
+	for _, tr := range res.Traces {
+		fmt.Fprintf(w, "%d\t%d→%d\t%.4f\t%d\t%d\t%.2e\t%.4g\n",
+			tr.Iteration, tr.CentroidsIn, tr.CentroidsOut, tr.EpsilonSpent,
+			tr.SumCycles, tr.DecryptCycles, tr.Agreement, tr.PreInertia)
+	}
+	w.Flush()
+	fmt.Printf("final: %d centroids, ε spent %.4f, %.0f msgs/participant, %.1f kB/participant\n",
+		len(res.Centroids), res.TotalEpsilon, res.AvgMessages, res.AvgBytes/1024)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "chiaroscuro:", err)
 	os.Exit(1)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -21,19 +21,76 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync"
+	"syscall"
 	"time"
 
 	"chiaroscuro"
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/node"
+	"chiaroscuro/internal/timeseries"
 )
+
+// progress mirrors the node's observer callbacks for the live
+// /progress endpoint: the current phase position and every released
+// iteration so far, as the event stream of the public Job API exposes
+// them in-process.
+type progress struct {
+	mu sync.Mutex
+	p  progressView
+}
+
+type progressView struct {
+	Iteration int             `json:"iteration"`
+	Phase     string          `json:"phase"`
+	Cycle     int             `json:"cycle"`
+	Of        int             `json:"of"`
+	Released  []iterationView `json:"released"`
+}
+
+type iterationView struct {
+	Iteration    int                 `json:"iteration"`
+	Centroids    []timeseries.Series `json:"centroids"`
+	EpsilonSpent float64             `json:"epsilon_spent"`
+}
+
+// observer returns the protocol hooks feeding this progress tracker.
+func (pr *progress) observer() core.Observer {
+	return core.Observer{
+		Phase: func(iter int, phase core.Phase, cycle, of int) {
+			pr.mu.Lock()
+			pr.p.Iteration, pr.p.Phase, pr.p.Cycle, pr.p.Of = iter, phase.String(), cycle, of
+			pr.mu.Unlock()
+		},
+		Iteration: func(tr core.IterationTrace, released []timeseries.Series) {
+			pr.mu.Lock()
+			pr.p.Released = append(pr.p.Released, iterationView{
+				Iteration:    tr.Iteration,
+				Centroids:    released,
+				EpsilonSpent: tr.EpsilonSpent,
+			})
+			pr.mu.Unlock()
+		},
+	}
+}
+
+func (pr *progress) snapshot() progressView {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	v := pr.p
+	v.Released = append([]iterationView(nil), pr.p.Released...)
+	return v
+}
 
 // keyFile is the provisioning record one daemon boots from.
 type keyFile struct {
@@ -110,6 +167,7 @@ func main() {
 			dec = e
 		}
 	}
+	prog := &progress{}
 	nd, err := node.New(node.Config{
 		Index:  kf.Index,
 		N:      *population,
@@ -129,6 +187,7 @@ func main() {
 			FracBits:      *fracBits,
 			PackSlots:     *packSlots,
 			Seed:          *seed,
+			Observer:      prog.observer(),
 		},
 		Listen:          *listen,
 		Bootstrap:       *bootstrap,
@@ -142,16 +201,35 @@ func main() {
 	fmt.Printf("chiaroscurod: node %d/%d listening on %s\n", kf.Index, *population, nd.Addr())
 
 	if *metricsAddr != "" {
-		go serveMetrics(*metricsAddr, nd)
+		go serveMetrics(*metricsAddr, nd, prog)
 	}
 
+	// SIGINT/SIGTERM cancel the run: the node closes its listener and
+	// every live connection, the peers time the slot out, and the daemon
+	// exits instead of hanging on half-finished exchanges.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	fmt.Printf("chiaroscurod: waiting for %d peers (bootstrap %q)\n", *population-1, *bootstrap)
+	// Join polls the roster and is not context-aware; close the node on
+	// cancellation so a SIGINT during the wait interrupts it promptly
+	// instead of sitting out the join timeout.
+	stopWatch := context.AfterFunc(ctx, func() { _ = nd.Close() })
+	defer stopWatch()
 	if err := nd.Join(); err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("chiaroscurod: interrupted while waiting for peers")
+			return
+		}
 		fatal(err)
 	}
 	fmt.Println("chiaroscurod: roster complete, protocol starting")
 	start := time.Now()
-	res, err := nd.Run()
+	res, err := nd.RunContext(ctx)
+	if errors.Is(err, context.Canceled) {
+		fmt.Println("chiaroscurod: interrupted; listener and connections closed cleanly")
+		return
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -248,10 +326,18 @@ func loadData(csvPath, dataset string, size int, seed uint64) (d *chiaroscuro.Da
 	return nil, 0, 0, "", fmt.Errorf("unknown dataset %q", dataset)
 }
 
-// serveMetrics exposes wire counters and protocol progress in the
-// Prometheus text exposition format.
-func serveMetrics(addr string, nd *node.Node) {
+// serveMetrics exposes wire counters and protocol progress: Prometheus
+// text counters on /metrics, and the live protocol position — current
+// phase cycle plus every released per-iteration centroid set so far —
+// as JSON on /progress (the daemon-side view of the Job event stream).
+func serveMetrics(addr string, nd *node.Node, prog *progress) {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(prog.snapshot())
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		c := nd.Counters()
 		iter, phase := nd.Progress()

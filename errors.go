@@ -1,0 +1,59 @@
+package chiaroscuro
+
+import "errors"
+
+// Sentinel errors of the eager Options validation: NewJob (and the
+// legacy entry points, which build Jobs underneath) reject a bad
+// configuration up front with one of these, instead of failing deep in
+// the protocol stack mid-run. Match with errors.Is; the returned error
+// may wrap a sentinel with the offending value.
+var (
+	// ErrNoData rejects a nil or empty dataset.
+	ErrNoData = errors.New("chiaroscuro: nil or empty dataset")
+	// ErrNoSeeds rejects a run with no (non-nil) initial centroids.
+	// Seeds are required and must be data-independent (privacy).
+	ErrNoSeeds = errors.New("chiaroscuro: no initial centroids")
+	// ErrSeedLength rejects initial centroids whose length differs from
+	// the dataset's series length.
+	ErrSeedLength = errors.New("chiaroscuro: initial centroid length does not match the series length")
+	// ErrBadMode rejects an unknown Options.Mode.
+	ErrBadMode = errors.New("chiaroscuro: unknown run mode")
+	// ErrBadK rejects a negative cluster count.
+	ErrBadK = errors.New("chiaroscuro: negative cluster count")
+	// ErrBadEpsilon rejects a privacy budget that is not positive and
+	// finite in a mode that perturbs releases (every mode but
+	// Centralized; CentralizedDP accepts a Budget instead).
+	ErrBadEpsilon = errors.New("chiaroscuro: privacy budget must be positive and finite")
+	// ErrBadRange rejects DMin > DMax (or NaN bounds): the measure range
+	// calibrates the Laplace sensitivity and must be a real interval.
+	ErrBadRange = errors.New("chiaroscuro: invalid measure range (DMin must not exceed DMax)")
+	// ErrBadIterations rejects a negative iteration cap.
+	ErrBadIterations = errors.New("chiaroscuro: negative iteration cap")
+	// ErrBadThreshold rejects a negative (or NaN) convergence threshold.
+	ErrBadThreshold = errors.New("chiaroscuro: invalid convergence threshold")
+	// ErrThresholdNetworked rejects a convergence threshold in Networked
+	// mode: networked runs use the fixed iteration schedule (no
+	// participant can observe global convergence), so θ must be 0.
+	ErrThresholdNetworked = errors.New("chiaroscuro: networked runs use the fixed iteration schedule; set Threshold to 0")
+	// ErrBadChurn rejects a disconnection probability outside [0, 1).
+	ErrBadChurn = errors.New("chiaroscuro: churn must be in [0, 1)")
+	// ErrNilScheme rejects a distributed run without an encryption
+	// scheme.
+	ErrNilScheme = errors.New("chiaroscuro: nil scheme (Simulated and Networked modes need one)")
+	// ErrSchemeShares rejects a scheme with fewer key-shares than the
+	// population has participants.
+	ErrSchemeShares = errors.New("chiaroscuro: scheme has fewer key-shares than participants")
+	// ErrTooFewParticipants rejects a distributed run over fewer than 2
+	// series (one participant per series).
+	ErrTooFewParticipants = errors.New("chiaroscuro: distributed modes need at least 2 participants")
+	// ErrBadCycles rejects negative exchange, dissemination, decryption
+	// or noise-share counts.
+	ErrBadCycles = errors.New("chiaroscuro: negative exchange/cycle/share count")
+	// ErrBadWorkers rejects a negative worker count.
+	ErrBadWorkers = errors.New("chiaroscuro: negative worker count")
+	// ErrBadPackSlots rejects a negative packing slot count.
+	ErrBadPackSlots = errors.New("chiaroscuro: negative pack slots")
+	// ErrJobReused rejects a second Run on the same Job: a Job is one
+	// run; build a new one with NewJob.
+	ErrJobReused = errors.New("chiaroscuro: job already run (create a new Job per run)")
+)

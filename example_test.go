@@ -1,11 +1,87 @@
 package chiaroscuro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"chiaroscuro"
 )
+
+// One Job, one Options struct, four run modes: the unified entry point
+// behind every legacy helper.
+func ExampleNewJob() {
+	data, _ := chiaroscuro.GenerateCER(5000, 1)
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.CentralizedDP,
+		InitCentroids: chiaroscuro.SeedCentroids("cer", 6, 2),
+		Epsilon:       math.Ln2, // Budget defaults to Greedy(Epsilon)
+		DMin:          chiaroscuro.CERMin,
+		DMax:          chiaroscuro.CERMax,
+		Smooth:        true,
+		MaxIterations: 5,
+		Seed:          3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := job.Run(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("iterations released: %d\n", len(res.History))
+	fmt.Printf("budget respected: %v\n", res.TotalEpsilon <= math.Ln2*(1+1e-9))
+	// Output:
+	// iterations released: 5
+	// budget respected: true
+}
+
+// Streaming a run: the Diptych releases a cleartext centroid set per
+// iteration by design, and Events delivers each release as soon as the
+// population decrypts it — here from a full distributed protocol run.
+func ExampleJob_events() {
+	data, _ := chiaroscuro.GenerateCER(48, 6)
+	scheme, err := chiaroscuro.NewSimulationScheme(256, 48, 6)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.Simulated,
+		Scheme:        scheme,
+		K:             3,
+		InitCentroids: chiaroscuro.SeedCentroids("cer", 3, 7),
+		DMin:          chiaroscuro.CERMin,
+		DMax:          chiaroscuro.CERMax,
+		Epsilon:       1e5, // demo population: gentle noise
+		MaxIterations: 2,
+		Exchanges:     20,
+		Seed:          8,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// Subscribe before Run, consume while the run executes.
+	events := job.Events()
+	go job.Run(context.Background())
+	for ev := range events {
+		switch e := ev.(type) {
+		case chiaroscuro.IterationReleased:
+			fmt.Printf("iteration %d: %d centroids released (ε %.1f spent)\n",
+				e.Iteration, len(e.Centroids), e.EpsilonSpent)
+		case chiaroscuro.Done:
+			fmt.Printf("done, err: %v\n", e.Err)
+		}
+	}
+	// Output:
+	// iteration 1: 3 centroids released (ε 50000.0 spent)
+	// iteration 2: 3 centroids released (ε 25000.0 spent)
+	// done, err: <nil>
+}
 
 // The non-private baseline: plain centralized k-means.
 func ExampleCluster() {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,7 +42,9 @@ func main() {
 	fmt.Println("noise + epidemic threshold decryption)...")
 
 	start := time.Now()
-	res, err := chiaroscuro.Run(data, scheme, chiaroscuro.NetworkOptions{
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.Simulated,
+		Scheme:        scheme,
 		K:             clusters,
 		InitCentroids: seeds,
 		DMin:          chiaroscuro.CERMin,
@@ -57,6 +60,34 @@ func main() {
 		Seed:          101,
 		TraceQuality:  true,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the protocol live: the event stream reports every completed
+	// gossip cycle of each phase and every iteration's released (i.e.
+	// threshold-decrypted) centroid set as it happens.
+	events := job.Events()
+	go job.Run(context.Background())
+	var lastPhase chiaroscuro.Phase = -1
+	for ev := range events {
+		switch e := ev.(type) {
+		case chiaroscuro.PhaseProgress:
+			if e.Phase != lastPhase {
+				if e.Of > 0 {
+					fmt.Printf("  iteration %d: %s phase (%d cycles)\n", e.Iteration, e.Phase, e.Of)
+				} else {
+					fmt.Printf("  iteration %d: %s phase (adaptive)\n", e.Iteration, e.Phase)
+				}
+				lastPhase = e.Phase
+			}
+		case chiaroscuro.IterationReleased:
+			fmt.Printf("  iteration %d: %d centroids decrypted and released, ε %.4f\n",
+				e.Iteration, len(e.Centroids), e.EpsilonSpent)
+		}
+	}
+
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,7 +20,8 @@ func main() {
 	data, _ := chiaroscuro.GenerateNUMED(patients, 21)
 	seeds := chiaroscuro.SeedCentroids("numed", 8, 22)
 
-	res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.CentralizedDP,
 		InitCentroids: seeds,
 		Budget:        chiaroscuro.Greedy(math.Ln2),
 		DMin:          chiaroscuro.NUMEDMin,
@@ -28,6 +30,10 @@ func main() {
 		MaxIterations: 10,
 		Seed:          23,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
-// Quickstart: cluster 20,000 synthetic smart-meter series with
-// differential privacy in ~30 lines.
+// Quickstart: cluster 100,000 synthetic smart-meter series with
+// differential privacy through the unified Job API, watching each
+// iteration's release as it happens.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,11 +24,13 @@ func main() {
 	// from the same generator family, never from participant data.
 	seeds := chiaroscuro.SeedCentroids("cer", 8, 43)
 
-	// Cluster with the paper's settings: ε = ln 2, GREEDY budget
-	// concentration, moving-average smoothing of the noisy means.
-	res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
+	// One Job, one options struct, whatever the mode: here the paper's
+	// quality configuration — ε = ln 2, GREEDY budget concentration,
+	// moving-average smoothing of the noisy means.
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.CentralizedDP,
 		InitCentroids: seeds,
-		Budget:        chiaroscuro.Greedy(math.Ln2),
+		Epsilon:       math.Ln2, // Budget defaults to Greedy(Epsilon)
 		DMin:          chiaroscuro.CERMin,
 		DMax:          chiaroscuro.CERMax,
 		Smooth:        true,
@@ -37,11 +41,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("clustered %d series, spending ε = %.3f\n", data.Len(), res.TotalEpsilon)
-	for it, s := range res.Stats {
-		fmt.Printf("  iteration %2d: inertia %8.2f, %2d live centroids\n",
-			it+1, s.Inertia, s.Centroids)
+	// The Diptych releases one cleartext centroid set per iteration by
+	// design — stream the releases instead of waiting for the whole run.
+	events := job.Events()
+	go job.Run(context.Background())
+	for ev := range events {
+		if rel, ok := ev.(chiaroscuro.IterationReleased); ok {
+			fmt.Printf("  iteration %2d: inertia %8.2f, %2d live centroids\n",
+				rel.Iteration, rel.Inertia, len(rel.Centroids))
+		}
 	}
+
+	res, err := job.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered %d series, spending ε = %.3f\n", data.Len(), res.TotalEpsilon)
 	fmt.Printf("\nbest iteration: %d, with %d usable consumption profiles\n",
 		res.BestIter, len(res.Best()))
 	fmt.Println("(late iterations drowning in noise is expected: the GREEDY budget")

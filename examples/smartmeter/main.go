@@ -4,13 +4,15 @@
 // unprotected.
 //
 // The example compares the three budget-concentration strategies of
-// Section 5.1 on the same data and interprets the resulting cluster
-// centroids (morning/evening peaks, night-heavy usage, ...).
+// Section 5.1 on the same data — three Jobs differing in one Options
+// field — and interprets the resulting cluster centroids
+// (morning/evening peaks, night-heavy usage, ...).
 //
 //	go run ./examples/smartmeter
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,10 +37,11 @@ func main() {
 		{"UNIFORM_FAST (UF, 5 it.)", chiaroscuro.UniformFast(math.Ln2, 5)},
 	}
 
-	var best *chiaroscuro.ClusterResult
+	var best *chiaroscuro.Result
 	bestInertia := math.Inf(1)
 	for _, s := range strategies {
-		res, err := chiaroscuro.ClusterDP(data, chiaroscuro.DPOptions{
+		job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+			Mode:          chiaroscuro.CentralizedDP,
 			InitCentroids: seeds,
 			Budget:        s.budget,
 			DMin:          chiaroscuro.CERMin,
@@ -47,6 +50,10 @@ func main() {
 			MaxIterations: 10,
 			Seed:          9,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := job.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

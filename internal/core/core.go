@@ -29,6 +29,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,6 +57,53 @@ type Diptych struct {
 	// values, laid out in ⌈k·(n+1)/PackSlots⌉ packed ciphertexts — plus
 	// the cleartext weight ω (inside the EESum state).
 	Means *eesum.Sum
+}
+
+// Phase identifies one of the three gossip phases of a protocol
+// iteration (Algorithm 3): the lockstep encrypted means/noise sum, the
+// min-identifier correction dissemination, the epidemic threshold
+// decryption. The networked peer runtime orders its exchange slots by
+// the same ranks.
+type Phase int
+
+const (
+	PhaseSum Phase = iota
+	PhaseDissemination
+	PhaseDecryption
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSum:
+		return "sum"
+	case PhaseDissemination:
+		return "dissemination"
+	case PhaseDecryption:
+		return "decryption"
+	}
+	return "unknown"
+}
+
+// Observer receives protocol progress callbacks from a run. All
+// callbacks fire on the protocol goroutine, consume no protocol RNG
+// (an observed run is draw-for-draw identical to a blind one), and
+// must return quickly; nil members are skipped. The networked peer
+// runtime (internal/node) drives the same callbacks from its side of
+// the wire, so a consumer sees one shape across backends.
+type Observer struct {
+	// Iteration fires once per protocol iteration, after the local
+	// convergence step: the iteration's trace and its released
+	// (compacted, cleartext, differentially private) centroids.
+	Iteration func(tr IterationTrace, released []timeseries.Series)
+	// Phase fires after every gossip cycle: cycle counts completed
+	// cycles (1-based) of the phase's budget of. A phase whose length
+	// is adaptive (convergence-determined rather than fixed) reports
+	// of = 0.
+	Phase func(iter int, phase Phase, cycle, of int)
+	// Churn fires on every churn resampling with the number of
+	// disconnected nodes (only when the churn model is on).
+	Churn func(iter, cycle, down int)
 }
 
 // Config parametrizes a Chiaroscuro network run.
@@ -117,6 +165,10 @@ type Config struct {
 
 	Sampler sim.Sampler // peer sampling (default uniform)
 
+	// Observer receives progress callbacks (per-iteration releases,
+	// per-cycle phase progress, churn). Zero value: no callbacks.
+	Observer Observer
+
 	// TraceQuality computes the (omniscient) pre-perturbation inertia of
 	// every iteration for evaluation purposes. It reads all series,
 	// which a real deployment could not; it never feeds back into the
@@ -168,6 +220,7 @@ type Network struct {
 	rng      *randx.RNG
 	acct     *dp.Accountant
 	shareIdx []int
+	curIter  int // iteration in flight, read by the engine's churn hook
 
 	// tamper, when set by tests, corrupts the decoded views before the
 	// Section 4.4 cross-check runs — the fault-injection hook for
@@ -203,22 +256,28 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 	if err != nil {
 		return nil, err
 	}
-	engine, err := sim.New(MirrorEngineConfig(cfg, np, data.Dim(), sch, pack), cfg.Sampler)
+	codec := homenc.NewCodec(cfg.FracBits)
+	nw := &Network{
+		cfg:   cfg,
+		sch:   sch,
+		codec: codec,
+		pack:  pack,
+		data:  data,
+		np:    np,
+		rng:   ProtocolRNG(cfg.Seed),
+		acct:  &dp.Accountant{Cap: cfg.Epsilon * (1 + 1e-9)},
+	}
+	ecfg := MirrorEngineConfig(cfg, np, data.Dim(), sch, pack)
+	if hook := cfg.Observer.Churn; hook != nil {
+		// The hook runs on the scheduling goroutine — the same one that
+		// advances curIter — so the read is race-free.
+		ecfg.OnChurn = func(cycle, down int) { hook(nw.curIter, cycle, down) }
+	}
+	engine, err := sim.New(ecfg, cfg.Sampler)
 	if err != nil {
 		return nil, err
 	}
-	codec := homenc.NewCodec(cfg.FracBits)
-	nw := &Network{
-		cfg:    cfg,
-		sch:    sch,
-		codec:  codec,
-		pack:   pack,
-		data:   data,
-		np:     np,
-		engine: engine,
-		rng:    ProtocolRNG(cfg.Seed),
-		acct:   &dp.Accountant{Cap: cfg.Epsilon * (1 + 1e-9)},
-	}
+	nw.engine = engine
 	nw.shareIdx = make([]int, np)
 	for i := range nw.shareIdx {
 		nw.shareIdx[i] = i + 1
@@ -370,9 +429,20 @@ func PackingFor(cfg Config, np, seriesDim int, sch homenc.Scheme) (homenc.Packed
 // Run executes the full protocol until convergence or the iteration cap
 // (Section 4.2.4) and returns participant 0's final view.
 func (nw *Network) Run() (*Result, error) {
+	return nw.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and between gossip cycles inside the sum, dissemination
+// and decryption phase loops, so a cancelled run returns ctx.Err()
+// promptly even mid-phase.
+func (nw *Network) RunContext(ctx context.Context) (*Result, error) {
 	centroids := kmeans.Compact(nw.cfg.InitCentroids)
 	res := &Result{}
 	for it := 1; it <= nw.cfg.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		epsIter := nw.cfg.Budget.Epsilon(it)
 		if epsIter <= 0 {
 			break // privacy budget exhausted
@@ -380,7 +450,8 @@ func (nw *Network) Run() (*Result, error) {
 		if err := nw.acct.Spend(epsIter); err != nil {
 			return nil, err
 		}
-		trace, next, err := nw.iterate(it, centroids, epsIter)
+		nw.curIter = it
+		trace, next, err := nw.iterate(ctx, it, centroids, epsIter)
 		if err != nil {
 			return nil, err
 		}
@@ -403,8 +474,15 @@ func (nw *Network) Run() (*Result, error) {
 	return res, nil
 }
 
+// observePhase reports one completed gossip cycle to the observer.
+func (nw *Network) observePhase(it int, phase Phase, cycle, of int) {
+	if hook := nw.cfg.Observer.Phase; hook != nil {
+		hook(it, phase, cycle, of)
+	}
+}
+
 // iterate runs one full Chiaroscuro iteration (Algorithms 1 and 3).
-func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float64) (*IterationTrace, []timeseries.Series, error) {
+func (nw *Network) iterate(ctx context.Context, it int, centroids []timeseries.Series, epsIter float64) (*IterationTrace, []timeseries.Series, error) {
 	k := len(centroids)
 	n := nw.data.Dim()
 	trace := &IterationTrace{Iteration: it, CentroidsIn: k, EpsilonSpent: epsIter}
@@ -444,7 +522,14 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 
 	// --- Algorithm 3 (a)+(b): means and noise sums run in lockstep on
 	// the same gossip exchanges, the counter piggybacking.
-	nw.engine.RunCyclesOn(nw.cfg.Exchanges, lockstep{means, noise})
+	pair := lockstep{means, noise}
+	for c := 0; c < nw.cfg.Exchanges; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		nw.engine.RunCycleOn(pair)
+		nw.observePhase(it, PhaseSum, c+1, nw.cfg.Exchanges)
+	}
 	trace.SumCycles = nw.cfg.Exchanges
 
 	// Noise correction: propose, disseminate (min identifier), apply.
@@ -457,14 +542,25 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	diss := 0
 	if nw.cfg.DissCycles > 0 {
 		for ; diss < nw.cfg.DissCycles; diss++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			nw.engine.RunCycle(noise.ExchangeCorrection)
+			nw.observePhase(it, PhaseDissemination, diss+1, nw.cfg.DissCycles)
 		}
 		if !noise.CorrectionConverged() {
 			return nil, nil, errors.New("core: correction dissemination did not converge in the fixed cycle budget")
 		}
 	} else {
-		for ; diss < 4*nw.cfg.Exchanges && !noise.CorrectionConverged(); diss++ {
+		dissCap := 4 * nw.cfg.Exchanges
+		for ; diss < dissCap && !noise.CorrectionConverged(); diss++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			nw.engine.RunCycle(noise.ExchangeCorrection)
+			// Adaptive phase: the length is convergence-determined, so
+			// of = 0 (the 4x cap is a safety bound, not an expectation).
+			nw.observePhase(it, PhaseDissemination, diss+1, 0)
 		}
 	}
 	trace.DissCycles = diss
@@ -490,10 +586,32 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 	if nw.cfg.DecryptCycles > 0 {
 		// Fixed-length phase (networked schedule): run every cycle;
 		// exchanges past completion are protocol no-ops.
-		nw.engine.RunCyclesOn(nw.cfg.DecryptCycles, dec)
+		for c := 0; c < nw.cfg.DecryptCycles; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			nw.engine.RunCycleOn(dec)
+			nw.observePhase(it, PhaseDecryption, c+1, nw.cfg.DecryptCycles)
+		}
 		trace.DecryptCycles = nw.cfg.DecryptCycles
 	} else {
-		trace.DecryptCycles = dec.RunUntilDone(nw.engine, 64*nw.cfg.Exchanges)
+		// Adaptive phase: stop as soon as every node gathered τ shares
+		// (the cycle accounting matches eesum's RunUntilDone).
+		decCap := 64 * nw.cfg.Exchanges
+		used := decCap
+		for c := 0; c < decCap; c++ {
+			if dec.AllDone() {
+				used = c
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			nw.engine.RunCycleOn(dec)
+			// Adaptive phase: of = 0, as for the dissemination above.
+			nw.observePhase(it, PhaseDecryption, c+1, 0)
+		}
+		trace.DecryptCycles = used
 	}
 	if !dec.AllDone() {
 		return nil, nil, errors.New("core: epidemic decryption did not complete")
@@ -522,6 +640,9 @@ func (nw *Network) iterate(it int, centroids []timeseries.Series, epsIter float6
 
 	if nw.cfg.TraceQuality {
 		nw.traceQuality(trace, centroids, perCentroids[0])
+	}
+	if hook := nw.cfg.Observer.Iteration; hook != nil {
+		hook(*trace, next)
 	}
 	return trace, next, nil
 }

@@ -12,6 +12,7 @@
 package dpkmeans
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -45,6 +46,12 @@ type Config struct {
 	// noise becomes intractable.
 	StopOnQualityDrop bool
 	QualityPatience   int // consecutive drops tolerated (default 1)
+
+	// OnIteration, when set, observes each iteration as it completes:
+	// its stats and the (compacted) released centroids — the perturbed
+	// means under a Budget, the exact means without one. It runs on the
+	// clustering goroutine and must not mutate the centroids.
+	OnIteration func(stats IterationStats, released []timeseries.Series)
 }
 
 // IterationStats is the per-iteration quality trace, matching what
@@ -99,6 +106,12 @@ func (r *Result) BestIteration() (int, IterationStats) {
 
 // Run executes the perturbed k-means over d.
 func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and a cancelled run returns ctx.Err().
+func RunContext(ctx context.Context, d *timeseries.Dataset, cfg Config) (*Result, error) {
 	if d.Len() == 0 {
 		return nil, errors.New("dpkmeans: empty dataset")
 	}
@@ -153,6 +166,9 @@ func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
 	var prevInter float64
 	drops := 0
 	for it := 1; it <= maxIt; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		active := d
 		if cfg.Churn > 0 {
 			active = churnSubset(d, cfg.Churn, cfg.RNG)
@@ -198,6 +214,9 @@ func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
 		}
 		stats.CentroidsOut = len(next)
 		res.Stats = append(res.Stats, stats)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(stats, next)
+		}
 		if cfg.KeepHistory {
 			hist := make([]timeseries.Series, len(next))
 			for i, c := range next {

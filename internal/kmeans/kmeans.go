@@ -6,6 +6,7 @@
 package kmeans
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -226,6 +227,11 @@ type Config struct {
 	InitCentroids []timeseries.Series // C_init; required
 	Threshold     float64             // θ convergence threshold on MaxShift
 	MaxIterations int                 // n_it^max safety bound (Section 4.2.4)
+
+	// OnIteration, when set, observes each iteration as it completes:
+	// its stats and the (compacted) means it produced. It runs on the
+	// clustering goroutine and must not mutate the means.
+	OnIteration func(stats IterationStats, means []timeseries.Series)
 }
 
 // IterationStats records the quality trace of one iteration, mirroring
@@ -249,6 +255,12 @@ type Result struct {
 // outputs at least one centroid (provided the dataset is non-empty and at
 // least one initial centroid is given).
 func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and a cancelled run returns ctx.Err().
+func RunContext(ctx context.Context, d *timeseries.Dataset, cfg Config) (*Result, error) {
 	if d.Len() == 0 {
 		return nil, errors.New("kmeans: empty dataset")
 	}
@@ -262,6 +274,9 @@ func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	for it := 1; it <= maxIt; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, err := Assign(d, centroids)
 		if err != nil {
 			return nil, err
@@ -273,12 +288,16 @@ func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
 			return res, nil
 		}
 		shift := MaxShift(centroids, means)
-		res.Stats = append(res.Stats, IterationStats{
+		stats := IterationStats{
 			Iteration:    it,
 			IntraInertia: a.SSE / float64(d.Len()),
 			Centroids:    len(centroids),
 			Shift:        shift,
-		})
+		}
+		res.Stats = append(res.Stats, stats)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(stats, means)
+		}
 		converged := len(means) == len(centroids) && shift <= cfg.Threshold
 		centroids = means
 		if converged {

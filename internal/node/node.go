@@ -94,6 +94,7 @@ type Node struct {
 
 	ln   net.Listener
 	addr string
+	live connSet // every open conn, closable on shutdown
 
 	book *book
 	reg  *registry
@@ -114,6 +115,71 @@ type Node struct {
 	// fin leg; returning false crashes the exchange at exactly the
 	// half-completed point (initiator applied, responder never will).
 	hookBeforeFin func(phase int, s slot) bool
+}
+
+// connSet tracks every open connection of a node so shutdown can close
+// them all: a blocked read or write then returns immediately instead of
+// burning its full exchange deadline, which is what makes context
+// cancellation prompt.
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// add registers a connection; it reports false (and the caller must
+// treat the conn as dead) when the set already shut down.
+func (cs *connSet) add(c net.Conn) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return false
+	}
+	if cs.conns == nil {
+		cs.conns = make(map[net.Conn]struct{})
+	}
+	cs.conns[c] = struct{}{}
+	return true
+}
+
+func (cs *connSet) remove(c net.Conn) {
+	cs.mu.Lock()
+	delete(cs.conns, c)
+	cs.mu.Unlock()
+}
+
+// closeAll closes every tracked connection and refuses future adds.
+func (cs *connSet) closeAll() {
+	cs.mu.Lock()
+	cs.closed = true
+	conns := cs.conns
+	cs.conns = nil
+	cs.mu.Unlock()
+	for c := range conns {
+		_ = c.Close()
+	}
+}
+
+// trackedConn removes itself from the node's live set on Close, so the
+// set only holds genuinely open connections.
+type trackedConn struct {
+	net.Conn
+	nd *Node
+}
+
+func (c *trackedConn) Close() error {
+	c.nd.live.remove(c.Conn)
+	return c.Conn.Close()
+}
+
+// track registers a fresh connection with the node's live set and wraps
+// it so its Close deregisters it. A conn arriving after shutdown is
+// closed immediately (subsequent I/O fails fast).
+func (nd *Node) track(conn net.Conn) net.Conn {
+	if !nd.live.add(conn) {
+		_ = conn.Close()
+	}
+	return &trackedConn{Conn: conn, nd: nd}
 }
 
 // New validates the configuration, normalizes the shared protocol
@@ -175,11 +241,6 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 
-	mirror, err := sim.New(core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme, pack), cfg.Proto.Sampler)
-	if err != nil {
-		return nil, err
-	}
-
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, err
@@ -203,13 +264,24 @@ func New(cfg Config) (*Node, error) {
 		maxEpoch: core.HeadroomNeeded(cfg.Proto.Exchanges),
 		ln:       ln,
 		addr:     ln.Addr().String(),
-		mirror:   mirror,
 		protoRNG: core.ProtocolRNG(cfg.Proto.Seed),
 		acct:     &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
 		stop:     make(chan struct{}),
 	}
+	ecfg := core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme, pack)
+	if hook := cfg.Proto.Observer.Churn; hook != nil {
+		// DrawCycle runs on the main protocol loop, the goroutine that
+		// advances iterNow — the relaxed read is still race-free.
+		ecfg.OnChurn = func(cycle, down int) { hook(int(nd.iterNow.Load()), cycle, down) }
+	}
+	mirror, err := sim.New(ecfg, cfg.Proto.Sampler)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	nd.mirror = mirror
 	nd.book = newBook(cfg.Index, cfg.N, nd.addr)
-	nd.reg = newRegistry()
+	nd.reg = newRegistry(nd.stop)
 	nd.wg.Add(1)
 	go nd.serve()
 	if cfg.ViewInterval > 0 {
@@ -279,12 +351,11 @@ func (nd *Node) helloTarget() string {
 
 // hello performs one hello round trip: announce, merge the ack roster.
 func (nd *Node) hello(addr string) {
-	conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+	conn, err := nd.dialAddr(addr)
 	if err != nil {
 		return
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
 	payload := wireproto.MarshalHello(wireproto.Hello{
 		Index: uint32(nd.cfg.Index), Addr: nd.addr, N: uint32(nd.cfg.N),
 	})
@@ -318,11 +389,10 @@ func (nd *Node) viewLoop() {
 		if addr == "" {
 			continue
 		}
-		conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+		conn, err := nd.dialAddr(addr)
 		if err != nil {
 			continue
 		}
-		_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
 		if err := nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.roster())); err == nil {
 			if f, err := nd.readFrame(conn); err == nil && f.Kind == wireproto.KindView {
 				if items, err := wireproto.UnmarshalView(f.Payload, nd.lim); err == nil {
@@ -345,6 +415,7 @@ func (nd *Node) Leave() error {
 		if err != nil {
 			continue
 		}
+		conn = nd.track(conn)
 		_ = conn.SetDeadline(time.Now().Add(time.Second))
 		_ = nd.writeFrame(conn, wireproto.KindLeave, wireproto.MarshalLeave(wireproto.Leave{Index: uint32(nd.cfg.Index)}))
 		_ = conn.Close()
@@ -356,13 +427,17 @@ func (nd *Node) Leave() error {
 // Section 6.1.5 failure mode.
 func (nd *Node) Crash() error { return nd.Close() }
 
-// Close stops the listener and loops.
+// Close stops the listener, closes every live connection and joins the
+// background loops. Closing the live conns is what makes shutdown (and
+// context cancellation) prompt: peers blocked mid-exchange fail fast
+// instead of waiting out their deadlines.
 func (nd *Node) Close() error {
 	if nd.stopped.Swap(true) {
 		return nil
 	}
 	close(nd.stop)
 	err := nd.ln.Close()
+	nd.live.closeAll()
 	nd.reg.close()
 	nd.wg.Wait()
 	return err
@@ -378,7 +453,7 @@ func (nd *Node) serve() {
 			return // listener closed
 		}
 		nd.wg.Add(1)
-		go nd.handleConn(conn)
+		go nd.handleConn(nd.track(conn))
 	}
 }
 
@@ -473,18 +548,24 @@ func (nd *Node) readFrame(conn net.Conn) (wireproto.Frame, error) {
 	return f, err
 }
 
+// dialAddr opens a tracked connection with the exchange deadline set.
+func (nd *Node) dialAddr(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn = nd.track(conn)
+	_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+	return conn, nil
+}
+
 // dial opens a connection to a peer with the exchange deadline set.
 func (nd *Node) dial(idx int) (net.Conn, error) {
 	addr := nd.book.addr(idx)
 	if addr == "" {
 		return nil, fmt.Errorf("node: no address for peer %d", idx)
 	}
-	conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
-	if err != nil {
-		return nil, err
-	}
-	_ = conn.SetDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
-	return conn, nil
+	return nd.dialAddr(addr)
 }
 
 // encryptState builds this participant's initial EESum state for one

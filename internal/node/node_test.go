@@ -333,7 +333,7 @@ func TestLeaveMarksPeerGone(t *testing.T) {
 // TestRegistryOrdering pins the registry contract: early requests park,
 // stale requests are refused, pruning closes passed slots.
 func TestRegistryOrdering(t *testing.T) {
-	r := newRegistry()
+	r := newRegistry(nil)
 	s0 := slot{iter: 1, phase: phaseSum, cycle: 0, seq: 0}
 	s1 := slot{iter: 1, phase: phaseSum, cycle: 0, seq: 3}
 	c1, c2 := newFakeConn(), newFakeConn()

@@ -5,14 +5,17 @@ import (
 	"sync"
 	"time"
 
+	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/wireproto"
 )
 
 // phase ranks order the three exchange phases within an iteration.
+// They are the shared core.Phase ranks, so the observer callbacks and
+// the wire slots speak the same numbering.
 const (
-	phaseSum  = 0
-	phaseDiss = 1
-	phaseDec  = 2
+	phaseSum  = int(core.PhaseSum)
+	phaseDiss = int(core.PhaseDissemination)
+	phaseDec  = int(core.PhaseDecryption)
 )
 
 // slot identifies one scheduled exchange globally: iteration, phase,
@@ -61,12 +64,14 @@ type registry struct {
 	done    map[slot]bool // consumed or abandoned slots (pruned by advance)
 	horizon slot          // the owner's current position; earlier slots are stale
 	closed  bool
+	stop    <-chan struct{} // closed on node shutdown; wakes blocked awaits (nil: never)
 }
 
-func newRegistry() *registry {
+func newRegistry(stop <-chan struct{}) *registry {
 	return &registry{
 		pending: make(map[slot]chan inbound),
 		done:    make(map[slot]bool),
+		stop:    stop,
 	}
 }
 
@@ -107,9 +112,11 @@ func (r *registry) deliver(s slot, in inbound) bool {
 	return ok
 }
 
-// await blocks until the request for slot s arrives or the deadline
-// passes. Either way the slot is finished afterwards: later deliveries
-// are refused at the door.
+// await blocks until the request for slot s arrives, the deadline
+// passes, or the registry's stop channel closes (node shutdown —
+// cancellation must not sit out a full exchange timeout). Either way
+// the slot is finished afterwards: later deliveries are refused at the
+// door.
 func (r *registry) await(s slot, timeout time.Duration) (inbound, bool) {
 	r.mu.Lock()
 	if r.closed || r.done[s] {
@@ -137,6 +144,19 @@ func (r *registry) await(s slot, timeout time.Duration) (inbound, bool) {
 		default:
 			return inbound{}, false
 		}
+	case <-r.stop:
+		// Shutting down: abandon the slot, releasing any delivery that
+		// raced in.
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.done[s] = true
+		delete(r.pending, s)
+		select {
+		case in := <-ch:
+			_ = in.conn.Close()
+		default:
+		}
+		return inbound{}, false
 	}
 }
 

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -26,14 +27,36 @@ import (
 // views may drift within the gossip-error envelope the paper's unicity
 // argument bounds.
 func (nd *Node) Run() (*Result, error) {
+	return nd.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the node
+// shuts down — listener, live connections and loops included — and
+// RunContext returns ctx.Err(). The node cannot be reused afterwards
+// (a cancelled participant has left the population for good).
+func (nd *Node) RunContext(ctx context.Context) (*Result, error) {
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = nd.Close()
+			case <-watchDone:
+			}
+		}()
+	}
 	if nd.book.size() < nd.cfg.N {
 		if err := nd.Join(); err != nil {
-			return nil, err
+			return nil, ctxErr(ctx, err)
 		}
 	}
 	centroids := kmeans.Compact(nd.cfg.Proto.InitCentroids)
 	res := &Result{}
 	for it := 1; it <= nd.cfg.Proto.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		epsIter := nd.cfg.Proto.Budget.Epsilon(it)
 		if epsIter <= 0 {
 			break // privacy budget exhausted
@@ -44,7 +67,7 @@ func (nd *Node) Run() (*Result, error) {
 		nd.iterNow.Store(int64(it))
 		trace, next, err := nd.iterate(it, centroids, epsIter)
 		if err != nil {
-			return nil, err
+			return nil, ctxErr(ctx, err)
 		}
 		res.TotalEpsilon += epsIter
 		res.Traces = append(res.Traces, *trace)
@@ -56,11 +79,24 @@ func (nd *Node) Run() (*Result, error) {
 		// stay population-wide constants.
 		centroids = next
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Centroids = kmeans.Compact(centroids)
 	res.AvgMessages = nd.mirror.AvgMessages()
 	res.AvgBytes = nd.mirror.AvgBytes()
 	res.Counters = nd.counters.Snapshot()
 	return res, nil
+}
+
+// ctxErr prefers the context's error: a cancelled run fails all over
+// the place (timed-out exchanges, missing key-shares), and every such
+// symptom must surface as the cancellation that caused it.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // iterate runs one full protocol iteration over the wire.
@@ -96,7 +132,7 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 
 	// --- Algorithm 3 (a): means and noise sums in lockstep, counter
 	// piggybacking, over the wire.
-	nd.phaseNow.Store(phaseSum)
+	nd.phaseNow.Store(int64(phaseSum))
 	nd.runPhase(it, phaseSum, nd.cfg.Proto.Exchanges, st)
 	trace.SumCycles = nd.cfg.Proto.Exchanges
 
@@ -107,7 +143,7 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 		est = st.ctrS / st.ctrW
 	}
 	st.corID, st.corVec = eesum.CorrectionProposal(myStream, noiseCfg, est, ok)
-	nd.phaseNow.Store(phaseDiss)
+	nd.phaseNow.Store(int64(phaseDiss))
 	nd.runPhase(it, phaseDiss, nd.cfg.Proto.DissCycles, st)
 	trace.DissCycles = nd.cfg.Proto.DissCycles
 	cor := make([]*big.Int, len(st.corVec))
@@ -127,7 +163,7 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 	st.decCTs = st.means.CTs
 	st.decOmega = st.means.Omega
 	st.decParts = make(map[int][]homenc.PartialDecryption, nd.cfg.Scheme.Threshold())
-	nd.phaseNow.Store(phaseDec)
+	nd.phaseNow.Store(int64(phaseDec))
 	nd.runPhase(it, phaseDec, nd.cfg.Proto.DecryptCycles, st)
 	trace.DecryptCycles = nd.cfg.Proto.DecryptCycles
 
@@ -150,7 +186,11 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 		RangeSlack: nd.cfg.Proto.RangeSlack, CountFloor: nd.cfg.Proto.CountFloor,
 		Smooth: nd.cfg.Proto.Smooth, SMAFraction: nd.cfg.Proto.SMAFraction,
 	})
-	trace.CentroidsOut = len(kmeans.Compact(next))
+	released := kmeans.Compact(next)
+	trace.CentroidsOut = len(released)
+	if hook := nd.cfg.Proto.Observer.Iteration; hook != nil {
+		hook(*trace, released)
+	}
 	return trace, next, nil
 }
 
@@ -180,6 +220,9 @@ func (nd *Node) runPhase(it, phase, cycles int, st *iterState) {
 			}
 		}
 		nd.reg.advance(slot{iter: it, phase: phase, cycle: c + 1})
+		if hook := nd.cfg.Proto.Observer.Phase; hook != nil {
+			hook(it, core.Phase(phase), c+1, cycles)
+		}
 	}
 }
 

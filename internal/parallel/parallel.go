@@ -12,9 +12,11 @@
 package parallel
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -32,11 +34,30 @@ var tokens atomic.Value // chan struct{} with capacity Workers()-1
 func init() {
 	w := runtime.NumCPU()
 	if s := os.Getenv("CHIAROSCURO_WORKERS"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+		v, err := EnvWorkers(s)
+		if err != nil {
+			// init cannot return an error; a malformed override used to be
+			// dropped silently, which hid typos like WORKERS=fast. Say so.
+			fmt.Fprintf(os.Stderr, "chiaroscuro: %v (falling back to %d workers)\n", err, w)
+		} else {
 			w = v
 		}
 	}
 	setWorkers(w)
+}
+
+// EnvWorkers parses a CHIAROSCURO_WORKERS value: a positive integer
+// worker count. Anything else — non-numeric, zero, negative — is an
+// error (reported at startup; the override is then ignored).
+func EnvWorkers(s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("parallel: CHIAROSCURO_WORKERS=%q is not an integer", s)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("parallel: CHIAROSCURO_WORKERS=%d must be at least 1", v)
+	}
+	return v, nil
 }
 
 func setWorkers(v int) {

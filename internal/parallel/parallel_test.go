@@ -34,6 +34,25 @@ func TestForEachSerialIsInline(t *testing.T) {
 	}
 }
 
+func TestEnvWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"1", 1}, {"7", 7}, {" 3 ", 3}, {"16", 16}} {
+		v, err := EnvWorkers(tc.in)
+		if err != nil || v != tc.want {
+			t.Errorf("EnvWorkers(%q) = %d, %v; want %d", tc.in, v, err, tc.want)
+		}
+	}
+	// A malformed override must be a loud error, not a silent no-op
+	// (CHIAROSCURO_WORKERS=fast used to be dropped without a word).
+	for _, bad := range []string{"", "fast", "1.5", "0", "-2", "0x4", "1e3"} {
+		if _, err := EnvWorkers(bad); err == nil {
+			t.Errorf("EnvWorkers(%q) accepted a malformed worker count", bad)
+		}
+	}
+}
+
 func TestWorkersDefaultAndOverride(t *testing.T) {
 	orig := Workers()
 	defer SetWorkers(orig)

@@ -65,6 +65,13 @@ type Config struct {
 	// 1 forces fully serial cycles. Results are identical per seed for
 	// any worker count.
 	Workers int
+
+	// OnChurn, when set, observes every churn resampling: the engine
+	// cycle about to run (0-based, cumulative across phases) and how
+	// many of the N nodes it disconnected. It fires only when Churn > 0,
+	// runs on the scheduling goroutine, and consumes no engine RNG — a
+	// run with the hook is draw-for-draw identical to one without.
+	OnChurn func(cycle, down int)
 }
 
 // Engine drives cycles of gossip exchanges.
@@ -132,8 +139,15 @@ func (e *Engine) resampleChurn() {
 	if e.cfg.Churn == 0 {
 		return
 	}
+	down := 0
 	for i := range e.alive {
 		e.alive[i] = !e.rng.Bernoulli(e.cfg.Churn)
+		if !e.alive[i] {
+			down++
+		}
+	}
+	if e.cfg.OnChurn != nil {
+		e.cfg.OnChurn(e.cycle, down)
 	}
 }
 

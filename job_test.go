@@ -1,0 +1,535 @@
+package chiaroscuro
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// simSetup builds a small, fast, valid Simulated-mode configuration:
+// 64 participants over the structure-preserving no-crypto scheme.
+func simSetup(t *testing.T) (*Dataset, Options) {
+	t.Helper()
+	data, _ := GenerateCER(64, 4)
+	scheme, err := NewSimulationScheme(256, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, Options{
+		Mode:          Simulated,
+		Scheme:        scheme,
+		K:             4,
+		InitCentroids: SeedCentroids("cer", 4, 5),
+		DMin:          CERMin, DMax: CERMax,
+		Epsilon:       1e5,
+		MaxIterations: 2,
+		Exchanges:     25,
+		Seed:          6,
+	}
+}
+
+// TestNewJobValidation table-tests every invalid Options combination
+// against its typed sentinel: NewJob must reject eagerly, before any
+// protocol machinery spins up.
+func TestNewJobValidation(t *testing.T) {
+	data, base := simSetup(t)
+	shortScheme, err := NewSimulationScheme(256, 4, 2) // fewer shares than participants
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, _ := GenerateCER(2, 4)
+	one := NewDataset(two.Dim())
+	one.Append(two.Row(0))
+
+	cases := []struct {
+		name string
+		data *Dataset
+		mut  func(*Options)
+		want error
+	}{
+		{"nil dataset", nil, func(o *Options) {}, ErrNoData},
+		{"empty dataset", NewDataset(24), func(o *Options) {}, ErrNoData},
+		{"no seeds", data, func(o *Options) { o.InitCentroids = nil }, ErrNoSeeds},
+		{"all-nil seeds", data, func(o *Options) { o.InitCentroids = []Series{nil, nil} }, ErrNoSeeds},
+		{"seed length mismatch", data, func(o *Options) { o.InitCentroids = []Series{{1, 2, 3}} }, ErrSeedLength},
+		{"negative mode", data, func(o *Options) { o.Mode = -1 }, ErrBadMode},
+		{"unknown mode", data, func(o *Options) { o.Mode = Networked + 1 }, ErrBadMode},
+		{"negative K", data, func(o *Options) { o.K = -1 }, ErrBadK},
+		{"negative iterations", data, func(o *Options) { o.MaxIterations = -1 }, ErrBadIterations},
+		{"negative threshold", data, func(o *Options) { o.Threshold = -0.5 }, ErrBadThreshold},
+		{"NaN threshold", data, func(o *Options) { o.Threshold = math.NaN() }, ErrBadThreshold},
+		{"negative churn", data, func(o *Options) { o.Churn = -0.1 }, ErrBadChurn},
+		{"churn one", data, func(o *Options) { o.Churn = 1 }, ErrBadChurn},
+		{"NaN churn", data, func(o *Options) { o.Churn = math.NaN() }, ErrBadChurn},
+		{"inverted range", data, func(o *Options) { o.DMin, o.DMax = 5, -5 }, ErrBadRange},
+		{"NaN range", data, func(o *Options) { o.DMin = math.NaN() }, ErrBadRange},
+		{"negative workers", data, func(o *Options) { o.Workers = -1 }, ErrBadWorkers},
+		{"negative pack slots", data, func(o *Options) { o.PackSlots = -1 }, ErrBadPackSlots},
+		{"negative exchanges", data, func(o *Options) { o.Exchanges = -1 }, ErrBadCycles},
+		{"negative diss cycles", data, func(o *Options) { o.DissCycles = -1 }, ErrBadCycles},
+		{"negative decrypt cycles", data, func(o *Options) { o.DecryptCycles = -1 }, ErrBadCycles},
+		{"negative noise shares", data, func(o *Options) { o.NoiseShares = -1 }, ErrBadCycles},
+		{"sim zero epsilon", data, func(o *Options) { o.Epsilon = 0 }, ErrBadEpsilon},
+		{"sim negative epsilon", data, func(o *Options) { o.Epsilon = -1 }, ErrBadEpsilon},
+		{"sim infinite epsilon", data, func(o *Options) { o.Epsilon = math.Inf(1) }, ErrBadEpsilon},
+		{"sim NaN epsilon", data, func(o *Options) { o.Epsilon = math.NaN() }, ErrBadEpsilon},
+		{"dp no budget no epsilon", data, func(o *Options) {
+			o.Mode = CentralizedDP
+			o.Epsilon, o.Budget, o.Scheme = 0, nil, nil
+		}, ErrBadEpsilon},
+		{"nil scheme", data, func(o *Options) { o.Scheme = nil }, ErrNilScheme},
+		{"too few key-shares", data, func(o *Options) { o.Scheme = shortScheme }, ErrSchemeShares},
+		{"one participant", one, func(o *Options) {}, ErrTooFewParticipants},
+		{"networked threshold", data, func(o *Options) {
+			o.Mode = Networked
+			o.Threshold = 0.1
+		}, ErrThresholdNetworked},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := base
+			tc.mut(&opts)
+			if _, err := NewJob(tc.data, opts); !errors.Is(err, tc.want) {
+				t.Fatalf("NewJob error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewJobValidationCentralized checks the centralized modes skip the
+// distributed-only requirements: no scheme, no epsilon needed.
+func TestNewJobValidationCentralized(t *testing.T) {
+	data, _ := GenerateCER(16, 4)
+	seeds := SeedCentroids("cer", 2, 5)
+	if _, err := NewJob(data, Options{InitCentroids: seeds}); err != nil {
+		t.Fatalf("Centralized needs neither scheme nor epsilon: %v", err)
+	}
+	if _, err := NewJob(data, Options{
+		Mode: CentralizedDP, InitCentroids: seeds, Budget: Greedy(math.Ln2),
+		DMin: CERMin, DMax: CERMax,
+	}); err != nil {
+		t.Fatalf("CentralizedDP with explicit Budget needs no Epsilon: %v", err)
+	}
+}
+
+// TestLegacyWrappersSurfaceSentinels pins that the deprecated entry
+// points reject through the same typed sentinels as NewJob.
+func TestLegacyWrappersSurfaceSentinels(t *testing.T) {
+	data, _ := GenerateCER(8, 9)
+	if _, err := Cluster(data, ClusterOptions{}); !errors.Is(err, ErrNoSeeds) {
+		t.Errorf("Cluster without seeds: %v, want ErrNoSeeds", err)
+	}
+	if _, err := Run(data, nil, NetworkOptions{
+		InitCentroids: SeedCentroids("cer", 2, 1), Epsilon: 1,
+	}); !errors.Is(err, ErrNilScheme) {
+		t.Errorf("Run without scheme: %v, want ErrNilScheme", err)
+	}
+}
+
+// TestJobRunOnce pins that a Job is single-use.
+func TestJobRunOnce(t *testing.T) {
+	data, _ := GenerateCER(16, 4)
+	job, err := NewJob(data, Options{InitCentroids: SeedCentroids("cer", 2, 5), MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(context.Background()); !errors.Is(err, ErrJobReused) {
+		t.Fatalf("second Run: %v, want ErrJobReused", err)
+	}
+	if res, err := job.Wait(); err != nil || res == nil {
+		t.Fatalf("Wait after Run: %v, %v", res, err)
+	}
+}
+
+func sameCentroids(t *testing.T, got, want []Series) {
+	t.Helper()
+	if len(got) != len(want) || len(want) == 0 {
+		t.Fatalf("centroid count %d, want %d (non-zero)", len(got), len(want))
+	}
+	for c := range want {
+		for j := range want[c] {
+			if got[c][j] != want[c][j] {
+				t.Fatalf("centroid %d[%d]: %v, want %v", c, j, got[c][j], want[c][j])
+			}
+		}
+	}
+}
+
+// TestJobMatchesCluster pins Mode Centralized against the legacy
+// Cluster entry point: bit-identical centroids and traces.
+func TestJobMatchesCluster(t *testing.T) {
+	data, _ := GenerateCER(2000, 1)
+	seeds := SeedCentroids("cer", 6, 2)
+	want, err := Cluster(data, ClusterOptions{InitCentroids: seeds, MaxIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(data, Options{Mode: Centralized, InitCentroids: seeds, MaxIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCentroids(t, got.Centroids, want.Centroids)
+	if len(got.Stats) != len(want.Stats) || got.Converged != want.Converged {
+		t.Fatalf("stats/convergence diverged: %d/%v vs %d/%v",
+			len(got.Stats), got.Converged, len(want.Stats), want.Converged)
+	}
+}
+
+// TestJobMatchesClusterDP pins Mode CentralizedDP against the legacy
+// ClusterDP entry point, per seed.
+func TestJobMatchesClusterDP(t *testing.T) {
+	data, _ := GenerateCER(2000, 1)
+	seeds := SeedCentroids("cer", 6, 2)
+	for _, seed := range []uint64{3, 17} {
+		want, err := ClusterDP(data, DPOptions{
+			InitCentroids: seeds, Budget: Greedy(math.Ln2),
+			DMin: CERMin, DMax: CERMax, Smooth: true,
+			MaxIterations: 4, Churn: 0.1, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := NewJob(data, Options{
+			Mode: CentralizedDP, InitCentroids: seeds, Epsilon: math.Ln2,
+			DMin: CERMin, DMax: CERMax, Smooth: true,
+			MaxIterations: 4, Churn: 0.1, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := job.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCentroids(t, got.Centroids, want.Centroids)
+		if got.BestIter != want.BestIter || got.TotalEpsilon != want.TotalEpsilon {
+			t.Fatalf("seed %d: best/epsilon diverged: %d/%v vs %d/%v",
+				seed, got.BestIter, got.TotalEpsilon, want.BestIter, want.TotalEpsilon)
+		}
+		if len(got.History) != len(want.History) {
+			t.Fatalf("seed %d: history %d vs %d", seed, len(got.History), len(want.History))
+		}
+		for i := range want.History {
+			sameCentroids(t, got.History[i], want.History[i])
+		}
+	}
+}
+
+// TestJobMatchesRun pins Mode Simulated against the legacy Run entry
+// point: bit-identical centroids and gossip accounting per seed.
+func TestJobMatchesRun(t *testing.T) {
+	data, opts := simSetup(t)
+	want, err := Run(data, opts.Scheme, NetworkOptions{
+		K: opts.K, InitCentroids: opts.InitCentroids,
+		DMin: opts.DMin, DMax: opts.DMax, Epsilon: opts.Epsilon,
+		MaxIterations: opts.MaxIterations, Exchanges: opts.Exchanges, Seed: opts.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCentroids(t, got.Centroids, want.Centroids)
+	if got.AvgMessages != want.AvgMessages || got.AvgBytes != want.AvgBytes {
+		t.Fatalf("accounting diverged: %v/%v vs %v/%v",
+			got.AvgMessages, got.AvgBytes, want.AvgMessages, want.AvgBytes)
+	}
+	if got.TotalEpsilon != want.TotalEpsilon {
+		t.Fatalf("epsilon diverged: %v vs %v", got.TotalEpsilon, want.TotalEpsilon)
+	}
+}
+
+// TestJobMatchesRunNetworked pins Mode Networked against the legacy
+// RunNetworked entry point: the same seed through two real-TCP
+// populations releases bit-identical centroids.
+func TestJobMatchesRunNetworked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	data, _ := GenerateCER(10, 11)
+	seeds := SeedCentroids("cer", 2, 12)
+	scheme, err := NewTestScheme(128, 4, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := NetworkOptions{
+		K: 2, InitCentroids: seeds,
+		DMin: CERMin, DMax: CERMax,
+		Epsilon: 1e4, MaxIterations: 1, Exchanges: 10,
+		FracBits: 24, Seed: 33, Workers: 2,
+	}
+	want, err := RunNetworked(data, scheme, NetworkedOptions{NetworkOptions: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(data, Options{
+		Mode: Networked, Scheme: scheme,
+		K: 2, InitCentroids: seeds,
+		DMin: CERMin, DMax: CERMax,
+		Epsilon: 1e4, MaxIterations: 1, Exchanges: 10,
+		FracBits: 24, Seed: 33, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCentroids(t, got.Centroids, want.Centroids)
+	if got.AvgMessages != want.AvgMessages || got.AvgBytes != want.AvgBytes {
+		t.Fatalf("accounting diverged: %v/%v vs %v/%v",
+			got.AvgMessages, got.AvgBytes, want.AvgMessages, want.AvgBytes)
+	}
+}
+
+// collect drains a job's event stream from a background run.
+func collect(t *testing.T, job *Job, ctx context.Context) ([]Event, *Result, error) {
+	t.Helper()
+	events := job.Events()
+	go job.Run(ctx) //nolint:errcheck // outcome read through Wait
+	var evs []Event
+	for ev := range events {
+		evs = append(evs, ev)
+	}
+	res, err := job.Wait()
+	return evs, res, err
+}
+
+// TestJobEventsSimulated pins the acceptance shape of the stream: one
+// IterationReleased per protocol iteration, phase progress for all
+// three gossip phases, and a terminal Done.
+func TestJobEventsSimulated(t *testing.T) {
+	data, opts := simSetup(t)
+	opts.TraceQuality = true
+	job, err := NewJob(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, res, err := collect(t, job, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released []IterationReleased
+	phases := map[Phase]bool{}
+	for i, ev := range evs {
+		switch e := ev.(type) {
+		case IterationReleased:
+			released = append(released, e)
+		case PhaseProgress:
+			// Of is 0 for adaptive phases (the sim's default diss/dec).
+			if e.Cycle < 1 || (e.Of > 0 && e.Cycle > e.Of) {
+				t.Fatalf("phase progress out of range: %+v", e)
+			}
+			if e.Phase == PhaseSum && e.Of == 0 {
+				t.Fatalf("sum phase has a fixed budget but reported adaptive: %+v", e)
+			}
+			phases[e.Phase] = true
+		case Done:
+			if i != len(evs)-1 {
+				t.Fatalf("Done at %d of %d: not terminal", i, len(evs))
+			}
+			if e.Err != nil {
+				t.Fatalf("Done.Err = %v on a clean run", e.Err)
+			}
+		}
+	}
+	if len(released) != len(res.Traces) || len(released) != opts.MaxIterations {
+		t.Fatalf("%d IterationReleased events for %d iterations (max %d)",
+			len(released), len(res.Traces), opts.MaxIterations)
+	}
+	for i, rel := range released {
+		if rel.Iteration != i+1 {
+			t.Fatalf("release %d has iteration %d", i, rel.Iteration)
+		}
+		if len(rel.Centroids) == 0 {
+			t.Fatalf("iteration %d released no centroids", rel.Iteration)
+		}
+		if rel.EpsilonSpent <= 0 {
+			t.Fatalf("iteration %d spent no budget", rel.Iteration)
+		}
+		if rel.Inertia == 0 {
+			t.Fatalf("iteration %d has no inertia under TraceQuality", rel.Iteration)
+		}
+	}
+	// The last release is the final result, by construction.
+	sameCentroids(t, released[len(released)-1].Centroids, res.Centroids)
+	for _, p := range []Phase{PhaseSum, PhaseDissemination, PhaseDecryption} {
+		if !phases[p] {
+			t.Errorf("no PhaseProgress for the %s phase", p)
+		}
+	}
+	if _, ok := evs[0].(Done); ok {
+		t.Fatal("stream was only Done")
+	}
+}
+
+// TestJobEventsChurn pins that churn resamplings surface as events.
+func TestJobEventsChurn(t *testing.T) {
+	data, opts := simSetup(t)
+	opts.Churn = 0.2
+	opts.MaxIterations = 1
+	job, err := NewJob(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := collect(t, job, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	churns := 0
+	for _, ev := range evs {
+		if c, ok := ev.(Churn); ok {
+			if c.Disconnected < 0 || c.Disconnected >= data.Len() {
+				t.Fatalf("implausible churn: %+v", c)
+			}
+			churns++
+		}
+	}
+	if churns == 0 {
+		t.Fatal("no Churn events at 20% churn")
+	}
+}
+
+// TestJobEventsCentralizedDP pins the stream in the centralized DP
+// mode: one release per iteration, no phase progress.
+func TestJobEventsCentralizedDP(t *testing.T) {
+	data, _ := GenerateCER(500, 1)
+	job, err := NewJob(data, Options{
+		Mode: CentralizedDP, InitCentroids: SeedCentroids("cer", 4, 2),
+		Epsilon: math.Ln2, DMin: CERMin, DMax: CERMax,
+		MaxIterations: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, res, err := collect(t, job, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, prog := 0, 0
+	for _, ev := range evs {
+		switch ev.(type) {
+		case IterationReleased:
+			rel++
+		case PhaseProgress:
+			prog++
+		}
+	}
+	if rel != len(res.History) {
+		t.Fatalf("%d releases for %d history entries", rel, len(res.History))
+	}
+	if prog != 0 {
+		t.Fatalf("centralized mode emitted %d PhaseProgress events", prog)
+	}
+}
+
+// TestJobEventsNetworked pins the acceptance criterion over real TCP:
+// one IterationReleased per protocol iteration (participant 0's view).
+func TestJobEventsNetworked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	data, _ := GenerateCER(8, 5)
+	scheme, err := NewTestScheme(128, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(data, Options{
+		Mode: Networked, Scheme: scheme,
+		K: 2, InitCentroids: SeedCentroids("cer", 2, 6),
+		DMin: CERMin, DMax: CERMax,
+		Epsilon: 1e4, MaxIterations: 2, Exchanges: 8,
+		FracBits: 24, Seed: 9, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, res, err := collect(t, job, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel, prog int
+	for _, ev := range evs {
+		switch ev.(type) {
+		case IterationReleased:
+			rel++
+		case PhaseProgress:
+			prog++
+		}
+	}
+	if rel != 2 || len(res.Traces) != 2 {
+		t.Fatalf("%d IterationReleased events, %d traces, want 2/2", rel, len(res.Traces))
+	}
+	if prog == 0 {
+		t.Fatal("networked run emitted no PhaseProgress")
+	}
+	if _, ok := evs[len(evs)-1].(Done); !ok {
+		t.Fatalf("stream did not end with Done: %T", evs[len(evs)-1])
+	}
+}
+
+// TestJobEventsAfterRun pins late subscription: a stream opened after
+// the run yields exactly the terminal Done.
+func TestJobEventsAfterRun(t *testing.T) {
+	data, _ := GenerateCER(16, 4)
+	job, err := NewJob(data, Options{InitCentroids: SeedCentroids("cer", 2, 5), MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	for ev := range job.Events() {
+		evs = append(evs, ev)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("late subscription saw %d events, want 1", len(evs))
+	}
+	if d, ok := evs[0].(Done); !ok || d.Err != nil {
+		t.Fatalf("late subscription saw %+v, want clean Done", evs[0])
+	}
+}
+
+// TestJobEventsEarlyBreak pins that breaking out of the stream
+// unsubscribes: the run completes without blocking on the abandoned
+// subscriber.
+func TestJobEventsEarlyBreak(t *testing.T) {
+	data, opts := simSetup(t)
+	job, err := NewJob(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := job.Events()
+	go job.Run(context.Background()) //nolint:errcheck // outcome read through Wait
+	for range events {
+		break // drop the subscription after the first event
+	}
+	if res, err := job.Wait(); err != nil || len(res.Centroids) == 0 {
+		t.Fatalf("run did not complete after early break: %v, %v", res, err)
+	}
+	// Ranging the dropped iterator again must end immediately — the
+	// subscription is gone, so blocking would deadlock forever.
+	reranged := 0
+	for range events {
+		reranged++
+		if reranged > 100 {
+			t.Fatal("re-ranged iterator did not terminate")
+		}
+	}
+}

@@ -1,18 +1,14 @@
 package chiaroscuro
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math/bits"
-	"sync"
 	"time"
 
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/homenc/damgardjurik"
 	"chiaroscuro/internal/homenc/plain"
-	"chiaroscuro/internal/node"
-	"chiaroscuro/internal/sim"
 )
 
 // Scheme is the additively-homomorphic threshold encryption the
@@ -46,6 +42,11 @@ func NewSimulationScheme(ctBytes, nShares, tau int) (Scheme, error) {
 
 // NetworkOptions parametrizes a distributed protocol run. Zero values
 // take the paper's defaults where one exists.
+//
+// Deprecated: use Options (Mode Simulated or Networked) with NewJob,
+// which adds context cancellation and the Events stream. Run and
+// RunNetworked remain as thin wrappers and release bit-identical
+// centroids per seed.
 type NetworkOptions struct {
 	K             int      // number of clusters (paper: 50)
 	InitCentroids []Series // data-independent seeds; required
@@ -99,54 +100,75 @@ type NetworkOptions struct {
 	TraceQuality bool
 }
 
+// jobOptions maps the legacy option set onto the unified one.
+func (o NetworkOptions) jobOptions(mode Mode, scheme Scheme) Options {
+	return Options{
+		Mode:          mode,
+		K:             max(o.K, 0),
+		InitCentroids: o.InitCentroids,
+		DMin:          o.DMin,
+		DMax:          o.DMax,
+		Epsilon:       o.Epsilon,
+		Budget:        o.Budget,
+		MaxIterations: max(o.MaxIterations, 0),
+		Threshold:     o.Threshold,
+		Smooth:        o.Smooth,
+		NoiseShares:   max(o.NoiseShares, 0),
+		Exchanges:     max(o.Exchanges, 0),
+		DissCycles:    max(o.DissCycles, 0),
+		DecryptCycles: max(o.DecryptCycles, 0),
+		Churn:         o.Churn,
+		MidFailure:    o.MidFailure,
+		Newscast:      o.Newscast,
+		FracBits:      o.FracBits,
+		PackSlots:     o.PackSlots,
+		Seed:          o.Seed,
+		Workers:       o.Workers,
+		TraceQuality:  o.TraceQuality,
+		Scheme:        scheme,
+	}
+}
+
 // NetworkTrace re-exports the per-iteration protocol trace.
 type NetworkTrace = core.IterationTrace
 
 // NetworkResult re-exports the distributed run outcome.
 type NetworkResult = core.Result
 
+// networkResult maps a unified Job result back onto the legacy shape.
+func networkResult(res *Result) *NetworkResult {
+	return &NetworkResult{
+		Centroids:    res.Centroids,
+		Traces:       res.Traces,
+		TotalEpsilon: res.TotalEpsilon,
+		Converged:    res.Converged,
+		AvgMessages:  res.AvgMessages,
+		AvgBytes:     res.AvgBytes,
+	}
+}
+
 // Run executes the complete Chiaroscuro protocol over a simulated
 // population: one participant per series of d, each holding one
 // key-share of scheme. The scheme must have at least d.Len() shares.
+//
+// Deprecated: use NewJob with Mode Simulated; Run is a thin wrapper
+// over it (bit-identical centroids per seed) kept for compatibility.
 func Run(d *Dataset, scheme Scheme, opts NetworkOptions) (*NetworkResult, error) {
-	if scheme == nil {
-		return nil, errors.New("chiaroscuro: nil scheme")
-	}
-	var sampler sim.Sampler
-	if opts.Newscast {
-		sampler = &sim.NewscastSampler{ViewSize: 30}
-	}
-	nw, err := core.NewNetwork(d, scheme, core.Config{
-		K:             opts.K,
-		InitCentroids: opts.InitCentroids,
-		DMin:          opts.DMin,
-		DMax:          opts.DMax,
-		Epsilon:       opts.Epsilon,
-		Budget:        opts.Budget,
-		MaxIterations: opts.MaxIterations,
-		Threshold:     opts.Threshold,
-		Smooth:        opts.Smooth,
-		NoiseShares:   opts.NoiseShares,
-		Exchanges:     opts.Exchanges,
-		Churn:         opts.Churn,
-		MidFailure:    opts.MidFailure,
-		DissCycles:    opts.DissCycles,
-		DecryptCycles: opts.DecryptCycles,
-		FracBits:      opts.FracBits,
-		PackSlots:     opts.PackSlots,
-		Seed:          opts.Seed,
-		Workers:       opts.Workers,
-		Sampler:       sampler,
-		TraceQuality:  opts.TraceQuality,
-	})
+	job, err := NewJob(d, opts.jobOptions(Simulated, scheme))
 	if err != nil {
 		return nil, err
 	}
-	return nw.Run()
+	res, err := job.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return networkResult(res), nil
 }
 
 // NetworkedOptions parametrizes RunNetworked: the shared protocol
 // options plus the wire-runtime knobs.
+//
+// Deprecated: use Options with Mode Networked and NewJob.
 type NetworkedOptions struct {
 	NetworkOptions
 
@@ -178,96 +200,20 @@ func FixedPhaseCycles(np int) (dissCycles, decryptCycles int) {
 // For one daemon process per participant — real deployments — see
 // cmd/chiaroscurod, which drives the same runtime over a key file and
 // a bootstrap address.
+//
+// Deprecated: use NewJob with Mode Networked; RunNetworked is a thin
+// wrapper over it (bit-identical centroids per seed) kept for
+// compatibility.
 func RunNetworked(d *Dataset, scheme Scheme, opts NetworkedOptions) (*NetworkResult, error) {
-	if scheme == nil {
-		return nil, errors.New("chiaroscuro: nil scheme")
+	jo := opts.jobOptions(Networked, scheme)
+	jo.ExchangeTimeout = opts.ExchangeTimeout
+	job, err := NewJob(d, jo)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Threshold != 0 {
-		return nil, errors.New("chiaroscuro: networked runs use the fixed iteration schedule; set Threshold to 0")
+	res, err := job.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	np := d.Len()
-	if opts.DissCycles == 0 || opts.DecryptCycles == 0 {
-		diss, dec := FixedPhaseCycles(np)
-		if opts.DissCycles == 0 {
-			opts.DissCycles = diss
-		}
-		if opts.DecryptCycles == 0 {
-			opts.DecryptCycles = dec
-		}
-	}
-	nodes := make([]*node.Node, np)
-	defer func() {
-		for _, nd := range nodes {
-			if nd != nil {
-				_ = nd.Close()
-			}
-		}
-	}()
-	bootstrap := ""
-	for i := 0; i < np; i++ {
-		var sampler sim.Sampler
-		if opts.Newscast {
-			sampler = &sim.NewscastSampler{ViewSize: 30}
-		}
-		nd, err := node.New(node.Config{
-			Index:  i,
-			N:      np,
-			Series: d.Row(i),
-			Scheme: scheme,
-			Proto: core.Config{
-				K:             opts.K,
-				InitCentroids: opts.InitCentroids,
-				DMin:          opts.DMin,
-				DMax:          opts.DMax,
-				Epsilon:       opts.Epsilon,
-				Budget:        opts.Budget,
-				MaxIterations: opts.MaxIterations,
-				Smooth:        opts.Smooth,
-				NoiseShares:   opts.NoiseShares,
-				Exchanges:     opts.Exchanges,
-				Churn:         opts.Churn,
-				MidFailure:    opts.MidFailure,
-				DissCycles:    opts.DissCycles,
-				DecryptCycles: opts.DecryptCycles,
-				FracBits:      opts.FracBits,
-				PackSlots:     opts.PackSlots,
-				Seed:          opts.Seed,
-				Workers:       opts.Workers,
-				Sampler:       sampler,
-			},
-			Bootstrap:       bootstrap,
-			ExchangeTimeout: opts.ExchangeTimeout,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
-		}
-		nodes[i] = nd
-		if i == 0 {
-			bootstrap = nd.Addr()
-		}
-	}
-	results := make([]*node.Result, np)
-	errs := make([]error, np)
-	var wg sync.WaitGroup
-	for i, nd := range nodes {
-		wg.Add(1)
-		go func(i int, nd *node.Node) {
-			defer wg.Done()
-			results[i], errs[i] = nd.Run()
-		}(i, nd)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
-		}
-	}
-	r0 := results[0]
-	return &NetworkResult{
-		Centroids:    r0.Centroids,
-		Traces:       r0.Traces,
-		TotalEpsilon: r0.TotalEpsilon,
-		AvgMessages:  r0.AvgMessages,
-		AvgBytes:     r0.AvgBytes,
-	}, nil
+	return networkResult(res), nil
 }
