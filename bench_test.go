@@ -317,7 +317,7 @@ func BenchmarkEventBusNoSubscriber(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		em.iteration(1, centroids, 0.5, 1.0)
 		em.phase(1, PhaseSum, i, b.N)
-		em.churn(1, i, 0)
+		em.churn(1, i, 0, ChurnModel)
 	}
 }
 

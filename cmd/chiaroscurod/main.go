@@ -37,7 +37,9 @@ import (
 
 	"chiaroscuro"
 	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/faultnet"
 	"chiaroscuro/internal/node"
+	"chiaroscuro/internal/soak"
 	"chiaroscuro/internal/timeseries"
 )
 
@@ -127,9 +129,16 @@ func main() {
 		tau         = flag.Int("threshold", 0, "decryption threshold for -genkeys (0 = population/3, min 2)")
 		timeout     = flag.Duration("exchange-timeout", 30*time.Second, "per-exchange blocking step bound")
 		joinTimeout = flag.Duration("join-timeout", 5*time.Minute, "roster bootstrap bound")
+		soakDur     = flag.Duration("soak", 0, "run the in-process chaos soak (crash-storm profile) for this long and exit (0 = off)")
+		retries     = flag.Int("retries", 0, "exchange retry budget per slot (fault policy)")
+		suspicionK  = flag.Int("suspicion-k", 0, "evict a peer after this many consecutive exchange failures (0 = never)")
 	)
 	flag.Parse()
 
+	if *soakDur > 0 {
+		runSoak(*soakDur, *population, *seed)
+		return
+	}
 	if *genkeys != "" {
 		if err := writeKeyFiles(*genkeys, *population, *keyBits, *degree, *tau); err != nil {
 			fatal(err)
@@ -193,6 +202,7 @@ func main() {
 		Bootstrap:       *bootstrap,
 		ExchangeTimeout: *timeout,
 		JoinTimeout:     *joinTimeout,
+		Policy:          node.Policy{MaxRetries: *retries, SuspicionK: *suspicionK},
 	})
 	if err != nil {
 		fatal(err)
@@ -251,6 +261,44 @@ func main() {
 		fmt.Printf("  centroid %d: %.3f…\n", i, preview)
 	}
 	_ = nd.Leave()
+}
+
+// runSoak runs the in-process chaos soak with the crash-storm profile:
+// refusals, mid-frame cuts, crash-at-leg storms and modeled churn over
+// a full population per run, with retries and peer suspicion on. Every
+// fault decision derives from the printed seed, so a failing soak run
+// replays exactly (cmd/soak exposes the individual knobs).
+func runSoak(d time.Duration, population int, seed uint64) {
+	fmt.Printf("chiaroscurod: soak starting — %d nodes, %s, fault seed %d (crash-storm profile)\n",
+		population, d, seed)
+	rep, err := soak.Run(soak.Config{
+		N:        population,
+		Duration: d,
+		Plan: faultnet.Plan{
+			Seed:       seed,
+			RefuseProb: 0.05,
+			CutProb:    0.03,
+			CrashProb:  0.05,
+			LatencyMax: 2 * time.Millisecond,
+		},
+		Policy: node.Policy{MaxRetries: 3, SuspicionK: 4},
+		Churn:  0.1,
+		Out:    os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	w := rep.Wire
+	fmt.Printf("soak: fault seed %d, %d runs (%d failed) in %s\n",
+		rep.Seed, rep.Runs, rep.Failures, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("soak: %d cycles (%.2f cycles/sec), last run released %d centroids\n",
+		rep.Cycles, rep.CyclesPerSec(), rep.Centroids)
+	fmt.Printf("soak: exchanges %d, timeouts %d, retries %d, suspected %d, evicted %d, wire %.1f kB sent / %.1f kB received\n",
+		w.Initiated+w.Responded, w.Timeouts, w.Retries, w.Suspected, w.Evicted,
+		float64(w.BytesSent)/1024, float64(w.BytesRecv)/1024)
+	if rep.Centroids == 0 || rep.Runs == rep.Failures {
+		fatal(fmt.Errorf("soak released no centroids (last error: %v)", rep.LastErr))
+	}
 }
 
 func writeKeyFiles(dir string, population, keyBits, degree, tau int) error {
@@ -352,6 +400,18 @@ func serveMetrics(addr string, nd *node.Node, prog *progress) {
 		fmt.Fprintf(w, "# HELP chiaroscuro_frames_rejected_total Frames refused (version/epoch/bounds).\n")
 		fmt.Fprintf(w, "# TYPE chiaroscuro_frames_rejected_total counter\n")
 		fmt.Fprintf(w, "chiaroscuro_frames_rejected_total %d\n", c.Rejected)
+		fmt.Fprintf(w, "# HELP chiaroscuro_bad_frames_total Malformed or over-limit frames that dropped a connection.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_bad_frames_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_bad_frames_total %d\n", c.BadFrames)
+		fmt.Fprintf(w, "# HELP chiaroscuro_exchange_retries_total Exchange attempts retried after a transient failure.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_exchange_retries_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_exchange_retries_total %d\n", c.Retries)
+		fmt.Fprintf(w, "# HELP chiaroscuro_peers_suspected_total Consecutive-failure strikes recorded against peers.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_peers_suspected_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_peers_suspected_total %d\n", c.Suspected)
+		fmt.Fprintf(w, "# HELP chiaroscuro_peers_evicted_total Peers evicted from the address book by suspicion.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_peers_evicted_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_peers_evicted_total %d\n", c.Evicted)
 		fmt.Fprintf(w, "# HELP chiaroscuro_wire_bytes_total Wire bytes by direction.\n")
 		fmt.Fprintf(w, "# TYPE chiaroscuro_wire_bytes_total counter\n")
 		fmt.Fprintf(w, "chiaroscuro_wire_bytes_total{direction=\"sent\"} %d\n", c.BytesSent)

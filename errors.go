@@ -53,6 +53,9 @@ var (
 	ErrBadWorkers = errors.New("chiaroscuro: negative worker count")
 	// ErrBadPackSlots rejects a negative packing slot count.
 	ErrBadPackSlots = errors.New("chiaroscuro: negative pack slots")
+	// ErrBadFaultPolicy rejects a FaultPolicy with negative knobs
+	// (retries, backoff, or suspicion threshold).
+	ErrBadFaultPolicy = errors.New("chiaroscuro: invalid fault policy (negative retries, backoff, or suspicion threshold)")
 	// ErrJobReused rejects a second Run on the same Job: a Job is one
 	// run; build a new one with NewJob.
 	ErrJobReused = errors.New("chiaroscuro: job already run (create a new Job per run)")

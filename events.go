@@ -64,15 +64,29 @@ type PhaseProgress struct {
 	Cycle, Of int
 }
 
-// Churn reports one gossip cycle's churn resampling: how many of the
-// population's nodes the churn model disconnected for that cycle. It
-// only fires when Options.Churn > 0 (Cycle counts engine cycles,
-// cumulative across phases and iterations).
+// Churn reports one churn observation. Reason ChurnModel events are the
+// Section 6.1.5 churn model's per-cycle resampling: how many of the
+// population's nodes it disconnected for that cycle (fires when
+// Options.Churn > 0; Cycle counts engine cycles, cumulative across
+// phases and iterations). Reason ChurnEvicted events fire in Networked
+// mode when the fault policy's peer suspicion evicts an unreachable
+// peer from the address book (Disconnected counts the evicted peers,
+// always 1 per event).
 type Churn struct {
 	Iteration    int
 	Cycle        int
 	Disconnected int
+	Reason       string // ChurnModel or ChurnEvicted
 }
+
+// Churn reasons.
+const (
+	// ChurnModel marks the churn model's per-cycle disconnection draw.
+	ChurnModel = core.ChurnModel
+	// ChurnEvicted marks a peer-suspicion eviction (Networked mode with
+	// FaultPolicy.SuspicionK > 0).
+	ChurnEvicted = core.ChurnEvicted
+)
 
 // Done is the terminal event of every run: the stream ends right after
 // it. Err mirrors what Job.Run returns (nil on success,
@@ -200,9 +214,9 @@ func (e *emitter) phase(it int, p Phase, cycle, of int) {
 	e.bus.emit(PhaseProgress{Iteration: it, Phase: p, Cycle: cycle, Of: of})
 }
 
-func (e *emitter) churn(it, cycle, down int) {
+func (e *emitter) churn(it, cycle, down int, reason string) {
 	if !e.active() {
 		return
 	}
-	e.bus.emit(Churn{Iteration: it, Cycle: cycle, Disconnected: down})
+	e.bus.emit(Churn{Iteration: it, Cycle: cycle, Disconnected: down, Reason: reason})
 }

@@ -101,10 +101,23 @@ type Observer struct {
 	// is adaptive (convergence-determined rather than fixed) reports
 	// of = 0.
 	Phase func(iter int, phase Phase, cycle, of int)
-	// Churn fires on every churn resampling with the number of
-	// disconnected nodes (only when the churn model is on).
-	Churn func(iter, cycle, down int)
+	// Churn fires whenever participants drop out of the run's view:
+	// on every churn-model resampling (reason ChurnModel, with the
+	// number of disconnected nodes), and — in the networked runtime —
+	// when peer suspicion evicts an unresponsive peer from the address
+	// book (reason ChurnEvicted, down = 1).
+	Churn func(iter, cycle, down int, reason string)
 }
+
+// Churn reasons reported through Observer.Churn.
+const (
+	// ChurnModel is a Section 6.1.5 churn-model resampling.
+	ChurnModel = "model"
+	// ChurnEvicted is a peer-suspicion eviction in the networked
+	// runtime: a peer failed too many consecutive exchanges and was
+	// dropped from the address book.
+	ChurnEvicted = "evicted"
+)
 
 // Config parametrizes a Chiaroscuro network run.
 type Config struct {
@@ -271,7 +284,7 @@ func NewNetwork(data *timeseries.Dataset, sch homenc.Scheme, cfg Config) (*Netwo
 	if hook := cfg.Observer.Churn; hook != nil {
 		// The hook runs on the scheduling goroutine — the same one that
 		// advances curIter — so the read is race-free.
-		ecfg.OnChurn = func(cycle, down int) { hook(nw.curIter, cycle, down) }
+		ecfg.OnChurn = func(cycle, down int) { hook(nw.curIter, cycle, down, ChurnModel) }
 	}
 	engine, err := sim.New(ecfg, cfg.Sampler)
 	if err != nil {

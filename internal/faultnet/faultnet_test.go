@@ -1,0 +1,239 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestVerdictsDeterministic pins the determinism contract: two
+// injectors built from the same plan make identical decisions for the
+// same (pair, attempt) sequence, regardless of the order pairs are
+// exercised in.
+func TestVerdictsDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, RefuseProb: 0.3, PartitionProb: 0.2, CutProb: 0.2, LatencyMax: 5 * time.Millisecond}
+	a, b := New(plan), New(plan)
+
+	type probe struct{ from, to int }
+	order1 := []probe{{0, 1}, {0, 1}, {2, 3}, {0, 1}, {2, 3}, {5, 0}, {0, 1}}
+	// The same attempts, interleaved differently across pairs.
+	order2 := []probe{{2, 3}, {0, 1}, {5, 0}, {0, 1}, {0, 1}, {2, 3}, {0, 1}}
+
+	got := map[probe][]verdict{}
+	for _, p := range order1 {
+		got[p] = append(got[p], a.decide(p.from, p.to))
+	}
+	want := map[probe][]verdict{}
+	for _, p := range order2 {
+		want[p] = append(want[p], b.decide(p.from, p.to))
+	}
+	for p, vs := range got {
+		for i, v := range vs {
+			if want[p][i] != v {
+				t.Fatalf("pair %v attempt %d: %+v vs %+v across interleavings", p, i, v, want[p][i])
+			}
+		}
+	}
+}
+
+// TestSeedsDiffer sanity-checks that distinct seeds actually produce
+// distinct fault schedules (no accidental seed-independence).
+func TestSeedsDiffer(t *testing.T) {
+	mk := func(seed uint64) []verdict {
+		in := New(Plan{Seed: seed, RefuseProb: 0.5, CutProb: 0.5})
+		out := make([]verdict, 0, 64)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if i != j {
+					out = append(out, in.decide(i, j))
+				}
+			}
+		}
+		return out
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault schedules")
+	}
+}
+
+// TestMaxStreakForcesCleanAttempt pins the liveness guard: even under
+// certain-fault probabilities, no directed pair sees more than
+// MaxStreak consecutive faulted attempts.
+func TestMaxStreakForcesCleanAttempt(t *testing.T) {
+	in := New(Plan{Seed: 7, RefuseProb: 1.0, MaxStreak: 2})
+	streak := 0
+	for i := 0; i < 50; i++ {
+		v := in.decide(3, 4)
+		if v.refuse || v.partition || v.cutAfter >= 0 {
+			streak++
+			if streak > 2 {
+				t.Fatalf("attempt %d: streak of %d exceeds MaxStreak 2", i, streak)
+			}
+		} else {
+			streak = 0
+		}
+	}
+}
+
+// TestRefusalAndPartitionErrors checks the dial-level fault shapes:
+// both are ErrInjected, a refusal is immediate, a partition burns the
+// configured delay, and the pair heals after PartitionAttempts dials.
+func TestRefusalAndPartitionErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	in := New(Plan{Seed: 1, PartitionProb: 1.0, PartitionAttempts: 2, PartitionDelay: 30 * time.Millisecond, MaxStreak: -1})
+	nf := in.Node(0)
+	for attempt := 0; attempt < 2; attempt++ {
+		start := time.Now()
+		_, err := nf.Dial(1, ln.Addr().String(), time.Second)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("partitioned dial %d: err = %v, want ErrInjected", attempt, err)
+		}
+		if d := time.Since(start); d < 25*time.Millisecond {
+			t.Fatalf("partitioned dial %d returned in %s, want the blackhole delay", attempt, d)
+		}
+	}
+	// The partition window is spent: the pair heals.
+	conn, err := nf.Dial(1, ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("healed dial: %v", err)
+	}
+	_ = conn.Close()
+
+	refuser := New(Plan{Seed: 9, RefuseProb: 1.0, MaxStreak: -1}).Node(2)
+	start := time.Now()
+	_, err = refuser.Dial(3, ln.Addr().String(), time.Second)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("refused dial: err = %v, want ErrInjected", err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("refusal took %s, want immediate", d)
+	}
+}
+
+// TestMembershipDialsPassThrough pins the determinism note: peer < 0
+// (membership traffic) is never faulted, even under certain-fault
+// probabilities.
+func TestMembershipDialsPassThrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, _ := ln.Accept()
+		if c != nil {
+			_ = c.Close()
+		}
+	}()
+	nf := New(Plan{Seed: 3, RefuseProb: 1.0, CutProb: 1.0, MaxStreak: -1}).Node(0)
+	conn, err := nf.Dial(-1, ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("membership dial faulted: %v", err)
+	}
+	_ = conn.Close()
+}
+
+// TestCutConnEmitsPartialFrame checks the mid-frame cut shape: the
+// writer sees ErrInjected once its byte budget is crossed, the peer
+// receives exactly the partial prefix, and the connection is dead.
+func TestCutConnEmitsPartialFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf, _ := io.ReadAll(c)
+		received <- buf
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &faultConn{Conn: raw, cutAfter: 10}
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut write: err = %v, want ErrInjected", err)
+	}
+	if n != 10 {
+		t.Fatalf("cut write reported %d bytes, want the 10-byte budget", n)
+	}
+	if _, err := fc.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut: err = %v, want ErrInjected", err)
+	}
+	select {
+	case got := <-received:
+		if len(got) != 10 {
+			t.Fatalf("peer received %d bytes, want the 10-byte partial frame", len(got))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never saw the connection die")
+	}
+}
+
+// TestCrashesAtSlotKeyed pins that crash decisions replay per exchange
+// slot: the same coordinates always crash (a dead participant stays
+// dead across retries), and the decision is independent of attempt
+// ordinals consumed elsewhere.
+func TestCrashesAtSlotKeyed(t *testing.T) {
+	in := New(Plan{Seed: 11, CrashProb: 0.5})
+	// Find a crashing slot.
+	var self, leg, phase, iter, cycle, seq int
+	found := false
+	for s := 0; s < 8 && !found; s++ {
+		for q := 0; q < 20 && !found; q++ {
+			if in.CrashesAt(s, LegFinProbe, 0, 1, 2, q) {
+				self, leg, phase, iter, cycle, seq = s, LegFinProbe, 0, 1, 2, q
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no crashing slot at p=0.5 over 160 probes (decision space broken?)")
+	}
+	for i := 0; i < 5; i++ {
+		in.decide(0, 1) // burn unrelated attempt ordinals
+		if !in.CrashesAt(self, leg, phase, iter, cycle, seq) {
+			t.Fatalf("slot stopped crashing on re-query %d", i)
+		}
+	}
+}
+
+// LegFinProbe mirrors the node runtime's fin-leg constant without
+// importing it (faultnet must stay import-light under the node).
+const LegFinProbe = 2

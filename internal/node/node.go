@@ -47,6 +47,58 @@ import (
 	"chiaroscuro/internal/wireproto"
 )
 
+// Dialer opens connections to peers. The default dials TCP directly;
+// fault-injection layers (internal/faultnet) substitute their own.
+// peer is the destination's population index, or -1 for membership
+// traffic (hello/view gossip) whose destination index is unknown.
+type Dialer interface {
+	Dial(peer int, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// tcpDialer is the default Dialer: a plain TCP dial.
+type tcpDialer struct{}
+
+func (tcpDialer) Dial(_ int, addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// Exchange legs, in wire order. CrashHook and the fault plans speak
+// this numbering.
+const (
+	LegReq  = 0 // initiator's request push
+	LegResp = 1 // responder's pre-merge state
+	LegFin  = 2 // initiator's commit
+)
+
+// CrashHook, when set, is consulted before sending any exchange leg;
+// returning true crashes the node's side of the exchange at exactly
+// that point (the leg is never written, the connection dies silently).
+// A crash before LegFin reproduces the half-completed-exchange state of
+// the paper's Section 6.1.5 churn model — the generalization of the
+// original fin-leg test hook.
+type CrashHook func(leg, phase, iter, cycle, seq int) bool
+
+// Policy is the node-side fault-tolerance policy (the public API's
+// Options.FaultPolicy). The zero value reproduces the unhardened
+// behavior: one attempt per exchange, no suspicion.
+type Policy struct {
+	// MaxRetries is how many additional attempts a failed exchange leg
+	// gets before the slot is abandoned. Only failures strictly before
+	// this side's state merge are retried — a committed half is never
+	// re-applied, which is what keeps retried runs bit-identical to the
+	// simulator on the same completed-exchange trace.
+	MaxRetries int
+	// Backoff is the initial retry backoff; it doubles per attempt
+	// (capped at 8×) with ±50% jitter. Defaults to 25ms when
+	// MaxRetries > 0.
+	Backoff time.Duration
+	// SuspicionK evicts a peer from the address book after this many
+	// consecutive initiator-side exchange failures (0 = never). Later
+	// exchanges to an evicted peer fast-fail instead of burning their
+	// deadline; a direct hello from the peer reinstates it.
+	SuspicionK int
+}
+
 // Config provisions one participant.
 type Config struct {
 	Index  int               // population index (0-based; key-share Index+1)
@@ -69,6 +121,19 @@ type Config struct {
 	FinTimeout      time.Duration
 	JoinTimeout     time.Duration
 	ViewInterval    time.Duration
+
+	// Policy hardens the node against hostile networks: exchange
+	// retries with capped jittered exponential backoff, and peer
+	// suspicion. The zero value keeps the single-attempt behavior.
+	Policy Policy
+
+	// Dialer substitutes the connection layer (nil: plain TCP). The
+	// fault-injection harness wires internal/faultnet in here.
+	Dialer Dialer
+
+	// CrashHook, when set, crashes exchanges at chosen legs (tests and
+	// chaos harnesses).
+	CrashHook CrashHook
 }
 
 // Result is the participant's own outcome of a networked run.
@@ -107,14 +172,16 @@ type Node struct {
 	iterNow  atomic.Int64 // current iteration, for metrics
 	phaseNow atomic.Int64 // current phase rank, for metrics
 
+	policy    Policy
+	dialer    Dialer
+	crashHook CrashHook
+	// suspect counts consecutive initiator-side failures per peer for
+	// the suspicion policy. Touched only by the main protocol loop.
+	suspect map[int]int
+
 	stop    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
-
-	// hookBeforeFin, when set by tests, is consulted before sending any
-	// fin leg; returning false crashes the exchange at exactly the
-	// half-completed point (initiator applied, responder never will).
-	hookBeforeFin func(phase int, s slot) bool
 }
 
 // connSet tracks every open connection of a node so shutdown can close
@@ -231,6 +298,15 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Epoch == 0 {
 		cfg.Epoch = cfg.Proto.Seed ^ 0xC41A305C0
 	}
+	if cfg.Policy.MaxRetries < 0 || cfg.Policy.Backoff < 0 || cfg.Policy.SuspicionK < 0 {
+		return nil, fmt.Errorf("node: negative fault policy %+v", cfg.Policy)
+	}
+	if cfg.Policy.MaxRetries > 0 && cfg.Policy.Backoff == 0 {
+		cfg.Policy.Backoff = 25 * time.Millisecond
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = tcpDialer{}
+	}
 
 	codec := homenc.NewCodec(cfg.Proto.FracBits)
 	// Packing layout and plaintext-headroom pre-flight: the same shared
@@ -266,13 +342,17 @@ func New(cfg Config) (*Node, error) {
 		addr:     ln.Addr().String(),
 		protoRNG: core.ProtocolRNG(cfg.Proto.Seed),
 		acct:     &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
+		policy:   cfg.Policy,
+		dialer:   cfg.Dialer,
+		crashHook: cfg.CrashHook,
+		suspect:  make(map[int]int),
 		stop:     make(chan struct{}),
 	}
 	ecfg := core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme, pack)
 	if hook := cfg.Proto.Observer.Churn; hook != nil {
 		// DrawCycle runs on the main protocol loop, the goroutine that
 		// advances iterNow — the relaxed read is still race-free.
-		ecfg.OnChurn = func(cycle, down int) { hook(int(nd.iterNow.Load()), cycle, down) }
+		ecfg.OnChurn = func(cycle, down int) { hook(int(nd.iterNow.Load()), cycle, down, core.ChurnModel) }
 	}
 	mirror, err := sim.New(ecfg, cfg.Proto.Sampler)
 	if err != nil {
@@ -310,9 +390,13 @@ func (nd *Node) RosterSize() int { return nd.book.size() }
 
 // Join fills the address book: the node announces itself to the
 // bootstrap peer (when it has one) and polls known peers until it can
-// dial the entire population or the join timeout passes.
+// dial the entire population or the join timeout passes. Sweeps are
+// paced by a jittered exponential backoff (reset whenever the roster
+// grows) so a flood of joiners does not hammer the bootstrap peer in a
+// tight re-dial loop for the whole JoinTimeout.
 func (nd *Node) Join() error {
 	deadline := time.Now().Add(nd.cfg.JoinTimeout)
+	idle := 0 // consecutive sweeps without roster growth
 	for nd.book.size() < nd.cfg.N {
 		if nd.stopped.Load() {
 			return errors.New("node: closed during join")
@@ -320,12 +404,50 @@ func (nd *Node) Join() error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("node %d: roster has %d of %d peers after join timeout", nd.cfg.Index, nd.book.size(), nd.cfg.N)
 		}
+		before := nd.book.size()
 		if target := nd.helloTarget(); target != "" {
 			nd.hello(target)
 		}
-		time.Sleep(20 * time.Millisecond)
+		if nd.book.size() > before {
+			idle = 0
+		} else {
+			idle++
+		}
+		if !nd.sleep(backoffDelay(10*time.Millisecond, idle, 500*time.Millisecond)) {
+			return errors.New("node: closed during join")
+		}
 	}
 	return nil
+}
+
+// backoffDelay is the shared capped jittered exponential backoff:
+// base·2^attempt, capped, with ±50% jitter. The jitter decorrelates
+// retry storms across peers; it touches no protocol randomness.
+func backoffDelay(base time.Duration, attempt int, cap time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
+
+// sleep waits for d, returning false if the node shuts down first.
+func (nd *Node) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !nd.stopped.Load()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-nd.stop:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // helloTarget picks who to announce to: the bootstrap address first,
@@ -411,11 +533,10 @@ func (nd *Node) Leave() error {
 		if int(it.Index) == nd.cfg.Index || it.Addr == "" {
 			continue
 		}
-		conn, err := net.DialTimeout("tcp", it.Addr, time.Second)
+		conn, err := nd.dialPeer(-1, it.Addr, time.Second)
 		if err != nil {
 			continue
 		}
-		conn = nd.track(conn)
 		_ = conn.SetDeadline(time.Now().Add(time.Second))
 		_ = nd.writeFrame(conn, wireproto.KindLeave, wireproto.MarshalLeave(wireproto.Leave{Index: uint32(nd.cfg.Index)}))
 		_ = conn.Close()
@@ -532,6 +653,10 @@ func phaseOfKind(kind byte) int {
 }
 
 // writeFrame and readFrame wrap the wire layer with byte accounting.
+// A malformed or over-limit frame — as opposed to a connection dying
+// mid-frame — additionally counts toward BadFrames: hostile input is
+// accounted separately from network weather, and the offending
+// connection is always dropped by the caller.
 func (nd *Node) writeFrame(conn net.Conn, kind byte, payload []byte) error {
 	err := wireproto.WriteFrame(conn, kind, nd.epoch, payload)
 	if err == nil {
@@ -544,13 +669,20 @@ func (nd *Node) readFrame(conn net.Conn) (wireproto.Frame, error) {
 	f, err := wireproto.ReadFrame(conn, nd.lim.MaxFrameLen)
 	if err == nil {
 		nd.counters.BytesRecv.Add(int64(14 + len(f.Payload)))
+	} else if errors.Is(err, wireproto.ErrMalformed) {
+		nd.counters.BadFrames.Add(1)
 	}
 	return f, err
 }
 
-// dialAddr opens a tracked connection with the exchange deadline set.
+// dialAddr opens a tracked membership connection (destination index
+// unknown) with the exchange deadline set.
 func (nd *Node) dialAddr(addr string) (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", addr, nd.cfg.ExchangeTimeout)
+	return nd.dialPeer(-1, addr, nd.cfg.ExchangeTimeout)
+}
+
+func (nd *Node) dialPeer(peer int, addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := nd.dialer.Dial(peer, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -560,12 +692,60 @@ func (nd *Node) dialAddr(addr string) (net.Conn, error) {
 }
 
 // dial opens a connection to a peer with the exchange deadline set.
+// When retries are on, each attempt gets an even share of the exchange
+// deadline as its dial budget, so a blackholed first dial cannot eat
+// the retries' time.
 func (nd *Node) dial(idx int) (net.Conn, error) {
 	addr := nd.book.addr(idx)
 	if addr == "" {
-		return nil, fmt.Errorf("node: no address for peer %d", idx)
+		return nil, errNoAddress
 	}
-	return nd.dialAddr(addr)
+	timeout := nd.cfg.ExchangeTimeout
+	if nd.policy.MaxRetries > 0 {
+		timeout /= time.Duration(nd.policy.MaxRetries + 1)
+		if timeout < 250*time.Millisecond {
+			timeout = 250 * time.Millisecond
+		}
+	}
+	return nd.dialPeer(idx, addr, timeout)
+}
+
+// errNoAddress marks a dial to a peer the address book cannot resolve
+// (never learned, departed, or evicted by suspicion). It fails fast and
+// is not retried: retrying cannot conjure an address, and the gossip
+// layer reinstating the peer serves later slots, not this one.
+var errNoAddress = errors.New("node: no address for peer")
+
+// --- peer suspicion ---
+
+// peerOK and peerFailed track consecutive initiator-side outcomes per
+// peer; both run only on the main protocol loop. After SuspicionK
+// consecutive failures a peer is evicted from the address book: later
+// exchanges fast-fail instead of burning their deadline, and the churn
+// observer reports the eviction. A direct hello from the peer
+// reinstates it (book.learn clears the gone mark).
+func (nd *Node) peerOK(peer int) {
+	delete(nd.suspect, peer)
+}
+
+func (nd *Node) peerFailed(peer int, s slot) {
+	if nd.policy.SuspicionK <= 0 {
+		return
+	}
+	nd.suspect[peer]++
+	nd.counters.Suspected.Add(1)
+	if nd.suspect[peer] < nd.policy.SuspicionK {
+		return
+	}
+	delete(nd.suspect, peer)
+	if nd.book.addr(peer) == "" {
+		return // already unreachable (departed or evicted)
+	}
+	nd.book.markGone(peer)
+	nd.counters.Evicted.Add(1)
+	if hook := nd.cfg.Proto.Observer.Churn; hook != nil {
+		hook(s.iter, s.cycle, 1, core.ChurnEvicted)
+	}
 }
 
 // encryptState builds this participant's initial EESum state for one

@@ -249,7 +249,7 @@ func TestCrashMidExchangeLeavesHalfCompletedState(t *testing.T) {
 	preB := stB.means.Clone()
 
 	// The initiator crashes right before the FIN leg.
-	ndA.hookBeforeFin = func(phase int, s slot) bool { return false }
+	ndA.crashHook = func(leg, phase, iter, cycle, seq int) bool { return leg == LegFin }
 
 	s := slot{iter: 1, phase: phaseSum, cycle: 0, seq: 0}
 	done := make(chan struct{})

@@ -53,10 +53,13 @@ type inbound struct {
 
 // registry parks inbound exchange requests until the responder's main
 // loop reaches their slot. Requests may arrive arbitrarily early (the
-// initiator runs ahead) or never (the initiator died); the main loop
-// waits with a deadline and prunes entries that fall behind its
-// position. A slot the owner has already consumed or given up on is
-// tombstoned, so a late delivery can never strand a connection in an
+// initiator runs ahead), more than once (a retrying initiator redials
+// the same slot after its connection died), or never (the initiator
+// died for good); the main loop waits with a deadline and prunes
+// entries that fall behind its position. Consuming a delivery does not
+// close a slot — the owner may re-await it while re-serving a retried
+// exchange; release tombstones the slot when its owner is done for
+// good, so a late delivery can never strand a connection in an
 // unreachable channel.
 type registry struct {
 	mu      sync.Mutex
@@ -86,11 +89,12 @@ func (r *registry) channel(s slot) chan inbound {
 	return ch
 }
 
-// deliver parks a request. Requests for slots already passed,
-// consumed, abandoned, or arriving after close are refused: the
-// connection is closed and false returned. The buffered send happens
-// under the lock, so a delivery can never race into a channel the
-// owner has already given up on.
+// deliver parks a request. Requests for slots already passed, released,
+// or arriving after close are refused: the connection is closed and
+// false returned. A parked request the owner has not consumed yet is
+// replaced — the newest connection wins, because a retrying initiator
+// only redials after its previous connection died, so whatever was
+// parked before is a corpse.
 func (r *registry) deliver(s slot, in inbound) bool {
 	r.mu.Lock()
 	if r.closed || r.done[s] || s.before(r.horizon) {
@@ -99,24 +103,27 @@ func (r *registry) deliver(s slot, in inbound) bool {
 		return false
 	}
 	ch := r.channel(s)
-	ok := false
+	var stale net.Conn
 	select {
-	case ch <- in:
-		ok = true
-	default: // duplicate request for the slot
+	case old := <-ch:
+		stale = old.conn
+	default:
 	}
+	ch <- in // buffered and just drained: never blocks under the lock
 	r.mu.Unlock()
-	if !ok {
-		_ = in.conn.Close()
+	if stale != nil {
+		_ = stale.Close()
 	}
-	return ok
+	return true
 }
 
-// await blocks until the request for slot s arrives, the deadline
-// passes, or the registry's stop channel closes (node shutdown —
-// cancellation must not sit out a full exchange timeout). Either way
-// the slot is finished afterwards: later deliveries are refused at the
-// door.
+// await blocks until a request for slot s arrives, the deadline passes,
+// or the registry's stop channel closes (node shutdown — cancellation
+// must not sit out a full exchange timeout). The slot stays open
+// afterwards: the owner re-awaits it while re-serving retried
+// exchanges, and calls release when done with it for good. A
+// non-positive timeout polls: an already-parked request is returned,
+// nothing is waited for.
 func (r *registry) await(s slot, timeout time.Duration) (inbound, bool) {
 	r.mu.Lock()
 	if r.closed || r.done[s] {
@@ -125,19 +132,22 @@ func (r *registry) await(s slot, timeout time.Duration) (inbound, bool) {
 	}
 	ch := r.channel(s)
 	r.mu.Unlock()
+	if timeout <= 0 {
+		select {
+		case in := <-ch:
+			return in, true
+		default:
+			return inbound{}, false
+		}
+	}
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
 	case in := <-ch:
-		r.finish(s, ch)
 		return in, true
 	case <-t.C:
-		// Resolve the race between the timer and a delivery under the
-		// lock: whatever is in the channel now is the last word.
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		r.done[s] = true
-		delete(r.pending, s)
+		// Resolve the race between the timer and a delivery: whatever is
+		// parked now is the last word.
 		select {
 		case in := <-ch:
 			return in, true
@@ -145,34 +155,30 @@ func (r *registry) await(s slot, timeout time.Duration) (inbound, bool) {
 			return inbound{}, false
 		}
 	case <-r.stop:
-		// Shutting down: abandon the slot, releasing any delivery that
-		// raced in.
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		r.done[s] = true
-		delete(r.pending, s)
-		select {
-		case in := <-ch:
-			_ = in.conn.Close()
-		default:
-		}
-		return inbound{}, false
+		return inbound{}, false // close drains the parked conn, if any
 	}
 }
 
-// finish marks a slot consumed, drops its channel, and closes out any
-// duplicate delivery that slipped in between the owner's receive and
-// the tombstone.
-func (r *registry) finish(s slot, ch chan inbound) {
+// release tombstones a slot its owner is done with: later deliveries
+// are refused at the door, and a parked request nobody will ever
+// consume is closed out.
+func (r *registry) release(s slot) {
 	r.mu.Lock()
 	r.done[s] = true
+	ch := r.pending[s]
 	delete(r.pending, s)
-	select {
-	case dup := <-ch:
-		_ = dup.conn.Close()
-	default:
+	var stale net.Conn
+	if ch != nil {
+		select {
+		case in := <-ch:
+			stale = in.conn
+		default:
+		}
 	}
 	r.mu.Unlock()
+	if stale != nil {
+		_ = stale.Close()
+	}
 }
 
 // advance moves the owner's position: entries for earlier slots can

@@ -1,0 +1,246 @@
+// Package soak is the chaos soak harness behind `chiaroscurod -soak`
+// and `cmd/soak`: it runs an in-process networked population — real TCP
+// listeners, real wire frames — in a loop under a seeded faultnet plan
+// (refusals, partitions, mid-frame cuts, latency, crash storms), the
+// Section 6.1.5 churn model, and a join flood (every run boots the
+// whole population through one bootstrap peer simultaneously), and
+// reports sustained throughput as gossip cycles per second plus the
+// aggregated wire and fault-tolerance counters.
+//
+// Each run advances the fault plan's seed by one, so a soak sweeps a
+// family of reproducible fault schedules; any failing run can be
+// replayed by seeding a single run with the reported seed.
+package soak
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/faultnet"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/node"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/timeseries"
+	"chiaroscuro/internal/wireproto"
+)
+
+// Config provisions a soak.
+type Config struct {
+	// N is the population size (default 8).
+	N int
+	// Duration bounds the soak wall-clock; runs start until it elapses
+	// (0 = exactly one run).
+	Duration time.Duration
+	// Plan is the fault plan every run injects. Plan.Seed seeds run 0;
+	// run r uses Plan.Seed + r.
+	Plan faultnet.Plan
+	// Policy is the per-node fault-tolerance policy.
+	Policy node.Policy
+	// Churn is the Section 6.1.5 modeled churn probability per cycle.
+	Churn float64
+	// Iterations is the protocol iteration count per run (default 1).
+	Iterations int
+	// Workers bounds each node's crypto worker pool (default 1: the
+	// population already saturates the cores).
+	Workers int
+	// KeyBits and Degree size the test scheme (defaults 128, 4).
+	KeyBits, Degree int
+	// Out, when set, receives a progress line per run.
+	Out io.Writer
+}
+
+// Report is the soak outcome.
+type Report struct {
+	Runs      int           // runs started
+	Failures  int           // runs that returned an error
+	Cycles    int           // gossip cycles completed (participant 0's traces)
+	Elapsed   time.Duration // wall clock of the whole soak
+	Centroids int           // centroids released by the last successful run
+	Wire      wireproto.Counters
+	Seed      uint64 // fault seed of run 0 (run r used Seed + r)
+	LastErr   error  // last per-run error, if any
+}
+
+// CyclesPerSec is the soak's sustained throughput.
+func (r *Report) CyclesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / r.Elapsed.Seconds()
+}
+
+func (c Config) withDefaults() Config {
+	if c.N < 2 {
+		c.N = 8
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 128
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	return c
+}
+
+// Run executes the soak. Per-run protocol errors (a crash storm can
+// legitimately starve a run of key-shares) are counted, not fatal; only
+// provisioning errors abort the soak.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	tau := max(2, cfg.N/3)
+	scheme, err := damgardjurik.NewTestScheme(cfg.KeyBits, cfg.Degree, cfg.N, tau)
+	if err != nil {
+		return nil, err
+	}
+	data, _ := datasets.GenerateCER(cfg.N, randx.New(cfg.Plan.Seed^0x50AC, 0))
+	seeds := make([]timeseries.Series, 2)
+	for c := range seeds {
+		s := make(timeseries.Series, data.Dim())
+		for j := range s {
+			s[j] = 10 + 30*float64(c)
+		}
+		seeds[c] = s
+	}
+
+	rep := &Report{Seed: cfg.Plan.Seed}
+	start := time.Now()
+	for run := 0; run == 0 || (cfg.Duration > 0 && time.Since(start) < cfg.Duration); run++ {
+		plan := cfg.Plan
+		plan.Seed = cfg.Plan.Seed + uint64(run)
+		rep.Runs++
+		runStart := time.Now()
+		res, counters, err := runOnce(cfg, scheme, data, seeds, plan)
+		addCounters(&rep.Wire, counters)
+		if err != nil {
+			rep.Failures++
+			rep.LastErr = err
+			if cfg.Out != nil {
+				fmt.Fprintf(cfg.Out, "soak: run %d seed %d FAILED in %s: %v\n",
+					run, plan.Seed, time.Since(runStart).Round(time.Millisecond), err)
+			}
+			continue
+		}
+		cycles := 0
+		for _, tr := range res.Traces {
+			cycles += tr.SumCycles + tr.DissCycles + tr.DecryptCycles
+		}
+		rep.Cycles += cycles
+		rep.Centroids = len(res.Centroids)
+		if cfg.Out != nil {
+			fmt.Fprintf(cfg.Out, "soak: run %d seed %d ok in %s: %d cycles, %d centroids, retries %d, evicted %d\n",
+				run, plan.Seed, time.Since(runStart).Round(time.Millisecond),
+				cycles, len(res.Centroids), counters.Retries, counters.Evicted)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// runOnce boots the full population through one bootstrap peer (the
+// join flood), runs the protocol under the plan's faults, and returns
+// participant 0's result plus the population's aggregated counters.
+func runOnce(cfg Config, scheme *damgardjurik.Scheme, data *timeseries.Dataset, seeds []timeseries.Series, plan faultnet.Plan) (*node.Result, wireproto.Counters, error) {
+	logN := bits.Len(uint(cfg.N))
+	proto := core.Config{
+		K:             2,
+		InitCentroids: seeds,
+		DMin:          datasets.CERMin,
+		DMax:          datasets.CERMax,
+		Epsilon:       1e4, // quality is not under test; noise must not wipe centroids
+		MaxIterations: cfg.Iterations,
+		Exchanges:     10,
+		DissCycles:    6 + 2*logN,
+		DecryptCycles: 8 + 2*logN,
+		FracBits:      24,
+		Seed:          plan.Seed,
+		Churn:         cfg.Churn,
+		MidFailure:    cfg.Churn > 0,
+		Workers:       cfg.Workers,
+	}
+	inj := faultnet.New(plan)
+	nodes := make([]*node.Node, cfg.N)
+	defer func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				_ = nd.Close()
+			}
+		}
+	}()
+	var agg wireproto.Counters
+	bootstrap := ""
+	for i := 0; i < cfg.N; i++ {
+		nf := inj.Node(i)
+		nd, err := node.New(node.Config{
+			Index:           i,
+			N:               cfg.N,
+			Series:          data.Row(i),
+			Scheme:          scheme,
+			Proto:           proto,
+			Bootstrap:       bootstrap,
+			// Tight timeouts: a crash storm makes slots whose request
+			// never arrives routine, and each burns its await window on
+			// the responder's serial main loop.
+			ExchangeTimeout: 2 * time.Second,
+			FinTimeout:      400 * time.Millisecond,
+			JoinTimeout:     30 * time.Second,
+			Policy:          cfg.Policy,
+			Dialer:          nf,
+			CrashHook:       nf.Crash,
+		})
+		if err != nil {
+			return nil, agg, err
+		}
+		nodes[i] = nd
+		if i == 0 {
+			bootstrap = nd.Addr()
+		}
+	}
+	results := make([]*node.Result, cfg.N)
+	errs := make([]error, cfg.N)
+	done := make(chan int, cfg.N)
+	for i, nd := range nodes {
+		go func(i int, nd *node.Node) {
+			results[i], errs[i] = nd.Run()
+			done <- i
+		}(i, nd)
+	}
+	for range nodes {
+		<-done
+	}
+	for _, nd := range nodes {
+		c := nd.Counters()
+		addCounters(&agg, c)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, agg, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	if len(results[0].Centroids) == 0 {
+		return nil, agg, fmt.Errorf("run released no centroids")
+	}
+	return results[0], agg, nil
+}
+
+func addCounters(dst *wireproto.Counters, c wireproto.Counters) {
+	dst.Initiated += c.Initiated
+	dst.Responded += c.Responded
+	dst.Timeouts += c.Timeouts
+	dst.Rejected += c.Rejected
+	dst.BadFrames += c.BadFrames
+	dst.Retries += c.Retries
+	dst.Suspected += c.Suspected
+	dst.Evicted += c.Evicted
+	dst.BytesSent += c.BytesSent
+	dst.BytesRecv += c.BytesRecv
+}

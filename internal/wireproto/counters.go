@@ -3,15 +3,19 @@ package wireproto
 import "sync/atomic"
 
 // CounterSet is the live wire-level accounting every networked
-// component keeps: exchanges by role, timeouts, and byte volume. It is
-// safe for concurrent use; Snapshot returns a consistent-enough copy
-// for metrics export (fields are read independently, which is fine for
-// monotone counters).
+// component keeps: exchanges by role, timeouts, fault-tolerance
+// activity and byte volume. It is safe for concurrent use; Snapshot
+// returns a consistent-enough copy for metrics export (fields are read
+// independently, which is fine for monotone counters).
 type CounterSet struct {
 	Initiated atomic.Int64 // exchanges this peer started
 	Responded atomic.Int64 // exchanges this peer answered
 	Timeouts  atomic.Int64 // exchanges abandoned on a deadline
 	Rejected  atomic.Int64 // frames refused (bad version/epoch/bounds)
+	BadFrames atomic.Int64 // malformed or over-limit frames that dropped a connection
+	Retries   atomic.Int64 // exchange attempts retried after a transient failure
+	Suspected atomic.Int64 // consecutive-failure strikes recorded against peers
+	Evicted   atomic.Int64 // peers evicted from the address book by suspicion
 	BytesSent atomic.Int64
 	BytesRecv atomic.Int64
 }
@@ -22,6 +26,10 @@ type Counters struct {
 	Responded int64
 	Timeouts  int64
 	Rejected  int64
+	BadFrames int64
+	Retries   int64
+	Suspected int64
+	Evicted   int64
 	BytesSent int64
 	BytesRecv int64
 }
@@ -33,6 +41,10 @@ func (c *CounterSet) Snapshot() Counters {
 		Responded: c.Responded.Load(),
 		Timeouts:  c.Timeouts.Load(),
 		Rejected:  c.Rejected.Load(),
+		BadFrames: c.BadFrames.Load(),
+		Retries:   c.Retries.Load(),
+		Suspected: c.Suspected.Load(),
+		Evicted:   c.Evicted.Load(),
 		BytesSent: c.BytesSent.Load(),
 		BytesRecv: c.BytesRecv.Load(),
 	}

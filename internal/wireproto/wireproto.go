@@ -59,6 +59,12 @@ const (
 // no Chiaroscuro message legitimately approaches it.
 const maxFrameHard = 1 << 28
 
+// ErrMalformed marks frames that decoded wrongly at the framing layer —
+// over-limit lengths, impossible headers, version mismatches — as
+// opposed to plain I/O failures (a peer dying mid-frame). Receivers use
+// it to count hostile input separately from network weather.
+var ErrMalformed = errors.New("wireproto: malformed frame")
+
 // headerBytes is the fixed frame overhead after the length prefix.
 const headerBytes = 1 + 1 + 8
 
@@ -96,17 +102,17 @@ func ReadFrame(r io.Reader, maxFrame int) (Frame, error) {
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n < headerBytes {
-		return Frame{}, errors.New("wireproto: frame shorter than its header")
+		return Frame{}, fmt.Errorf("%w: frame shorter than its header", ErrMalformed)
 	}
 	if uint64(n) > uint64(maxFrame) {
-		return Frame{}, fmt.Errorf("wireproto: frame of %d bytes exceeds limit %d", n, maxFrame)
+		return Frame{}, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrMalformed, n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Frame{}, err
 	}
 	if body[0] != Version {
-		return Frame{}, fmt.Errorf("wireproto: version %d, want %d", body[0], Version)
+		return Frame{}, fmt.Errorf("%w: version %d, want %d", ErrMalformed, body[0], Version)
 	}
 	return Frame{
 		Kind:    body[1],

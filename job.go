@@ -141,6 +141,31 @@ type Options struct {
 	// ExchangeTimeout bounds every blocking exchange step of a
 	// Networked run (default 30s).
 	ExchangeTimeout time.Duration
+	// FaultPolicy hardens a Networked run against hostile networks:
+	// exchange retries with backoff, and peer suspicion. The zero value
+	// keeps the single-attempt behavior.
+	FaultPolicy FaultPolicy
+}
+
+// FaultPolicy is the Networked mode's fault-tolerance policy. Retries
+// only re-run exchange attempts that failed strictly before the local
+// state merge — a committed half-exchange is never re-applied — so a
+// run under retries releases the same centroids as one whose network
+// never faulted, given the same completed-exchange trace.
+type FaultPolicy struct {
+	// MaxRetries is how many additional attempts a failed exchange leg
+	// gets before its slot is abandoned (0 = single attempt).
+	MaxRetries int
+	// Backoff is the initial delay between attempts; it doubles per
+	// attempt (capped at 8×) with ±50% jitter. Defaults to 25ms when
+	// MaxRetries > 0.
+	Backoff time.Duration
+	// SuspicionK evicts a peer from a node's address book after this
+	// many consecutive initiator-side exchange failures (0 = never).
+	// Later exchanges to an evicted peer fail fast instead of burning
+	// their deadline; the peer's own hello reinstates it. Evictions
+	// surface as Churn events with Reason ChurnEvicted.
+	SuspicionK int
 }
 
 // Result is the outcome of a Job, across all modes. Mode-specific
@@ -169,6 +194,24 @@ type Result struct {
 	// accounting of the distributed modes.
 	AvgMessages float64
 	AvgBytes    float64
+	// Wire is the population-wide wire-level accounting of a Networked
+	// run (nil in every other mode): real exchange, fault-tolerance and
+	// byte counters summed over all participants.
+	Wire *WireStats
+}
+
+// WireStats aggregates the wire counters of a Networked population.
+type WireStats struct {
+	Initiated int64 // exchanges initiated
+	Responded int64 // exchanges answered
+	Timeouts  int64 // exchange slots abandoned on a deadline
+	Rejected  int64 // frames refused (bad version/epoch/bounds)
+	BadFrames int64 // malformed or over-limit frames that dropped a connection
+	Retries   int64 // exchange attempts retried after a transient failure
+	Suspected int64 // consecutive-failure strikes recorded against peers
+	Evicted   int64 // peers evicted from address books by suspicion
+	BytesSent int64
+	BytesRecv int64
 }
 
 // Best returns the released centroids of the best (lowest-inertia)
@@ -331,6 +374,9 @@ func validateOptions(d *Dataset, o *Options) error {
 	}
 	if o.Exchanges < 0 || o.DissCycles < 0 || o.DecryptCycles < 0 || o.NoiseShares < 0 {
 		return ErrBadCycles
+	}
+	if o.FaultPolicy.MaxRetries < 0 || o.FaultPolicy.Backoff < 0 || o.FaultPolicy.SuspicionK < 0 {
+		return fmt.Errorf("%w: %+v", ErrBadFaultPolicy, o.FaultPolicy)
 	}
 	badEps := !(o.Epsilon > 0) || math.IsInf(o.Epsilon, 1)
 	switch o.Mode {
@@ -496,8 +542,8 @@ func coreConfig(o Options, em *emitter) core.Config {
 			Phase: func(it int, p core.Phase, cycle, of int) {
 				em.phase(it, Phase(p), cycle, of)
 			},
-			Churn: func(it, cycle, down int) {
-				em.churn(it, cycle, down)
+			Churn: func(it, cycle, down int, reason string) {
+				em.churn(it, cycle, down, reason)
 			},
 		},
 	}
@@ -562,6 +608,11 @@ func (g *netEngine) run(ctx context.Context, em *emitter) (*Result, error) {
 			Proto:           proto,
 			Bootstrap:       bootstrap,
 			ExchangeTimeout: g.opts.ExchangeTimeout,
+			Policy: node.Policy{
+				MaxRetries: g.opts.FaultPolicy.MaxRetries,
+				Backoff:    g.opts.FaultPolicy.Backoff,
+				SuspicionK: g.opts.FaultPolicy.SuspicionK,
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
@@ -591,11 +642,26 @@ func (g *netEngine) run(ctx context.Context, em *emitter) (*Result, error) {
 		}
 	}
 	r0 := results[0]
+	wire := &WireStats{}
+	for _, r := range results {
+		c := r.Counters
+		wire.Initiated += c.Initiated
+		wire.Responded += c.Responded
+		wire.Timeouts += c.Timeouts
+		wire.Rejected += c.Rejected
+		wire.BadFrames += c.BadFrames
+		wire.Retries += c.Retries
+		wire.Suspected += c.Suspected
+		wire.Evicted += c.Evicted
+		wire.BytesSent += c.BytesSent
+		wire.BytesRecv += c.BytesRecv
+	}
 	return &Result{
 		Centroids:    r0.Centroids,
 		Traces:       r0.Traces,
 		TotalEpsilon: r0.TotalEpsilon,
 		AvgMessages:  r0.AvgMessages,
 		AvgBytes:     r0.AvgBytes,
+		Wire:         wire,
 	}, nil
 }
