@@ -38,9 +38,11 @@ import (
 	"chiaroscuro"
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/faultnet"
+	"chiaroscuro/internal/mux"
 	"chiaroscuro/internal/node"
 	"chiaroscuro/internal/soak"
 	"chiaroscuro/internal/timeseries"
+	"chiaroscuro/internal/wireproto"
 )
 
 // progress mirrors the node's observer callbacks for the live
@@ -132,6 +134,7 @@ func main() {
 		soakDur     = flag.Duration("soak", 0, "run the in-process chaos soak (crash-storm profile) for this long and exit (0 = off)")
 		retries     = flag.Int("retries", 0, "exchange retry budget per slot (fault policy)")
 		suspicionK  = flag.Int("suspicion-k", 0, "evict a peer after this many consecutive exchange failures (0 = never)")
+		vnodes      = flag.Int("vnodes", 1, "host this many consecutive participants (key-file index onward) as virtual nodes behind one listener")
 	)
 	flag.Parse()
 
@@ -177,32 +180,45 @@ func main() {
 		}
 	}
 	prog := &progress{}
+	proto := core.Config{
+		K:             *k,
+		InitCentroids: seeds,
+		DMin:          dmin,
+		DMax:          dmax,
+		Epsilon:       *eps,
+		MaxIterations: *maxIt,
+		Smooth:        *smooth,
+		Exchanges:     *exchanges,
+		DissCycles:    diss,
+		DecryptCycles: dec,
+		FracBits:      *fracBits,
+		PackSlots:     *packSlots,
+		Seed:          *seed,
+	}
+	policy := node.Policy{MaxRetries: *retries, SuspicionK: *suspicionK}
+
+	if *vnodes > 1 {
+		runVirtual(virtualConfig{
+			kf: kf, scheme: scheme, data: data, proto: proto, prog: prog,
+			vnodes: *vnodes, population: *population,
+			listen: *listen, bootstrap: *bootstrap, metricsAddr: *metricsAddr,
+			timeout: *timeout, joinTimeout: *joinTimeout, policy: policy,
+		})
+		return
+	}
+
+	proto.Observer = prog.observer()
 	nd, err := node.New(node.Config{
-		Index:  kf.Index,
-		N:      *population,
-		Series: data.Row(kf.Index),
-		Scheme: scheme,
-		Proto: core.Config{
-			K:             *k,
-			InitCentroids: seeds,
-			DMin:          dmin,
-			DMax:          dmax,
-			Epsilon:       *eps,
-			MaxIterations: *maxIt,
-			Smooth:        *smooth,
-			Exchanges:     *exchanges,
-			DissCycles:    diss,
-			DecryptCycles: dec,
-			FracBits:      *fracBits,
-			PackSlots:     *packSlots,
-			Seed:          *seed,
-			Observer:      prog.observer(),
-		},
+		Index:           kf.Index,
+		N:               *population,
+		Series:          data.Row(kf.Index),
+		Scheme:          scheme,
+		Proto:           proto,
 		Listen:          *listen,
 		Bootstrap:       *bootstrap,
 		ExchangeTimeout: *timeout,
 		JoinTimeout:     *joinTimeout,
-		Policy:          node.Policy{MaxRetries: *retries, SuspicionK: *suspicionK},
+		Policy:          policy,
 	})
 	if err != nil {
 		fatal(err)
@@ -211,7 +227,7 @@ func main() {
 	fmt.Printf("chiaroscurod: node %d/%d listening on %s\n", kf.Index, *population, nd.Addr())
 
 	if *metricsAddr != "" {
-		go serveMetrics(*metricsAddr, nd, prog)
+		go serveMetrics(*metricsAddr, []*node.Node{nd}, nil, prog)
 	}
 
 	// SIGINT/SIGTERM cancel the run: the node closes its listener and
@@ -263,6 +279,135 @@ func main() {
 	_ = nd.Leave()
 }
 
+// virtualConfig is the provisioning bundle for a -vnodes run.
+type virtualConfig struct {
+	kf          keyFile
+	scheme      chiaroscuro.Scheme
+	data        *chiaroscuro.Dataset
+	proto       core.Config
+	prog        *progress
+	vnodes      int
+	population  int
+	listen      string
+	bootstrap   string
+	metricsAddr string
+	timeout     time.Duration
+	joinTimeout time.Duration
+	policy      node.Policy
+}
+
+// runVirtual hosts vnodes consecutive participants (key-file index
+// onward) behind one mux listener: one accept loop, one shared address
+// book and schedule mirror, in-process pipes between co-located pairs.
+// The protocol run is bit-identical to hosting each participant in its
+// own daemon. The /progress observer rides the first hosted
+// participant; /metrics aggregates the whole host.
+func runVirtual(vc virtualConfig) {
+	if vc.kf.Index+vc.vnodes > vc.population {
+		fatal(fmt.Errorf("-vnodes %d from index %d exceeds the population of %d", vc.vnodes, vc.kf.Index, vc.population))
+	}
+	host, err := mux.NewHost(mux.Config{
+		Listen:          vc.listen,
+		N:               vc.population,
+		SeriesDim:       vc.data.Dim(),
+		Scheme:          vc.scheme,
+		Proto:           vc.proto,
+		Bootstrap:       vc.bootstrap,
+		ExchangeTimeout: vc.timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer host.Close()
+	nodes := make([]*node.Node, vc.vnodes)
+	for v := 0; v < vc.vnodes; v++ {
+		idx := vc.kf.Index + v
+		cfg := node.Config{
+			Index:           idx,
+			Series:          vc.data.Row(idx),
+			ExchangeTimeout: vc.timeout,
+			JoinTimeout:     vc.joinTimeout,
+			Policy:          vc.policy,
+		}
+		if v == 0 {
+			cfg.Proto.Observer = vc.prog.observer()
+		}
+		nd, err := host.AddNode(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		nodes[v] = nd
+	}
+	fmt.Printf("chiaroscurod: hosting nodes %d–%d of %d on %s (virtual)\n",
+		vc.kf.Index, vc.kf.Index+vc.vnodes-1, vc.population, host.Addr())
+
+	if vc.metricsAddr != "" {
+		go serveMetrics(vc.metricsAddr, nodes, host, vc.prog)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	stopWatch := context.AfterFunc(ctx, func() { _ = host.Close() })
+	defer stopWatch()
+
+	fmt.Printf("chiaroscurod: waiting for %d remote peers (bootstrap %q)\n",
+		vc.population-vc.vnodes, vc.bootstrap)
+	if err := nodes[0].Join(); err != nil {
+		if herr := host.Err(); herr != nil {
+			fatal(herr)
+		}
+		if ctx.Err() != nil {
+			fmt.Println("chiaroscurod: interrupted while waiting for peers")
+			return
+		}
+		fatal(err)
+	}
+	fmt.Println("chiaroscurod: roster complete, protocol starting")
+	start := time.Now()
+	results := make([]*node.Result, vc.vnodes)
+	errs := make([]error, vc.vnodes)
+	var wg sync.WaitGroup
+	for v, nd := range nodes {
+		wg.Add(1)
+		go func(v int, nd *node.Node) {
+			defer wg.Done()
+			results[v], errs[v] = nd.RunContext(ctx)
+		}(v, nd)
+	}
+	wg.Wait()
+	if errors.Is(ctx.Err(), context.Canceled) {
+		fmt.Println("chiaroscurod: interrupted; listener and connections closed cleanly")
+		return
+	}
+	for v, err := range errs {
+		if err != nil {
+			fatal(fmt.Errorf("node %d: %w", vc.kf.Index+v, err))
+		}
+	}
+	fmt.Printf("chiaroscurod: run complete in %s\n", time.Since(start).Round(time.Millisecond))
+	res := results[0]
+	for _, tr := range res.Traces {
+		fmt.Printf("  iter %d: centroids %d→%d, ε %.4f, cycles sum/diss/dec %d/%d/%d\n",
+			tr.Iteration, tr.CentroidsIn, tr.CentroidsOut, tr.EpsilonSpent,
+			tr.SumCycles, tr.DissCycles, tr.DecryptCycles)
+	}
+	var agg wireproto.Counters
+	for _, r := range results {
+		sumCounters(&agg, r.Counters)
+	}
+	sumCounters(&agg, host.Counters())
+	fmt.Printf("final: %d centroids (node %d's view), ε spent %.4f, host exchanges %d (init %d / resp %d), timeouts %d, sent %.1f kB, recv %.1f kB\n",
+		len(res.Centroids), vc.kf.Index, res.TotalEpsilon, agg.Exchanges(), agg.Initiated, agg.Responded,
+		agg.Timeouts, float64(agg.BytesSent)/1024, float64(agg.BytesRecv)/1024)
+	for i, ctr := range res.Centroids {
+		preview := ctr
+		if len(preview) > 6 {
+			preview = preview[:6]
+		}
+		fmt.Printf("  centroid %d: %.3f…\n", i, preview)
+	}
+}
+
 // runSoak runs the in-process chaos soak with the crash-storm profile:
 // refusals, mid-frame cuts, crash-at-leg storms and modeled churn over
 // a full population per run, with retries and peer suspicion on. Every
@@ -296,6 +441,8 @@ func runSoak(d time.Duration, population int, seed uint64) {
 	fmt.Printf("soak: exchanges %d, timeouts %d, retries %d, suspected %d, evicted %d, wire %.1f kB sent / %.1f kB received\n",
 		w.Initiated+w.Responded, w.Timeouts, w.Retries, w.Suspected, w.Evicted,
 		float64(w.BytesSent)/1024, float64(w.BytesRecv)/1024)
+	fmt.Printf("soak: peak %d goroutines, %.1f MB heap in use\n",
+		rep.PeakGoroutines, float64(rep.PeakHeapBytes)/(1024*1024))
 	if rep.Centroids == 0 || rep.Runs == rep.Failures {
 		fatal(fmt.Errorf("soak released no centroids (last error: %v)", rep.LastErr))
 	}
@@ -374,11 +521,28 @@ func loadData(csvPath, dataset string, size int, seed uint64) (d *chiaroscuro.Da
 	return nil, 0, 0, "", fmt.Errorf("unknown dataset %q", dataset)
 }
 
+func sumCounters(dst *wireproto.Counters, c wireproto.Counters) {
+	dst.Initiated += c.Initiated
+	dst.Responded += c.Responded
+	dst.Timeouts += c.Timeouts
+	dst.Rejected += c.Rejected
+	dst.BadFrames += c.BadFrames
+	dst.Retries += c.Retries
+	dst.Suspected += c.Suspected
+	dst.Evicted += c.Evicted
+	dst.BytesSent += c.BytesSent
+	dst.BytesRecv += c.BytesRecv
+}
+
 // serveMetrics exposes wire counters and protocol progress: Prometheus
 // text counters on /metrics, and the live protocol position — current
 // phase cycle plus every released per-iteration centroid set so far —
 // as JSON on /progress (the daemon-side view of the Job event stream).
-func serveMetrics(addr string, nd *node.Node, prog *progress) {
+// A virtual-node daemon passes every hosted participant plus its host:
+// the counters aggregate across all of them (host membership traffic
+// included), and the iteration/phase gauges follow the first hosted
+// participant (all stay in lockstep by construction).
+func serveMetrics(addr string, nodes []*node.Node, host *mux.Host, prog *progress) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -387,8 +551,14 @@ func serveMetrics(addr string, nd *node.Node, prog *progress) {
 		_ = enc.Encode(prog.snapshot())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		c := nd.Counters()
-		iter, phase := nd.Progress()
+		var c wireproto.Counters
+		for _, nd := range nodes {
+			sumCounters(&c, nd.Counters())
+		}
+		if host != nil {
+			sumCounters(&c, host.Counters())
+		}
+		iter, phase := nodes[0].Progress()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprintf(w, "# HELP chiaroscuro_exchanges_total Completed exchanges by role.\n")
 		fmt.Fprintf(w, "# TYPE chiaroscuro_exchanges_total counter\n")
@@ -424,7 +594,10 @@ func serveMetrics(addr string, nd *node.Node, prog *progress) {
 		fmt.Fprintf(w, "chiaroscuro_phase %d\n", phase)
 		fmt.Fprintf(w, "# HELP chiaroscuro_roster_size Participants known to the address book.\n")
 		fmt.Fprintf(w, "# TYPE chiaroscuro_roster_size gauge\n")
-		fmt.Fprintf(w, "chiaroscuro_roster_size %d\n", nd.RosterSize())
+		fmt.Fprintf(w, "chiaroscuro_roster_size %d\n", nodes[0].RosterSize())
+		fmt.Fprintf(w, "# HELP chiaroscuro_virtual_nodes Participants hosted by this process.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_virtual_nodes gauge\n")
+		fmt.Fprintf(w, "chiaroscuro_virtual_nodes %d\n", len(nodes))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")

@@ -230,11 +230,16 @@ func (in *Injector) CrashesAt(self, leg, phase, iter, cycle, seq int) bool {
 	return unit(k) < in.plan.CrashProb
 }
 
+// DialFunc is the underlying transport a NodeFaults injects faults on
+// top of — the same shape as the node runtime's Dialer.Dial.
+type DialFunc func(peer int, addr string, timeout time.Duration) (net.Conn, error)
+
 // NodeFaults is the per-node face of the injector: a dialer (matching
 // the node runtime's Dialer surface) and a crash hook.
 type NodeFaults struct {
 	in   *Injector
 	self int
+	dial DialFunc // nil: plain TCP
 }
 
 // Node returns the fault surface for one participant index.
@@ -242,12 +247,29 @@ func (in *Injector) Node(self int) *NodeFaults {
 	return &NodeFaults{in: in, self: self}
 }
 
+// WithTransport returns a copy of nf whose clean connections come from
+// dial instead of plain TCP — the fault verdicts (refuse, partition,
+// latency, cut) are layered on top unchanged. This is how a virtual
+// population runs chaos plans over in-process pipes: same decisions at
+// the same attempt ordinals, no kernel sockets.
+func (nf *NodeFaults) WithTransport(dial DialFunc) *NodeFaults {
+	return &NodeFaults{in: nf.in, self: nf.self, dial: dial}
+}
+
+// connect is the fault-free underlying dial.
+func (nf *NodeFaults) connect(peer int, addr string, timeout time.Duration) (net.Conn, error) {
+	if nf.dial != nil {
+		return nf.dial(peer, addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // Dial dials addr under the plan's faults. peer is the destination's
 // population index; membership dials (peer < 0) pass through unfaulted
 // (see the package determinism note).
 func (nf *NodeFaults) Dial(peer int, addr string, timeout time.Duration) (net.Conn, error) {
 	if peer < 0 {
-		return net.DialTimeout("tcp", addr, timeout)
+		return nf.connect(peer, addr, timeout)
 	}
 	v := nf.in.decide(nf.self, peer)
 	if v.refuse {
@@ -261,7 +283,7 @@ func (nf *NodeFaults) Dial(peer int, addr string, timeout time.Duration) (net.Co
 		time.Sleep(delay)
 		return nil, fmt.Errorf("%w: dial %d→%d blackholed (partition)", ErrInjected, nf.self, peer)
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	conn, err := nf.connect(peer, addr, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,331 @@
+package mux_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/mux"
+	"chiaroscuro/internal/node"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/timeseries"
+)
+
+// testSetup is a shared deployment description for sim-vs-wire-vs-
+// virtual runs (mirrors the node package's, which is test-private).
+type testSetup struct {
+	n      int
+	data   *timeseries.Dataset
+	scheme *damgardjurik.Scheme
+	proto  core.Config
+}
+
+func newSetup(t *testing.T, n int, churn float64) testSetup {
+	t.Helper()
+	data, _ := datasets.GenerateCER(n, randx.New(7, 0))
+	scheme, err := damgardjurik.NewTestScheme(128, 4, n, max(2, n/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]timeseries.Series, 2)
+	for c := range seeds {
+		s := make(timeseries.Series, data.Dim())
+		for j := range s {
+			s[j] = 10 + 30*float64(c)
+		}
+		seeds[c] = s
+	}
+	return testSetup{
+		n:      n,
+		data:   data,
+		scheme: scheme,
+		proto: core.Config{
+			K:             2,
+			InitCentroids: seeds,
+			DMin:          datasets.CERMin,
+			DMax:          datasets.CERMax,
+			Epsilon:       1e4, // huge budget: noise cannot wipe centroids
+			MaxIterations: 1,
+			Exchanges:     10,
+			DissCycles:    8,
+			DecryptCycles: 10,
+			FracBits:      24,
+			Seed:          21,
+			Churn:         churn,
+			MidFailure:    churn > 0,
+			Workers:       2,
+		},
+	}
+}
+
+func runSim(t *testing.T, ts testSetup) *core.Result {
+	t.Helper()
+	nw, err := core.NewNetwork(ts.data, ts.scheme, ts.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// launchTCP runs the population as separate daemons: one TCP listener
+// per participant, the pre-mux deployment shape.
+func launchTCP(t *testing.T, ts testSetup) []*node.Result {
+	t.Helper()
+	nodes := make([]*node.Node, ts.n)
+	var bootstrap string
+	for i := 0; i < ts.n; i++ {
+		nd, err := node.New(node.Config{
+			Index:           i,
+			N:               ts.n,
+			Series:          ts.data.Row(i),
+			Scheme:          ts.scheme,
+			Proto:           ts.proto,
+			Bootstrap:       bootstrap,
+			ExchangeTimeout: 20 * time.Second,
+			FinTimeout:      20 * time.Second,
+			JoinTimeout:     20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Close() })
+		nodes[i] = nd
+		if i == 0 {
+			bootstrap = nd.Addr()
+		}
+	}
+	return runAll(t, nodes)
+}
+
+// launchVirtual runs the population as virtual nodes: hostSizes[h]
+// participants on host h (consecutive indices), the first host
+// bootstrapping the rest. One size covering everything is the
+// single-process shape; several exercise the cross-host v2-over-TCP
+// path and the membership pump.
+func launchVirtual(t *testing.T, ts testSetup, hostSizes ...int) []*node.Result {
+	t.Helper()
+	nodes := make([]*node.Node, 0, ts.n)
+	bootstrap := ""
+	base := 0
+	for _, size := range hostSizes {
+		h, err := mux.NewHost(mux.Config{
+			N:               ts.n,
+			SeriesDim:       ts.data.Dim(),
+			Scheme:          ts.scheme,
+			Proto:           ts.proto,
+			Bootstrap:       bootstrap,
+			ExchangeTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = h.Close() })
+		for i := base; i < base+size; i++ {
+			nd, err := h.AddNode(node.Config{
+				Index:           i,
+				Series:          ts.data.Row(i),
+				ExchangeTimeout: 20 * time.Second,
+				FinTimeout:      20 * time.Second,
+				JoinTimeout:     20 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, nd)
+		}
+		if bootstrap == "" {
+			bootstrap = h.Addr()
+		}
+		base += size
+	}
+	if base != ts.n {
+		t.Fatalf("host sizes cover %d of %d participants", base, ts.n)
+	}
+	return runAll(t, nodes)
+}
+
+func runAll(t *testing.T, nodes []*node.Node) []*node.Result {
+	t.Helper()
+	results := make([]*node.Result, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *node.Node) {
+			defer wg.Done()
+			results[i], errs[i] = nd.Run()
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+func assertCentroidsEqual(t *testing.T, label string, want, got []timeseries.Series) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d centroids, want %d", label, len(got), len(want))
+	}
+	for c := range want {
+		if (want[c] == nil) != (got[c] == nil) {
+			t.Fatalf("%s: centroid %d liveness differs", label, c)
+		}
+		if want[c] == nil {
+			continue
+		}
+		for j := range want[c] {
+			if got[c][j] != want[c][j] {
+				t.Fatalf("%s: centroid %d[%d] = %v, want %v (bit mismatch)",
+					label, c, j, got[c][j], want[c][j])
+			}
+		}
+	}
+}
+
+// TestVirtualBitMatchesTCPAndSimulator is the acceptance end-to-end of
+// the virtual-node runtime: the same 12-participant population run
+// three ways — the in-memory simulator, 12 separate TCP daemons, and 12
+// virtual nodes behind one mux.Host — releases bit-identical centroids
+// with identical schedule accounting, for every participant.
+func TestVirtualBitMatchesTCPAndSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	ts := newSetup(t, 12, 0)
+	simRes := runSim(t, ts)
+	if len(simRes.Centroids) == 0 {
+		t.Fatal("simulator produced no centroids")
+	}
+	tcp := launchTCP(t, ts)
+	virt := launchVirtual(t, ts, 12)
+	assertCentroidsEqual(t, "virtual node 0 vs sim", simRes.Centroids, virt[0].Centroids)
+	if virt[0].AvgMessages != simRes.AvgMessages || virt[0].AvgBytes != simRes.AvgBytes {
+		t.Fatalf("mirror accounting diverged: %v/%v vs %v/%v",
+			virt[0].AvgMessages, virt[0].AvgBytes, simRes.AvgMessages, simRes.AvgBytes)
+	}
+	for i := range tcp {
+		assertCentroidsEqual(t, "virtual vs tcp", tcp[i].Centroids, virt[i].Centroids)
+		if len(virt[i].Centroids) == 0 {
+			t.Fatalf("virtual node %d released no centroids", i)
+		}
+		if virt[i].Counters.Exchanges() == 0 || virt[i].Counters.BytesSent == 0 {
+			t.Fatalf("virtual node %d saw no wire traffic: %+v", i, virt[i].Counters)
+		}
+	}
+}
+
+// TestVirtualChurnMatchesSimulator pins the virtual runtime under the
+// Section 6.1.5 churn model: the shared schedule mirror reproduces the
+// simulator's churn draws even though one draw now serves every
+// co-located participant.
+func TestVirtualChurnMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	ts := newSetup(t, 8, 0.3)
+	ts.proto.DissCycles = 16
+	ts.proto.DecryptCycles = 16
+	simRes := runSim(t, ts)
+	if len(simRes.Centroids) == 0 {
+		t.Fatal("simulator produced no centroids under churn")
+	}
+	virt := launchVirtual(t, ts, 8)
+	assertCentroidsEqual(t, "virtual node 0 vs sim (churn)", simRes.Centroids, virt[0].Centroids)
+}
+
+// TestVirtualTwoHostsBitMatchesSimulator splits the population across
+// two hosts — co-located pairs on pipes, cross-host pairs on TCP with
+// targeted frames, rosters merged through the membership pump — and the
+// result must still bit-match the simulator.
+func TestVirtualTwoHostsBitMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crypto e2e")
+	}
+	ts := newSetup(t, 12, 0)
+	simRes := runSim(t, ts)
+	virt := launchVirtual(t, ts, 7, 5)
+	for i := range virt {
+		if i == 0 {
+			assertCentroidsEqual(t, "two-host virtual vs sim", simRes.Centroids, virt[0].Centroids)
+		}
+		if len(virt[i].Centroids) == 0 {
+			t.Fatalf("virtual node %d released no centroids", i)
+		}
+	}
+}
+
+// TestHostCloseNoGoroutineLeak pins host shutdown: accept loop, pump,
+// per-connection routers and every virtual node's loops are all joined
+// by Close (the cancel_test.go discipline, host edition).
+func TestHostCloseNoGoroutineLeak(t *testing.T) {
+	ts := newSetup(t, 4, 0)
+	baseline := runtime.NumGoroutine()
+	h, err := mux.NewHost(mux.Config{
+		N:         ts.n,
+		SeriesDim: ts.data.Dim(),
+		Scheme:    ts.scheme,
+		Proto:     ts.proto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ts.n; i++ {
+		if _, err := h.AddNode(node.Config{Index: i, Series: ts.data.Row(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Open a routed pipe so shutdown has a live in-flight connection to
+	// tear down, not just idle loops.
+	conn, err := h.Transport().Dial(1, h.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_ = conn.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after Close\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAddNodeValidation pins the host-side provisioning checks.
+func TestAddNodeValidation(t *testing.T) {
+	ts := newSetup(t, 4, 0)
+	h, err := mux.NewHost(mux.Config{N: ts.n, SeriesDim: ts.data.Dim(), Scheme: ts.scheme, Proto: ts.proto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.AddNode(node.Config{Index: 0, Series: ts.data.Row(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNode(node.Config{Index: 0, Series: ts.data.Row(0)}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if _, err := h.AddNode(node.Config{Index: 1, Series: ts.data.Row(1)[:3]}); err == nil {
+		t.Fatal("short series accepted")
+	}
+}

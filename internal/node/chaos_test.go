@@ -199,8 +199,8 @@ func TestRetryRecoversExchange(t *testing.T) {
 	}
 	ndA := mk(0, "", flaky)
 	ndB := mk(1, ndA.Addr(), nil)
-	ndA.book.learn(1, ndB.Addr())
-	ndB.book.learn(0, ndA.Addr())
+	ndA.book.Learn(1, ndB.Addr())
+	ndB.book.Learn(0, ndA.Addr())
 
 	stA := &iterState{corID: 5, corVec: []float64{1, 2, 3}}
 	stB := &iterState{corID: 3, corVec: []float64{9, 8, 7}}
@@ -272,16 +272,16 @@ func TestSuspicionEvictsPeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd.book.learn(1, "127.0.0.1:1") // reachable on paper, refused on dial
+	nd.book.Learn(1, "127.0.0.1:1") // reachable on paper, refused on dial
 	st := &iterState{corVec: []float64{1}}
 
 	nd.initiateDiss(st, 1, slot{iter: 1, phase: phaseDiss, cycle: 0, seq: 0}, true)
-	if got := nd.book.addr(1); got == "" {
+	if got := nd.book.Addr(1); got == "" {
 		t.Fatal("one failure already evicted the peer (SuspicionK = 2)")
 	}
 	nd.initiateDiss(st, 1, slot{iter: 1, phase: phaseDiss, cycle: 1, seq: 0}, true)
 
-	if got := nd.book.addr(1); got != "" {
+	if got := nd.book.Addr(1); got != "" {
 		// evicted: addr must be gone
 		t.Fatalf("peer still resolvable at %q after %d consecutive failures", got, 2)
 	}
@@ -305,8 +305,8 @@ func TestSuspicionEvictsPeer(t *testing.T) {
 		t.Fatalf("evicted twice: %d", c.Evicted)
 	}
 	// A direct hello reinstates the peer.
-	nd.book.learn(1, "127.0.0.1:1")
-	if nd.book.addr(1) == "" {
+	nd.book.Learn(1, "127.0.0.1:1")
+	if nd.book.Addr(1) == "" {
 		t.Fatal("hello did not reinstate the evicted peer")
 	}
 	_ = nd.Close()
@@ -366,7 +366,7 @@ func TestBadFrameDropsConnNotListener(t *testing.T) {
 	if err := ndB.Join(); err != nil {
 		t.Fatalf("join after hostile frames: %v", err)
 	}
-	if got := ndA.book.addr(1); got != ndB.Addr() {
+	if got := ndA.book.Addr(1); got != ndB.Addr() {
 		t.Fatalf("bootstrap learned %q for the joiner, want %q", got, ndB.Addr())
 	}
 	_ = ndA.Close()
@@ -402,8 +402,8 @@ func TestResponderSurvivesFinCut(t *testing.T) {
 	// sees the commit leg die after its own merge point was armed.
 	ndA := mk(0, finCutDialer{})
 	ndB := mk(1, nil)
-	ndA.book.learn(1, ndB.Addr())
-	ndB.book.learn(0, ndA.Addr())
+	ndA.book.Learn(1, ndB.Addr())
+	ndB.book.Learn(0, ndA.Addr())
 
 	stA := &iterState{corID: 5, corVec: []float64{1}}
 	stB := &iterState{corID: 3, corVec: []float64{9}}

@@ -1,0 +1,82 @@
+package node
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns one end of a net.Pipe with the other end drained
+// and discarded.
+func pipeEnd(t *testing.T) net.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a
+}
+
+// TestConnSetConcurrent hammers one connSet from many goroutines —
+// adds, removes and a mid-flight closeAll — under the race detector:
+// the shutdown path must tolerate connections arriving while the set
+// is being torn down.
+func TestConnSetConcurrent(t *testing.T) {
+	var cs connSet
+	const workers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				a, b := net.Pipe()
+				if !cs.add(a) {
+					// Set already closed: the caller must close the
+					// connection itself.
+					_ = a.Close()
+				} else if i%2 == 0 {
+					cs.remove(a)
+					_ = a.Close()
+				}
+				_ = b.Close()
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	cs.closeAll()
+	wg.Wait()
+	// After closeAll, every add must be refused.
+	if cs.add(pipeEnd(t)) {
+		t.Fatal("add accepted after closeAll")
+	}
+	// closeAll is idempotent.
+	cs.closeAll()
+}
+
+// TestConnSetCloseAllClosesTracked pins that closeAll really closes
+// what was added and forgets what was removed.
+func TestConnSetCloseAllClosesTracked(t *testing.T) {
+	var cs connSet
+	tracked, peerT := net.Pipe()
+	defer peerT.Close()
+	removed, peerR := net.Pipe()
+	defer peerR.Close()
+	defer removed.Close()
+	if !cs.add(tracked) || !cs.add(removed) {
+		t.Fatal("adds refused on fresh set")
+	}
+	cs.remove(removed)
+	cs.closeAll()
+	if _, err := tracked.Read(make([]byte, 1)); err == nil {
+		t.Fatal("tracked conn still open after closeAll")
+	}
+	// The removed conn must have survived closeAll: a write must not
+	// fail with "closed pipe" (it times out instead, nobody is reading).
+	_ = removed.SetWriteDeadline(time.Now().Add(10 * time.Millisecond))
+	if _, err := removed.Write([]byte{1}); err == nil || !err.(net.Error).Timeout() {
+		t.Fatalf("removed conn: want deadline timeout, got %v", err)
+	}
+}

@@ -207,7 +207,9 @@ func (nd *Node) initiateSum(st *iterState, peer int, s slot, full bool) {
 		}
 		hdr := nd.hdrFor(s, peer)
 		req := wireproto.SumMsg{Hdr: hdr, Means: st.means, Noise: st.noise, CtrSigma: st.ctrS, CtrOmega: st.ctrW}
-		if err := nd.writeFrame(conn, wireproto.KindSumReq, wireproto.MarshalSum(req)); err != nil {
+		// Request legs carry the destination index so a multiplexed
+		// listener can route them; later legs ride the routed connection.
+		if err := nd.writeFrameTo(conn, wireproto.KindSumReq, peer, wireproto.MarshalSum(req)); err != nil {
 			return tryRetry
 		}
 		f, err := nd.readFrame(conn)
@@ -293,7 +295,7 @@ func (nd *Node) initiateDiss(st *iterState, peer int, s slot, full bool) {
 		}
 		hdr := nd.hdrFor(s, peer)
 		req := wireproto.DissMsg{Hdr: hdr, ID: st.corID, Vec: st.corVec}
-		if err := nd.writeFrame(conn, wireproto.KindDissReq, wireproto.MarshalDiss(req)); err != nil {
+		if err := nd.writeFrameTo(conn, wireproto.KindDissReq, peer, wireproto.MarshalDiss(req)); err != nil {
 			return tryRetry
 		}
 		f, err := nd.readFrame(conn)
@@ -358,7 +360,7 @@ func (nd *Node) initiateDec(st *iterState, peer int, s slot, full bool) {
 		}
 		hdr := nd.hdrFor(s, peer)
 		req := wireproto.DecMsg{Hdr: hdr, CTs: st.decCTs, Omega: st.decOmega, Parts: st.decParts}
-		if err := nd.writeFrame(conn, wireproto.KindDecReq, wireproto.MarshalDec(req)); err != nil {
+		if err := nd.writeFrameTo(conn, wireproto.KindDecReq, peer, wireproto.MarshalDec(req)); err != nil {
 			return tryRetry
 		}
 		f, err := nd.readFrame(conn)

@@ -42,7 +42,6 @@ import (
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/kmeans"
 	"chiaroscuro/internal/randx"
-	"chiaroscuro/internal/sim"
 	"chiaroscuro/internal/timeseries"
 	"chiaroscuro/internal/wireproto"
 )
@@ -111,6 +110,27 @@ type Config struct {
 	Listen    string // listen address (default "127.0.0.1:0")
 	Bootstrap string // address of any live peer ("" for the first node)
 
+	// External marks a virtual node hosted behind a shared listener
+	// (mux.Host): the node opens no listener and runs no membership
+	// loops of its own — inbound frames arrive via Deliver, the host
+	// handles hello/view gossip, and Join passively waits for the shared
+	// book to cover the population. Addr is then required: the shared
+	// listener's address this participant advertises.
+	External bool
+	Addr     string
+
+	// Book, when set, is a shared address book (one per mux.Host instead
+	// of one per participant). The node registers itself in it via
+	// AddLocal. Nil: the node owns a private book.
+	Book *Book
+
+	// Schedule, when set, is this participant's cursor over a shared
+	// ScheduleSource (one schedule mirror per process instead of one
+	// sim.Engine per participant). Nil: the node builds a private
+	// source. Views of one source MUST all come from configurations that
+	// would build identical private sources.
+	Schedule *ScheduleView
+
 	// ExchangeTimeout bounds every blocking step of an exchange: the
 	// dial, the wait for a scheduled request, and the response read.
 	// FinTimeout bounds only the responder's wait for the commit leg
@@ -157,15 +177,17 @@ type Node struct {
 	dimWk    int // worker count for per-dimension sweeps
 	maxEpoch int // EESum epoch bound a peer state may legitimately carry
 
-	ln   net.Listener
+	ln   net.Listener // nil for external (mux-hosted) nodes
 	addr string
 	live connSet // every open conn, closable on shutdown
 
-	book *book
-	reg  *registry
+	book       *Book
+	sharedBook bool // book is shared with co-located participants
+	reg        *registry
 
-	mirror   *sim.Engine // schedule mirror (never executes exchanges)
-	protoRNG *randx.RNG  // base noise source; per-node streams split off
+	sched    *ScheduleView // cursor over the schedule mirror (never executes exchanges)
+	digest   uint64        // shared-config digest carried in hellos
+	protoRNG *randx.RNG    // base noise source; per-node streams split off
 	acct     *dp.Accountant
 
 	counters wireproto.CounterSet
@@ -176,8 +198,16 @@ type Node struct {
 	dialer    Dialer
 	crashHook CrashHook
 	// suspect counts consecutive initiator-side failures per peer for
-	// the suspicion policy. Touched only by the main protocol loop.
+	// the suspicion policy; evicted is the node-local eviction overlay
+	// used when the book is shared (one participant's suspicion must not
+	// expel a peer for its co-located siblings). Both are touched only
+	// by the main protocol loop.
 	suspect map[int]int
+	evicted map[int]bool
+
+	// joinReject is a typed handshake refusal received during Join
+	// (config-digest mismatch). Touched only by the Join goroutine.
+	joinReject error
 
 	stop    chan struct{}
 	stopped atomic.Bool
@@ -280,6 +310,13 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Proto.DissCycles <= 0 || cfg.Proto.DecryptCycles <= 0 {
 		return nil, errors.New("node: networked runs need fixed DissCycles and DecryptCycles (no participant can observe global convergence)")
 	}
+	if cfg.External {
+		if cfg.Addr == "" {
+			return nil, errors.New("node: external node needs the shared listener address")
+		}
+		// The host owns the listener and the membership loops.
+		cfg.ViewInterval = -1
+	}
 	if cfg.Listen == "" {
 		cfg.Listen = "127.0.0.1:0"
 	}
@@ -317,10 +354,6 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 
-	ln, err := net.Listen("tcp", cfg.Listen)
-	if err != nil {
-		return nil, err
-	}
 	// fullDim bounds the wire decoders: the correction vectors of the
 	// dissemination phase stay unpacked (cleartext per-variable floats),
 	// so MaxDim must admit the full k·(n+1) length even when the
@@ -330,40 +363,63 @@ func New(cfg Config) (*Node, error) {
 	fullDim := len(kmeans.Compact(cfg.Proto.InitCentroids)) * (len(cfg.Series) + 1)
 	dim := pack.PackedLen(fullDim)
 	nd := &Node{
-		cfg:      cfg,
-		codec:    codec,
-		pack:     pack,
-		lim:      wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), fullDim, cfg.Scheme.Threshold(), cfg.N),
-		epoch:    cfg.Epoch,
-		share:    cfg.Index + 1,
-		dimWk:    eesum.DimWorkers(dim, cfg.Proto.Workers),
-		maxEpoch: core.HeadroomNeeded(cfg.Proto.Exchanges),
-		ln:       ln,
-		addr:     ln.Addr().String(),
-		protoRNG: core.ProtocolRNG(cfg.Proto.Seed),
-		acct:     &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
-		policy:   cfg.Policy,
-		dialer:   cfg.Dialer,
+		cfg:       cfg,
+		codec:     codec,
+		pack:      pack,
+		lim:       wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), fullDim, cfg.Scheme.Threshold(), cfg.N),
+		epoch:     cfg.Epoch,
+		share:     cfg.Index + 1,
+		dimWk:     eesum.DimWorkers(dim, cfg.Proto.Workers),
+		maxEpoch:  core.HeadroomNeeded(cfg.Proto.Exchanges),
+		digest:    ConfigDigest(cfg.Proto, cfg.N, len(cfg.Series), pack),
+		addr:      cfg.Addr,
+		protoRNG:  core.ProtocolRNG(cfg.Proto.Seed),
+		acct:      &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
+		policy:    cfg.Policy,
+		dialer:    cfg.Dialer,
 		crashHook: cfg.CrashHook,
-		suspect:  make(map[int]int),
-		stop:     make(chan struct{}),
+		suspect:   make(map[int]int),
+		evicted:   make(map[int]bool),
+		stop:      make(chan struct{}),
 	}
-	ecfg := core.MirrorEngineConfig(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme, pack)
+	if !cfg.External {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, err
+		}
+		nd.ln = ln
+		nd.addr = ln.Addr().String()
+	}
+	nd.sched = cfg.Schedule
+	if nd.sched == nil {
+		src, err := NewScheduleSource(cfg.Proto, cfg.N, len(cfg.Series), cfg.Scheme, pack)
+		if err != nil {
+			if nd.ln != nil {
+				_ = nd.ln.Close()
+			}
+			return nil, err
+		}
+		nd.sched = src.View()
+	}
 	if hook := cfg.Proto.Observer.Churn; hook != nil {
-		// DrawCycle runs on the main protocol loop, the goroutine that
-		// advances iterNow — the relaxed read is still race-free.
-		ecfg.OnChurn = func(cycle, down int) { hook(int(nd.iterNow.Load()), cycle, down, core.ChurnModel) }
+		// The iteration is recovered from the cumulative cycle index, so
+		// the observation is identical whether this participant or a
+		// faster co-located one first demands the cycle.
+		nd.sched.src.bindChurn(func(iter, cycle, down int) {
+			hook(iter, cycle, down, core.ChurnModel)
+		})
 	}
-	mirror, err := sim.New(ecfg, cfg.Proto.Sampler)
-	if err != nil {
-		_ = ln.Close()
-		return nil, err
+	nd.book = cfg.Book
+	nd.sharedBook = cfg.Book != nil
+	if nd.book == nil {
+		nd.book = NewBook(cfg.N)
 	}
-	nd.mirror = mirror
-	nd.book = newBook(cfg.Index, cfg.N, nd.addr)
+	nd.book.AddLocal(cfg.Index, nd.addr)
 	nd.reg = newRegistry(nd.stop)
-	nd.wg.Add(1)
-	go nd.serve()
+	if !cfg.External {
+		nd.wg.Add(1)
+		go nd.serve()
+	}
 	if cfg.ViewInterval > 0 {
 		nd.wg.Add(1)
 		go nd.viewLoop()
@@ -386,29 +442,41 @@ func (nd *Node) Progress() (iter, phase int64) {
 }
 
 // RosterSize returns how many participants the address book covers.
-func (nd *Node) RosterSize() int { return nd.book.size() }
+func (nd *Node) RosterSize() int { return nd.book.Size() }
+
+// ErrConfigMismatch marks a handshake refused because the peers were
+// provisioned with different shared protocol parameters (the
+// config-digest check of the hello exchange).
+var ErrConfigMismatch = errors.New("node: peer configuration mismatch")
 
 // Join fills the address book: the node announces itself to the
 // bootstrap peer (when it has one) and polls known peers until it can
 // dial the entire population or the join timeout passes. Sweeps are
 // paced by a jittered exponential backoff (reset whenever the roster
 // grows) so a flood of joiners does not hammer the bootstrap peer in a
-// tight re-dial loop for the whole JoinTimeout.
+// tight re-dial loop for the whole JoinTimeout. An external node sends
+// no hellos of its own — its host's membership pump fills the shared
+// book — so it just waits for the roster to cover the population.
 func (nd *Node) Join() error {
 	deadline := time.Now().Add(nd.cfg.JoinTimeout)
 	idle := 0 // consecutive sweeps without roster growth
-	for nd.book.size() < nd.cfg.N {
+	for nd.book.Size() < nd.cfg.N {
 		if nd.stopped.Load() {
 			return errors.New("node: closed during join")
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("node %d: roster has %d of %d peers after join timeout", nd.cfg.Index, nd.book.size(), nd.cfg.N)
+			return fmt.Errorf("node %d: roster has %d of %d peers after join timeout", nd.cfg.Index, nd.book.Size(), nd.cfg.N)
 		}
-		before := nd.book.size()
-		if target := nd.helloTarget(); target != "" {
-			nd.hello(target)
+		before := nd.book.Size()
+		if !nd.cfg.External {
+			if target := nd.helloTarget(); target != "" {
+				nd.hello(target)
+			}
+			if err := nd.joinReject; err != nil {
+				return err
+			}
 		}
-		if nd.book.size() > before {
+		if nd.book.Size() > before {
 			idle = 0
 		} else {
 			idle++
@@ -458,7 +526,7 @@ func (nd *Node) helloTarget() string {
 			return nd.cfg.Bootstrap
 		}
 	}
-	items := nd.book.roster()
+	items := nd.book.Roster()
 	cands := make([]string, 0, len(items))
 	for _, it := range items {
 		if int(it.Index) != nd.cfg.Index && it.Addr != "" {
@@ -471,7 +539,10 @@ func (nd *Node) helloTarget() string {
 	return cands[rand.IntN(len(cands))]
 }
 
-// hello performs one hello round trip: announce, merge the ack roster.
+// hello performs one hello round trip: announce (with the shared-config
+// digest), merge the ack roster. A KindReject answer — the peer's
+// digest differs — is recorded as a sticky typed error that aborts the
+// join: retrying cannot reconcile inconsistent provisioning.
 func (nd *Node) hello(addr string) {
 	conn, err := nd.dialAddr(addr)
 	if err != nil {
@@ -479,13 +550,25 @@ func (nd *Node) hello(addr string) {
 	}
 	defer conn.Close()
 	payload := wireproto.MarshalHello(wireproto.Hello{
-		Index: uint32(nd.cfg.Index), Addr: nd.addr, N: uint32(nd.cfg.N),
+		Index: uint32(nd.cfg.Index), Addr: nd.addr, N: uint32(nd.cfg.N), Digest: nd.digest,
 	})
 	if err := nd.writeFrame(conn, wireproto.KindHello, payload); err != nil {
 		return
 	}
 	f, err := nd.readFrame(conn)
-	if err != nil || f.Kind != wireproto.KindHelloAck {
+	if err != nil {
+		return
+	}
+	if f.Kind == wireproto.KindReject {
+		r, rerr := wireproto.UnmarshalReject(f.Payload)
+		if rerr != nil {
+			nd.counters.Rejected.Add(1)
+			return
+		}
+		nd.joinReject = fmt.Errorf("%w: peer %s: %s", ErrConfigMismatch, addr, r.Reason)
+		return
+	}
+	if f.Kind != wireproto.KindHelloAck {
 		return
 	}
 	items, err := wireproto.UnmarshalView(f.Payload, nd.lim)
@@ -493,7 +576,7 @@ func (nd *Node) hello(addr string) {
 		nd.counters.Rejected.Add(1)
 		return
 	}
-	nd.book.merge(items)
+	nd.book.Merge(items)
 }
 
 // viewLoop gossips the address-book view with random known peers — the
@@ -515,10 +598,10 @@ func (nd *Node) viewLoop() {
 		if err != nil {
 			continue
 		}
-		if err := nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.roster())); err == nil {
+		if err := nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.Roster())); err == nil {
 			if f, err := nd.readFrame(conn); err == nil && f.Kind == wireproto.KindView {
 				if items, err := wireproto.UnmarshalView(f.Payload, nd.lim); err == nil {
-					nd.book.merge(items)
+					nd.book.Merge(items)
 				}
 			}
 		}
@@ -529,7 +612,7 @@ func (nd *Node) viewLoop() {
 // Leave departs gracefully: every known peer is notified so it can
 // mark this node gone instead of burning timeouts on it.
 func (nd *Node) Leave() error {
-	for _, it := range nd.book.roster() {
+	for _, it := range nd.book.Roster() {
 		if int(it.Index) == nd.cfg.Index || it.Addr == "" {
 			continue
 		}
@@ -557,7 +640,10 @@ func (nd *Node) Close() error {
 		return nil
 	}
 	close(nd.stop)
-	err := nd.ln.Close()
+	var err error
+	if nd.ln != nil {
+		err = nd.ln.Close()
+	}
 	nd.live.closeAll()
 	nd.reg.close()
 	nd.wg.Wait()
@@ -586,7 +672,25 @@ func (nd *Node) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if f.Epoch != nd.epoch {
+	nd.dispatch(conn, f)
+}
+
+// Deliver hands the node one frame read off a connection the node does
+// not own the accept loop for — the mux.Host route-in path. The node
+// takes ownership of the connection (response legs travel back on it,
+// and shutdown closes it); the frame's wire bytes are credited here, so
+// byte accounting matches a connection the node read itself.
+func (nd *Node) Deliver(conn net.Conn, f wireproto.Frame) {
+	conn = nd.track(conn)
+	nd.counters.BytesRecv.Add(int64(wireproto.FrameWireSize(f.Target, len(f.Payload))))
+	nd.dispatch(conn, f)
+}
+
+// dispatch routes one decoded inbound frame. The exchange-request kinds
+// park the connection with the registry for the main protocol loop;
+// every other kind is a self-contained round trip handled here.
+func (nd *Node) dispatch(conn net.Conn, f wireproto.Frame) {
+	if f.Epoch != nd.epoch || (f.Target >= 0 && f.Target != nd.cfg.Index) {
 		nd.counters.Rejected.Add(1)
 		_ = conn.Close()
 		return
@@ -599,9 +703,17 @@ func (nd *Node) handleConn(conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
-		nd.book.learn(int(h.Index), h.Addr)
 		_ = conn.SetWriteDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
-		_ = nd.writeFrame(conn, wireproto.KindHelloAck, wireproto.MarshalView(nd.book.roster()))
+		if h.Digest != 0 && h.Digest != nd.digest {
+			nd.counters.Rejected.Add(1)
+			_ = nd.writeFrame(conn, wireproto.KindReject, wireproto.MarshalReject(wireproto.Reject{
+				Reason: fmt.Sprintf("config digest %016x, want %016x (check population/k/frac-bits/pack-slots)", h.Digest, nd.digest),
+			}))
+			_ = conn.Close()
+			return
+		}
+		nd.book.Learn(int(h.Index), h.Addr)
+		_ = nd.writeFrame(conn, wireproto.KindHelloAck, wireproto.MarshalView(nd.book.Roster()))
 		_ = conn.Close()
 
 	case wireproto.KindView:
@@ -611,15 +723,15 @@ func (nd *Node) handleConn(conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
-		nd.book.merge(items)
+		nd.book.Merge(items)
 		_ = conn.SetWriteDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
-		_ = nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.roster()))
+		_ = nd.writeFrame(conn, wireproto.KindView, wireproto.MarshalView(nd.book.Roster()))
 		_ = conn.Close()
 
 	case wireproto.KindLeave:
 		l, err := wireproto.UnmarshalLeave(f.Payload)
 		if err == nil && int(l.Index) < nd.cfg.N {
-			nd.book.markGone(int(l.Index))
+			nd.book.MarkGone(int(l.Index))
 		}
 		_ = conn.Close()
 
@@ -658,9 +770,17 @@ func phaseOfKind(kind byte) int {
 // accounted separately from network weather, and the offending
 // connection is always dropped by the caller.
 func (nd *Node) writeFrame(conn net.Conn, kind byte, payload []byte) error {
-	err := wireproto.WriteFrame(conn, kind, nd.epoch, payload)
+	return nd.writeFrameTo(conn, kind, -1, payload)
+}
+
+// writeFrameTo writes a frame addressed to a population index (< 0:
+// untargeted), so a multiplexed listener on the far side can route it
+// without decoding the payload. Exchange request legs carry the target;
+// every later leg travels on an already-routed connection.
+func (nd *Node) writeFrameTo(conn net.Conn, kind byte, target int, payload []byte) error {
+	err := wireproto.WriteFrameTarget(conn, kind, nd.epoch, target, payload)
 	if err == nil {
-		nd.counters.BytesSent.Add(int64(14 + len(payload)))
+		nd.counters.BytesSent.Add(int64(wireproto.FrameWireSize(target, len(payload))))
 	}
 	return err
 }
@@ -668,7 +788,7 @@ func (nd *Node) writeFrame(conn net.Conn, kind byte, payload []byte) error {
 func (nd *Node) readFrame(conn net.Conn) (wireproto.Frame, error) {
 	f, err := wireproto.ReadFrame(conn, nd.lim.MaxFrameLen)
 	if err == nil {
-		nd.counters.BytesRecv.Add(int64(14 + len(f.Payload)))
+		nd.counters.BytesRecv.Add(int64(wireproto.FrameWireSize(f.Target, len(f.Payload))))
 	} else if errors.Is(err, wireproto.ErrMalformed) {
 		nd.counters.BadFrames.Add(1)
 	}
@@ -696,7 +816,10 @@ func (nd *Node) dialPeer(peer int, addr string, timeout time.Duration) (net.Conn
 // deadline as its dial budget, so a blackholed first dial cannot eat
 // the retries' time.
 func (nd *Node) dial(idx int) (net.Conn, error) {
-	addr := nd.book.addr(idx)
+	if nd.evicted[idx] {
+		return nil, errNoAddress
+	}
+	addr := nd.book.Addr(idx)
 	if addr == "" {
 		return nil, errNoAddress
 	}
@@ -720,10 +843,13 @@ var errNoAddress = errors.New("node: no address for peer")
 
 // peerOK and peerFailed track consecutive initiator-side outcomes per
 // peer; both run only on the main protocol loop. After SuspicionK
-// consecutive failures a peer is evicted from the address book: later
-// exchanges fast-fail instead of burning their deadline, and the churn
-// observer reports the eviction. A direct hello from the peer
-// reinstates it (book.learn clears the gone mark).
+// consecutive failures a peer is evicted: later exchanges fast-fail
+// instead of burning their deadline, and the churn observer reports the
+// eviction. With a private book the eviction is recorded there, and a
+// direct hello from the peer reinstates it (Book.Learn clears the gone
+// mark); with a shared book the eviction lives in the node-local
+// overlay instead — one participant's suspicion must not expel a peer
+// for every co-located sibling — and is permanent for this node.
 func (nd *Node) peerOK(peer int) {
 	delete(nd.suspect, peer)
 }
@@ -738,10 +864,14 @@ func (nd *Node) peerFailed(peer int, s slot) {
 		return
 	}
 	delete(nd.suspect, peer)
-	if nd.book.addr(peer) == "" {
+	if nd.evicted[peer] || nd.book.Addr(peer) == "" {
 		return // already unreachable (departed or evicted)
 	}
-	nd.book.markGone(peer)
+	if nd.sharedBook {
+		nd.evicted[peer] = true
+	} else {
+		nd.book.MarkGone(peer)
+	}
 	nd.counters.Evicted.Add(1)
 	if hook := nd.cfg.Proto.Observer.Churn; hook != nil {
 		hook(s.iter, s.cycle, 1, core.ChurnEvicted)

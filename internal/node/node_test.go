@@ -234,8 +234,8 @@ func TestCrashMidExchangeLeavesHalfCompletedState(t *testing.T) {
 	}
 	ndA := mk(0, "")
 	ndB := mk(1, ndA.Addr())
-	ndA.book.learn(1, ndB.Addr())
-	ndB.book.learn(0, ndA.Addr())
+	ndA.book.Learn(1, ndB.Addr())
+	ndB.book.Learn(0, ndA.Addr())
 
 	mkState := func(nd *Node, vec []*big.Int) *iterState {
 		return &iterState{
@@ -315,14 +315,14 @@ func TestLeaveMarksPeerGone(t *testing.T) {
 	if err := ndB.Join(); err != nil {
 		t.Fatal(err)
 	}
-	if got := ndA.book.addr(1); got != ndB.Addr() {
+	if got := ndA.book.Addr(1); got != ndB.Addr() {
 		t.Fatalf("bootstrap learned %q for peer 1, want %q", got, ndB.Addr())
 	}
 	if err := ndB.Leave(); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for ndA.book.addr(1) != "" {
+	for ndA.book.Addr(1) != "" {
 		if time.Now().After(deadline) {
 			t.Fatal("leave notice did not mark the peer gone")
 		}

@@ -46,7 +46,7 @@ func (nd *Node) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}()
 	}
-	if nd.book.size() < nd.cfg.N {
+	if nd.book.Size() < nd.cfg.N {
 		if err := nd.Join(); err != nil {
 			return nil, ctxErr(ctx, err)
 		}
@@ -83,8 +83,8 @@ func (nd *Node) RunContext(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	res.Centroids = kmeans.Compact(centroids)
-	res.AvgMessages = nd.mirror.AvgMessages()
-	res.AvgBytes = nd.mirror.AvgBytes()
+	res.AvgMessages = nd.sched.AvgMessages()
+	res.AvgBytes = nd.sched.AvgBytes()
 	res.Counters = nd.counters.Snapshot()
 	return res, nil
 }
@@ -204,7 +204,7 @@ func (nd *Node) runPhase(it, phase, cycles int, st *iterState) {
 		if nd.stopped.Load() {
 			return
 		}
-		sched := nd.mirror.DrawCycle()
+		sched := nd.sched.DrawCycle()
 		for seq, ex := range sched {
 			if ex.A != me && ex.B != me {
 				continue

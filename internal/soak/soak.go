@@ -7,6 +7,12 @@
 // reports sustained throughput as gossip cycles per second plus the
 // aggregated wire and fault-tolerance counters.
 //
+// Two population shapes are supported: one listener per participant
+// (the deployment shape, default) and the virtual-node shape
+// (VirtualNodes), where the whole population lives behind one
+// mux.Host and exchanges over in-process pipes — the shape that scales
+// to the paper's hundred-thousand-peer populations on one machine.
+//
 // Each run advances the fault plan's seed by one, so a soak sweeps a
 // family of reproducible fault schedules; any failing run can be
 // replayed by seeding a single run with the reported seed.
@@ -16,12 +22,16 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"runtime"
 	"time"
 
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/datasets"
 	"chiaroscuro/internal/faultnet"
+	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/homenc/damgardjurik"
+	"chiaroscuro/internal/homenc/plain"
+	"chiaroscuro/internal/mux"
 	"chiaroscuro/internal/node"
 	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/timeseries"
@@ -49,6 +59,22 @@ type Config struct {
 	Workers int
 	// KeyBits and Degree size the test scheme (defaults 128, 4).
 	KeyBits, Degree int
+	// Tau overrides the decryption threshold (default max(2, N/3)).
+	// Large virtual populations need a modest fixed threshold: the
+	// epidemic decryption budget grows with log N, not N/3.
+	Tau int
+	// VirtualNodes runs the whole population as virtual nodes behind one
+	// mux.Host (in-process pipes) instead of one TCP listener each.
+	VirtualNodes bool
+	// SimScheme swaps real Damgård–Jurik for the arithmetic-faithful
+	// plaintext scheme — same packing, framing and thresholds, no
+	// modular exponentiation — so the soak measures runtime capacity
+	// (sockets, goroutines, scheduling) rather than crypto throughput.
+	SimScheme bool
+	// ExchangeTimeout overrides the per-exchange deadline (default 2s;
+	// thousand-peer virtual populations need minutes — a cycle's worth
+	// of serial exchanges can sit ahead of a slot).
+	ExchangeTimeout time.Duration
 	// Out, when set, receives a progress line per run.
 	Out io.Writer
 }
@@ -63,6 +89,11 @@ type Report struct {
 	Wire      wireproto.Counters
 	Seed      uint64 // fault seed of run 0 (run r used Seed + r)
 	LastErr   error  // last per-run error, if any
+
+	// Resource peaks observed across the soak (sampled every ~200ms):
+	// the capacity numbers behind the PERF.md peers-per-process table.
+	PeakGoroutines int
+	PeakHeapBytes  uint64
 }
 
 // CyclesPerSec is the soak's sustained throughput.
@@ -89,7 +120,27 @@ func (c Config) withDefaults() Config {
 	if c.Degree == 0 {
 		c.Degree = 4
 	}
+	if c.Tau <= 0 {
+		c.Tau = max(2, c.N/3)
+	}
+	if c.ExchangeTimeout <= 0 {
+		// Tight by default: a crash storm makes slots whose request never
+		// arrives routine, and each burns its await window on the
+		// responder's serial main loop.
+		c.ExchangeTimeout = 2 * time.Second
+	}
 	return c
+}
+
+// Scheme builds the soak's threshold scheme: real Damgård–Jurik test
+// keys, or the arithmetic-faithful plaintext scheme when SimScheme is
+// set (64-byte ciphertexts: DJ-frame-shaped without the arithmetic).
+func (c Config) Scheme() (homenc.Scheme, error) {
+	c = c.withDefaults()
+	if c.SimScheme {
+		return plain.New(nil, 64, c.N, c.Tau)
+	}
+	return damgardjurik.NewTestScheme(c.KeyBits, c.Degree, c.N, c.Tau)
 }
 
 // Run executes the soak. Per-run protocol errors (a crash storm can
@@ -97,8 +148,7 @@ func (c Config) withDefaults() Config {
 // provisioning errors abort the soak.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	tau := max(2, cfg.N/3)
-	scheme, err := damgardjurik.NewTestScheme(cfg.KeyBits, cfg.Degree, cfg.N, tau)
+	scheme, err := cfg.Scheme()
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +163,8 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{Seed: cfg.Plan.Seed}
+	stopSampler := sampleResources(rep)
+	defer stopSampler()
 	start := time.Now()
 	for run := 0; run == 0 || (cfg.Duration > 0 && time.Since(start) < cfg.Duration); run++ {
 		plan := cfg.Plan
@@ -143,15 +195,56 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	rep.Elapsed = time.Since(start)
+	stopSampler()
 	return rep, nil
 }
 
-// runOnce boots the full population through one bootstrap peer (the
-// join flood), runs the protocol under the plan's faults, and returns
-// participant 0's result plus the population's aggregated counters.
-func runOnce(cfg Config, scheme *damgardjurik.Scheme, data *timeseries.Dataset, seeds []timeseries.Series, plan faultnet.Plan) (*node.Result, wireproto.Counters, error) {
+// sampleResources watches goroutine count and heap-in-use while the
+// soak runs, recording the peaks into rep. The returned stop is
+// idempotent and takes one final sample (so even sub-interval soaks
+// report real numbers).
+func sampleResources(rep *Report) (stop func()) {
+	sample := func() {
+		if g := runtime.NumGoroutine(); g > rep.PeakGoroutines {
+			rep.PeakGoroutines = g
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapInuse > rep.PeakHeapBytes {
+			rep.PeakHeapBytes = ms.HeapInuse
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(200 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-finished
+		sample()
+	}
+}
+
+// protoFor is the soak's shared protocol configuration for one run.
+func protoFor(cfg Config, seeds []timeseries.Series, plan faultnet.Plan) core.Config {
 	logN := bits.Len(uint(cfg.N))
-	proto := core.Config{
+	return core.Config{
 		K:             2,
 		InitCentroids: seeds,
 		DMin:          datasets.CERMin,
@@ -167,44 +260,84 @@ func runOnce(cfg Config, scheme *damgardjurik.Scheme, data *timeseries.Dataset, 
 		MidFailure:    cfg.Churn > 0,
 		Workers:       cfg.Workers,
 	}
+}
+
+// runOnce boots the full population — one TCP listener per participant
+// through a join flood, or every participant behind one mux.Host — runs
+// the protocol under the plan's faults, and returns participant 0's
+// result plus the population's aggregated counters.
+func runOnce(cfg Config, scheme homenc.Scheme, data *timeseries.Dataset, seeds []timeseries.Series, plan faultnet.Plan) (*node.Result, wireproto.Counters, error) {
+	proto := protoFor(cfg, seeds, plan)
 	inj := faultnet.New(plan)
-	nodes := make([]*node.Node, cfg.N)
-	defer func() {
-		for _, nd := range nodes {
-			if nd != nil {
-				_ = nd.Close()
-			}
-		}
-	}()
 	var agg wireproto.Counters
-	bootstrap := ""
-	for i := 0; i < cfg.N; i++ {
-		nf := inj.Node(i)
-		nd, err := node.New(node.Config{
-			Index:           i,
+	nodes := make([]*node.Node, cfg.N)
+
+	var host *mux.Host
+	if cfg.VirtualNodes {
+		h, err := mux.NewHost(mux.Config{
 			N:               cfg.N,
-			Series:          data.Row(i),
+			SeriesDim:       data.Dim(),
 			Scheme:          scheme,
 			Proto:           proto,
-			Bootstrap:       bootstrap,
-			// Tight timeouts: a crash storm makes slots whose request
-			// never arrives routine, and each burns its await window on
-			// the responder's serial main loop.
-			ExchangeTimeout: 2 * time.Second,
-			FinTimeout:      400 * time.Millisecond,
-			JoinTimeout:     30 * time.Second,
-			Policy:          cfg.Policy,
-			Dialer:          nf,
-			CrashHook:       nf.Crash,
+			ExchangeTimeout: cfg.ExchangeTimeout,
 		})
 		if err != nil {
 			return nil, agg, err
 		}
-		nodes[i] = nd
-		if i == 0 {
-			bootstrap = nd.Addr()
+		host = h
+		defer host.Close()
+		transport := host.Transport()
+		for i := 0; i < cfg.N; i++ {
+			nf := inj.Node(i).WithTransport(transport.Dial)
+			nd, err := host.AddNode(node.Config{
+				Index:           i,
+				Series:          data.Row(i),
+				ExchangeTimeout: cfg.ExchangeTimeout,
+				FinTimeout:      400 * time.Millisecond,
+				Policy:          cfg.Policy,
+				Dialer:          nf,
+				CrashHook:       nf.Crash,
+			})
+			if err != nil {
+				return nil, agg, err
+			}
+			nodes[i] = nd
+		}
+	} else {
+		defer func() {
+			for _, nd := range nodes {
+				if nd != nil {
+					_ = nd.Close()
+				}
+			}
+		}()
+		bootstrap := ""
+		for i := 0; i < cfg.N; i++ {
+			nf := inj.Node(i)
+			nd, err := node.New(node.Config{
+				Index:           i,
+				N:               cfg.N,
+				Series:          data.Row(i),
+				Scheme:          scheme,
+				Proto:           proto,
+				Bootstrap:       bootstrap,
+				ExchangeTimeout: cfg.ExchangeTimeout,
+				FinTimeout:      400 * time.Millisecond,
+				JoinTimeout:     30 * time.Second,
+				Policy:          cfg.Policy,
+				Dialer:          nf,
+				CrashHook:       nf.Crash,
+			})
+			if err != nil {
+				return nil, agg, err
+			}
+			nodes[i] = nd
+			if i == 0 {
+				bootstrap = nd.Addr()
+			}
 		}
 	}
+
 	results := make([]*node.Result, cfg.N)
 	errs := make([]error, cfg.N)
 	done := make(chan int, cfg.N)
@@ -220,6 +353,9 @@ func runOnce(cfg Config, scheme *damgardjurik.Scheme, data *timeseries.Dataset, 
 	for _, nd := range nodes {
 		c := nd.Counters()
 		addCounters(&agg, c)
+	}
+	if host != nil {
+		addCounters(&agg, host.Counters())
 	}
 	for i, err := range errs {
 		if err != nil {

@@ -64,12 +64,17 @@ func PeekHdr(data []byte) (ExchangeHdr, error) {
 // --- membership ---
 
 // Hello is a joiner's first message to any known peer: its population
-// index, listen address, and the population size it was provisioned
-// for.
+// index, listen address, the population size it was provisioned for,
+// and a digest of its shared protocol parameters. A receiver whose own
+// digest differs answers KindReject instead of a roster — the two
+// daemons were provisioned inconsistently (different -k, -pack-slots,
+// -frac-bits, …) and would diverge silently mid-run otherwise. A zero
+// digest is never checked (pre-digest peers).
 type Hello struct {
-	Index uint32
-	Addr  string
-	N     uint32
+	Index  uint32
+	Addr   string
+	N      uint32
+	Digest uint64
 }
 
 // MarshalHello encodes a Hello payload.
@@ -78,6 +83,7 @@ func MarshalHello(h Hello) []byte {
 	e.u32(h.Index)
 	e.str(h.Addr)
 	e.u32(h.N)
+	e.u64(h.Digest)
 	return e.bytes()
 }
 
@@ -87,7 +93,35 @@ func UnmarshalHello(data []byte, lim Limits) (Hello, error) {
 	h := Hello{Index: d.u32()}
 	h.Addr = d.str(lim.MaxAddrLen)
 	h.N = d.u32()
+	h.Digest = d.u64()
 	return h, d.done()
+}
+
+// Reject is a handshake refusal with a human-readable reason, sent in
+// place of a HelloAck when the peers' provisioning disagrees.
+type Reject struct {
+	Reason string
+}
+
+// maxRejectReason bounds the reason string independently of Limits: the
+// refusal travels before the peers agree on anything.
+const maxRejectReason = 256
+
+// MarshalReject encodes a Reject payload, truncating oversize reasons.
+func MarshalReject(r Reject) []byte {
+	if len(r.Reason) > maxRejectReason {
+		r.Reason = r.Reason[:maxRejectReason]
+	}
+	var e enc
+	e.str(r.Reason)
+	return e.bytes()
+}
+
+// UnmarshalReject decodes a Reject payload.
+func UnmarshalReject(data []byte) (Reject, error) {
+	d := dec{b: data}
+	r := Reject{Reason: d.str(maxRejectReason)}
+	return r, d.done()
 }
 
 // ViewItem is one serializable Newscast news item: who (population

@@ -8,10 +8,13 @@
 // A frame is
 //
 //	uint32 BE  length of everything after this field
-//	byte       protocol version (Version)
+//	byte       protocol version (Version or Version2)
 //	byte       message kind (Kind*)
 //	uint64 BE  population epoch — identifies the run a peer belongs to;
 //	           frames from another epoch are rejected at the door
+//	uint32 BE  target population index (Version2 frames only) — lets a
+//	           multiplexed listener route the frame to a co-located
+//	           virtual node without decoding the payload
 //	payload    kind-specific binary encoding
 //
 // Every decoder takes explicit Limits so a malicious frame cannot force
@@ -27,9 +30,17 @@ import (
 	"math"
 )
 
-// Version is the protocol version byte. A peer speaking another version
-// is rejected (no negotiation: populations are provisioned together).
+// Version is the protocol version byte for untargeted frames. A peer
+// speaking an unknown version is rejected (no negotiation: populations
+// are provisioned together).
 const Version = 1
+
+// Version2 frames carry a 4-byte target population index after the
+// epoch, so a multiplexed listener hosting many virtual nodes can route
+// the frame without decoding the payload. Readers accept both versions
+// (a Version frame decodes with Target == -1), which keeps single-node
+// daemons bump-compatible with multiplexing peers.
+const Version2 = 2
 
 // Message kinds.
 const (
@@ -38,6 +49,7 @@ const (
 	KindHelloAck byte = 0x02 // bootstrap -> joiner: current roster view
 	KindView     byte = 0x03 // Newscast view push (either direction)
 	KindLeave    byte = 0x04 // graceful departure notice
+	KindReject   byte = 0x05 // handshake refusal: typed reason (config mismatch)
 
 	// Encrypted sum phase (means + noise EESum lockstep + counter).
 	KindSumReq  byte = 0x10 // initiator state push
@@ -65,33 +77,66 @@ const maxFrameHard = 1 << 28
 // it to count hostile input separately from network weather.
 var ErrMalformed = errors.New("wireproto: malformed frame")
 
-// headerBytes is the fixed frame overhead after the length prefix.
-const headerBytes = 1 + 1 + 8
+// headerBytes is the fixed frame overhead after the length prefix;
+// headerBytesV2 additionally covers the target index.
+const (
+	headerBytes   = 1 + 1 + 8
+	headerBytesV2 = headerBytes + 4
+)
 
-// Frame is one decoded wire frame.
+// Frame is one decoded wire frame. Target is the routed population
+// index of a Version2 frame, or -1 for an untargeted Version frame.
 type Frame struct {
 	Kind    byte
 	Epoch   uint64
+	Target  int
 	Payload []byte
 }
 
-// WriteFrame writes one frame.
+// FrameWireSize is the on-the-wire byte count of a frame with the given
+// target (< 0: untargeted Version frame) and payload length — the unit
+// both ends use for byte accounting, so Figure 5(b) wire numbers stay
+// honest whatever transport the frame travels on.
+func FrameWireSize(target, payloadLen int) int {
+	if target < 0 {
+		return 4 + headerBytes + payloadLen
+	}
+	return 4 + headerBytesV2 + payloadLen
+}
+
+// WriteFrame writes one untargeted (Version) frame.
 func WriteFrame(w io.Writer, kind byte, epoch uint64, payload []byte) error {
-	if len(payload) > maxFrameHard-headerBytes {
+	return WriteFrameTarget(w, kind, epoch, -1, payload)
+}
+
+// WriteFrameTarget writes one frame addressed to a population index; a
+// negative target writes the classic untargeted Version frame instead,
+// so callers can thread the destination through unconditionally.
+func WriteFrameTarget(w io.Writer, kind byte, epoch uint64, target int, payload []byte) error {
+	if len(payload) > maxFrameHard-headerBytesV2 {
 		return fmt.Errorf("wireproto: payload of %d bytes exceeds the frame ceiling", len(payload))
 	}
-	buf := make([]byte, 4+headerBytes+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(headerBytes+len(payload)))
+	hdr := headerBytes
+	if target >= 0 {
+		hdr = headerBytesV2
+	}
+	buf := make([]byte, 4+hdr+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(hdr+len(payload)))
 	buf[4] = Version
 	buf[5] = kind
 	binary.BigEndian.PutUint64(buf[6:], epoch)
-	copy(buf[4+headerBytes:], payload)
+	if target >= 0 {
+		buf[4] = Version2
+		binary.BigEndian.PutUint32(buf[14:], uint32(target))
+	}
+	copy(buf[4+hdr:], payload)
 	_, err := w.Write(buf)
 	return err
 }
 
-// ReadFrame reads one frame, rejecting frames longer than maxFrame (a
-// value <= 0 uses the hard ceiling) before allocating the payload.
+// ReadFrame reads one frame of either version, rejecting frames longer
+// than maxFrame (a value <= 0 uses the hard ceiling) before allocating
+// the payload.
 func ReadFrame(r io.Reader, maxFrame int) (Frame, error) {
 	if maxFrame <= 0 || maxFrame > maxFrameHard {
 		maxFrame = maxFrameHard
@@ -104,21 +149,31 @@ func ReadFrame(r io.Reader, maxFrame int) (Frame, error) {
 	if n < headerBytes {
 		return Frame{}, fmt.Errorf("%w: frame shorter than its header", ErrMalformed)
 	}
-	if uint64(n) > uint64(maxFrame) {
+	if uint64(n) > uint64(maxFrame)+headerBytesV2-headerBytes {
 		return Frame{}, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrMalformed, n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Frame{}, err
 	}
-	if body[0] != Version {
-		return Frame{}, fmt.Errorf("%w: version %d, want %d", ErrMalformed, body[0], Version)
-	}
-	return Frame{
+	f := Frame{
 		Kind:    body[1],
 		Epoch:   binary.BigEndian.Uint64(body[2:10]),
+		Target:  -1,
 		Payload: body[10:],
-	}, nil
+	}
+	switch body[0] {
+	case Version:
+	case Version2:
+		if n < headerBytesV2 {
+			return Frame{}, fmt.Errorf("%w: targeted frame shorter than its header", ErrMalformed)
+		}
+		f.Target = int(binary.BigEndian.Uint32(body[10:14]))
+		f.Payload = body[14:]
+	default:
+		return Frame{}, fmt.Errorf("%w: version %d, want %d or %d", ErrMalformed, body[0], Version, Version2)
+	}
+	return f, nil
 }
 
 // Limits bounds every allocation a decoder performs on behalf of a

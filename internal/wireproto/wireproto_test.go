@@ -243,3 +243,98 @@ func TestCounterSet(t *testing.T) {
 		t.Fatalf("snapshot mismatch: %+v", snap)
 	}
 }
+
+func TestTargetedFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{9, 8, 7}
+	if err := WriteFrameTarget(&buf, KindSumReq, 42, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Untargeted frames still travel as Version on the same stream.
+	if err := WriteFrame(&buf, KindSumResp, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindSumReq || f.Epoch != 42 || f.Target != 7 || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("targeted frame mismatch: %+v", f)
+	}
+	f2, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Target != -1 {
+		t.Fatalf("v1 frame decoded with target %d, want -1", f2.Target)
+	}
+	// Target 0 is a real participant, not "no target".
+	buf.Reset()
+	if err := WriteFrameTarget(&buf, KindDecReq, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Target != 0 {
+		t.Fatalf("target 0 decoded as %d", f3.Target)
+	}
+}
+
+func TestFrameWireSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindHello, 1, make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := FrameWireSize(-1, 5); got != buf.Len() {
+		t.Fatalf("v1 wire size %d, want %d", got, buf.Len())
+	}
+	buf.Reset()
+	if err := WriteFrameTarget(&buf, KindHello, 1, 3, make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := FrameWireSize(3, 5); got != buf.Len() {
+		t.Fatalf("v2 wire size %d, want %d", got, buf.Len())
+	}
+}
+
+func TestTargetedFrameAtMaxLenAccepted(t *testing.T) {
+	// The 4 extra header bytes of a targeted frame must not push a
+	// payload at exactly MaxFrameLen over the reader's bound.
+	lim := testLimits()
+	var buf bytes.Buffer
+	payload := make([]byte, lim.MaxFrameLen-10) // headerBytes = 10
+	if err := WriteFrameTarget(&buf, KindSumReq, 1, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, lim.MaxFrameLen); err != nil {
+		t.Fatalf("targeted frame at the limit refused: %v", err)
+	}
+}
+
+func TestHelloDigestRoundTrip(t *testing.T) {
+	lim := testLimits()
+	h := Hello{Index: 7, Addr: "127.0.0.1:9000", N: 12, Digest: 0xDEADBEEFCAFEF00D}
+	got, err := UnmarshalHello(MarshalHello(h), lim)
+	if err != nil || got != h {
+		t.Fatalf("hello digest round trip: %+v, %v", got, err)
+	}
+}
+
+func TestRejectRoundTrip(t *testing.T) {
+	r := Reject{Reason: "config digest 0123456789abcdef, want fedcba9876543210"}
+	got, err := UnmarshalReject(MarshalReject(r))
+	if err != nil || got != r {
+		t.Fatalf("reject round trip: %+v, %v", got, err)
+	}
+	// Hostile reason lengths are truncated on marshal, refused on parse.
+	long := Reject{Reason: strings.Repeat("x", 10_000)}
+	got, err = UnmarshalReject(MarshalReject(long))
+	if err != nil || len(got.Reason) > 256 {
+		t.Fatalf("oversize reason survived: %d bytes, %v", len(got.Reason), err)
+	}
+	if _, err := UnmarshalReject([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("hostile reject length accepted")
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/dpkmeans"
 	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/mux"
 	"chiaroscuro/internal/node"
 	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/sim"
+	"chiaroscuro/internal/wireproto"
 )
 
 // Mode selects a Job's execution backend. All four run the same
@@ -145,6 +147,14 @@ type Options struct {
 	// exchange retries with backoff, and peer suspicion. The zero value
 	// keeps the single-attempt behavior.
 	FaultPolicy FaultPolicy
+	// VirtualNodes, when at least 2, multiplexes a Networked run's
+	// participants onto shared listeners in groups of this size (the
+	// internal/mux virtual-node runtime): co-located pairs exchange over
+	// in-process pipes, remote pairs over TCP. Released centroids are
+	// bit-identical to the default one-listener-per-participant shape
+	// (and to the simulator) per seed; only the socket/goroutine
+	// footprint changes. 0 or 1 keeps one listener per participant.
+	VirtualNodes int
 }
 
 // FaultPolicy is the Networked mode's fault-tolerance policy. Retries
@@ -584,42 +594,91 @@ type netEngine struct {
 
 func (g *netEngine) run(ctx context.Context, em *emitter) (*Result, error) {
 	np := g.data.Len()
+	policy := node.Policy{
+		MaxRetries: g.opts.FaultPolicy.MaxRetries,
+		Backoff:    g.opts.FaultPolicy.Backoff,
+		SuspicionK: g.opts.FaultPolicy.SuspicionK,
+	}
 	nodes := make([]*node.Node, np)
+	var hosts []*mux.Host
 	defer func() {
 		for _, nd := range nodes {
 			if nd != nil {
 				_ = nd.Close()
 			}
 		}
+		for _, h := range hosts {
+			_ = h.Close()
+		}
 	}()
-	bootstrap := ""
-	for i := 0; i < np; i++ {
+	if v := g.opts.VirtualNodes; v >= 2 {
+		// Virtual-node shape: participants in groups of v behind shared
+		// mux listeners; the first host bootstraps the rest.
 		proto := coreConfig(g.opts, em)
-		if i != 0 {
-			// The stream is participant 0's view — the same participant
-			// whose view the networked result reports.
-			proto.Observer = core.Observer{}
+		obs := proto.Observer
+		proto.Observer = core.Observer{}
+		bootstrap := ""
+		for base := 0; base < np; base += v {
+			h, err := mux.NewHost(mux.Config{
+				N:               np,
+				SeriesDim:       g.data.Dim(),
+				Scheme:          g.opts.Scheme,
+				Proto:           proto,
+				Bootstrap:       bootstrap,
+				ExchangeTimeout: g.opts.ExchangeTimeout,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chiaroscuro: mux host at %d: %w", base, err)
+			}
+			hosts = append(hosts, h)
+			for i := base; i < min(base+v, np); i++ {
+				cfg := node.Config{
+					Index:           i,
+					Series:          g.data.Row(i),
+					ExchangeTimeout: g.opts.ExchangeTimeout,
+					Policy:          policy,
+				}
+				if i == 0 {
+					// The stream is participant 0's view — the same
+					// participant whose view the networked result reports.
+					cfg.Proto.Observer = obs
+				}
+				nd, err := h.AddNode(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
+				}
+				nodes[i] = nd
+			}
+			if base == 0 {
+				bootstrap = h.Addr()
+			}
 		}
-		nd, err := node.New(node.Config{
-			Index:           i,
-			N:               np,
-			Series:          g.data.Row(i),
-			Scheme:          g.opts.Scheme,
-			Proto:           proto,
-			Bootstrap:       bootstrap,
-			ExchangeTimeout: g.opts.ExchangeTimeout,
-			Policy: node.Policy{
-				MaxRetries: g.opts.FaultPolicy.MaxRetries,
-				Backoff:    g.opts.FaultPolicy.Backoff,
-				SuspicionK: g.opts.FaultPolicy.SuspicionK,
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
-		}
-		nodes[i] = nd
-		if i == 0 {
-			bootstrap = nd.Addr()
+	} else {
+		bootstrap := ""
+		for i := 0; i < np; i++ {
+			proto := coreConfig(g.opts, em)
+			if i != 0 {
+				// The stream is participant 0's view — the same participant
+				// whose view the networked result reports.
+				proto.Observer = core.Observer{}
+			}
+			nd, err := node.New(node.Config{
+				Index:           i,
+				N:               np,
+				Series:          g.data.Row(i),
+				Scheme:          g.opts.Scheme,
+				Proto:           proto,
+				Bootstrap:       bootstrap,
+				ExchangeTimeout: g.opts.ExchangeTimeout,
+				Policy:          policy,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chiaroscuro: node %d: %w", i, err)
+			}
+			nodes[i] = nd
+			if i == 0 {
+				bootstrap = nd.Addr()
+			}
 		}
 	}
 	results := make([]*node.Result, np)
@@ -643,8 +702,15 @@ func (g *netEngine) run(ctx context.Context, em *emitter) (*Result, error) {
 	}
 	r0 := results[0]
 	wire := &WireStats{}
+	counters := make([]wireproto.Counters, 0, np+len(hosts))
 	for _, r := range results {
-		c := r.Counters
+		counters = append(counters, r.Counters)
+	}
+	for _, h := range hosts {
+		// Host-side membership traffic (virtual-node runs).
+		counters = append(counters, h.Counters())
+	}
+	for _, c := range counters {
 		wire.Initiated += c.Initiated
 		wire.Responded += c.Responded
 		wire.Timeouts += c.Timeouts

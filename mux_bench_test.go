@@ -1,0 +1,51 @@
+package chiaroscuro
+
+import (
+	"context"
+	"testing"
+)
+
+// benchMuxCycle drives a full 12-participant Networked run on the
+// simulation scheme — every frame real, no modular exponentiation — so
+// the pair below isolates the transport: one TCP listener per
+// participant versus all twelve as virtual nodes on one mux listener
+// exchanging over in-process pipes. Reported per protocol run (one
+// iteration: sum + dissemination + decryption cycles).
+func benchMuxCycle(b *testing.B, vnodes int) {
+	b.Helper()
+	data, _ := GenerateCER(12, 7)
+	seeds := SeedCentroids("cer", 2, 8)
+	var cycles float64
+	for i := 0; i < b.N; i++ {
+		scheme, err := NewSimulationScheme(64, 12, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job, err := NewJob(data, Options{
+			Mode: Networked, Scheme: scheme,
+			K: 2, InitCentroids: seeds,
+			DMin: CERMin, DMax: CERMax,
+			Epsilon: 1e4, MaxIterations: 1, Exchanges: 10,
+			FracBits: 24, Seed: uint64(i),
+			VirtualNodes: vnodes,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := job.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Centroids) == 0 {
+			b.Fatal("no centroids")
+		}
+		cycles = 0
+		for _, tr := range res.Traces {
+			cycles += float64(tr.SumCycles + tr.DissCycles + tr.DecryptCycles)
+		}
+	}
+	b.ReportMetric(cycles, "cycles/run")
+}
+
+func BenchmarkMuxCycleTCP(b *testing.B)       { benchMuxCycle(b, 0) }
+func BenchmarkMuxCycleInProcess(b *testing.B) { benchMuxCycle(b, 12) }

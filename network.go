@@ -175,6 +175,11 @@ type NetworkedOptions struct {
 	// ExchangeTimeout bounds every blocking exchange step on every
 	// node (default 30s).
 	ExchangeTimeout time.Duration
+
+	// VirtualNodes multiplexes participants onto shared listeners in
+	// groups of this size (see Options.VirtualNodes); 0 or 1 keeps one
+	// listener per participant.
+	VirtualNodes int
 }
 
 // FixedPhaseCycles returns deterministic phase lengths for a population
@@ -207,6 +212,7 @@ func FixedPhaseCycles(np int) (dissCycles, decryptCycles int) {
 func RunNetworked(d *Dataset, scheme Scheme, opts NetworkedOptions) (*NetworkResult, error) {
 	jo := opts.jobOptions(Networked, scheme)
 	jo.ExchangeTimeout = opts.ExchangeTimeout
+	jo.VirtualNodes = opts.VirtualNodes
 	job, err := NewJob(d, jo)
 	if err != nil {
 		return nil, err
