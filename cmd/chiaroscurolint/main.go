@@ -1,0 +1,116 @@
+// Command chiaroscurolint runs Chiaroscuro's invariant analyzers over
+// the tree and exits non-zero on any finding. CI runs it on every PR:
+//
+//	go run ./cmd/chiaroscurolint ./...
+//
+// Flags select a subset of analyzers (-checks maporder,rngsource) and
+// machine-readable output (-json). See internal/analysis and each
+// analyzer package's doc for the invariants and their //lint: escape
+// hatches.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chiaroscuro/internal/analysis"
+	"chiaroscuro/internal/analysis/bigintalias"
+	"chiaroscuro/internal/analysis/boundeddecode"
+	"chiaroscuro/internal/analysis/maporder"
+	"chiaroscuro/internal/analysis/obsalloc"
+	"chiaroscuro/internal/analysis/rngsource"
+)
+
+// All is the full suite, in diagnostic-prefix order.
+var all = []*analysis.Analyzer{
+	maporder.Analyzer,
+	rngsource.Analyzer,
+	boundeddecode.Analyzer,
+	bigintalias.Analyzer,
+	obsalloc.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chiaroscurolint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *checks != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chiaroscurolint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chiaroscurolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chiaroscurolint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chiaroscurolint:", err)
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			Position string `json:"position"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, finding{f.Analyzer, f.Position.String(), f.Message})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "chiaroscurolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "chiaroscurolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

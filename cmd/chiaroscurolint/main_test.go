@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chiaroscuro/internal/analysis"
+)
+
+// TestTreeIsLintClean runs the full suite over the whole repository —
+// the same invocation CI makes — and fails on any finding. Every
+// invariant violation must either be fixed or carry a justified
+// //lint: annotation before it can merge.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading and typechecking the whole tree is not short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/chiaroscurolint -> repo root
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, all)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,84 @@
+// Package analysis is Chiaroscuro's in-tree static-analysis framework:
+// a deliberately small, dependency-free re-statement of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic)
+// plus a package loader built on `go list -export` and the standard
+// library's gc export-data importer.
+//
+// The framework exists because the repository's headline guarantee —
+// networked, packed, chaos-injected and virtual-node runs all release
+// bit-identical centroids to the simulator — rests on invariants that
+// no general-purpose linter knows about:
+//
+//   - protocol state must never be iterated in map order (maporder);
+//   - every random decision must descend from the seeded randx/SplitMix64
+//     lineage, never wall clocks or global sources (rngsource);
+//   - network-reachable decoding must use the ...Bound variants
+//     (boundeddecode);
+//   - big.Int values stored in shared ciphertext/share state are
+//     immutable (bigintalias);
+//   - the no-subscriber Events() path allocates nothing (obsalloc).
+//
+// Each invariant is an Analyzer in a subpackage, with analysistest
+// fixtures under its testdata/ tree; cmd/chiaroscurolint runs the whole
+// suite and CI fails on any diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. The shape mirrors
+// x/tools/go/analysis so the checkers port mechanically if the external
+// module ever becomes a dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the
+	// chiaroscurolint command line. By convention it is a single
+	// lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary, the rest describes the invariant and its escape hatch.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report. The returned error aborts the whole
+	// run (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked view to an
+// analyzer, plus the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+
+	directives map[string][]directive // per-file //lint: directives, lazily built
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Info.ObjectOf(id)
+}

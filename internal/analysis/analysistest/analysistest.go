@@ -1,0 +1,238 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` comments — a self-contained
+// restatement of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <analyzer pkg>/testdata/src/<import path>/*.go;
+// the directory path below src/ IS the fixture package's import path,
+// so an analyzer that scopes itself to chiaroscuro/internal/eesum is
+// exercised by a fixture at testdata/src/chiaroscuro/internal/eesum/.
+// Fixture packages may import each other and the standard library;
+// standard-library dependencies are resolved from `go list -export`
+// data, fixture-local ones recursively from source.
+//
+// Expectations are end-of-line comments:
+//
+//	for k := range m { // want `range over map`
+//
+// The backquoted text is a regexp that must match a diagnostic reported
+// on that line. Every diagnostic must be wanted and every want matched,
+// or the test fails. A comment may carry several `want` clauses (one
+// per expected diagnostic on its line), and `want+N` expects the
+// diagnostic N lines below the comment — needed when the flagged line
+// ends in a //lint: directive and so cannot hold the want itself.
+package analysistest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"chiaroscuro/internal/analysis"
+)
+
+// Run loads the fixture package with the given import path from
+// testdata (the testdata/ directory of the calling analyzer package),
+// applies the analyzer, and checks diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*fixturePkg{},
+	}
+	fp, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var got []analysis.Finding
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     l.fset,
+		Files:    fp.files,
+		Pkg:      fp.types,
+		Info:     fp.info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		got = append(got, analysis.Finding{
+			Analyzer: a.Name,
+			Position: l.fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.fset, fp.files)
+	for _, f := range got {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(f.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("missing diagnostic at %s: want match for %q", key, w)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("want(\\+[0-9]+)? `([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "// want") {
+					continue
+				}
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[2])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[2], err)
+					}
+					offset := 0
+					if m[1] != "" {
+						offset, _ = strconv.Atoi(m[1])
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line+offset)
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// from source (recursively) and everything else from stdlib export
+// data.
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+}
+
+func (l *loader) load(pkgPath string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[pkgPath]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	conf := types.Config{Importer: &fixtureImporter{l: l}}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, types: tpkg, info: info}
+	l.pkgs[pkgPath] = fp
+	return fp, nil
+}
+
+// fixtureImporter resolves fixture-local packages from the testdata
+// tree and defers everything else to the shared stdlib importer.
+type fixtureImporter struct{ l *loader }
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(fi.l.src, filepath.FromSlash(path)); isDir(dir) {
+		fp, err := fi.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.types, nil
+	}
+	return stdImporter().Import(path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// stdImporter is the shared gc-export-data importer for the standard
+// library, built once per test process: `go list -export -json std` is
+// cheap after the first warm build but not free, so every analyzer test
+// reuses one map and one importer.
+var stdImporter = sync.OnceValue(func() types.Importer {
+	type listPkg struct {
+		ImportPath string
+		Export     string
+	}
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "std")
+	out, err := cmd.Output()
+	if err != nil {
+		panic(fmt.Sprintf("analysistest: go list std: %v", err))
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			panic(fmt.Sprintf("analysistest: go list output: %v", err))
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(token.NewFileSet(), "gc", lookup)
+})

@@ -1,0 +1,191 @@
+// Package bigintalias enforces the ciphertext immutability contract in
+// the shared-big.Int packages (homenc and its schemes, eesum, shamir):
+// "Ciphertexts are immutable: operations return new values"
+// (homenc.Ciphertext's doc). A big.Int stored in a Ciphertext,
+// PartialDecryption, share, or any other struct/slice/map cell may be
+// aliased by every copy of that value across the protocol state — the
+// eesum merge paths copy Ciphertext values freely — so mutating it in
+// place corrupts state at a distance, nondeterministically.
+//
+// Two hazards are flagged:
+//
+//   - a mutating math/big method (one that writes its receiver: Add,
+//     Mul, Mod, Exp, Set*, ...) called on a struct field or slice/map
+//     element — only function-local big values may be mutated in place;
+//   - a mutating method on a local variable that was previously stored
+//     into a composite literal, a field, an element, or appended to a
+//     slice — the store published the value, so later in-place writes
+//     alias shared state.
+//
+// Escape hatch: `//lint:inplace <reason>` where single ownership is
+// provable (e.g. a freshly allocated accumulator inside one function).
+package bigintalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chiaroscuro/internal/analysis"
+)
+
+// Analyzer is the bigintalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bigintalias",
+	Doc:  "flags in-place big.Int mutation of shared ciphertext/share state in homenc/eesum/shamir",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathIn(pass.Pkg.Path(), analysis.SharedBigIntPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	escaped := collectEscapes(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || !isMutator(fn) {
+			return true
+		}
+		switch recv := unparen(sel.X).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			if !pass.Exempt("inplace", call.Pos()) {
+				pass.Reportf(call.Pos(), "%s mutates a big value held in shared struct/element state in place; ciphertext and share values are immutable — allocate a fresh value (or annotate //lint:inplace with an ownership argument)", fn.Name())
+			}
+		case *ast.Ident:
+			obj := pass.ObjectOf(recv)
+			if storePos, ok := escaped[obj]; ok && call.Pos() > storePos {
+				if !pass.Exempt("inplace", call.Pos()) {
+					pass.Reportf(call.Pos(), "%s mutates %s in place after it was stored into shared state (line %d); stored big values are immutable", fn.Name(), recv.Name, pass.Fset.Position(storePos).Line)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectEscapes finds local big.Int/Float/Rat variables published into
+// shared state: assigned to a field or element, placed in a composite
+// literal, or appended to a slice. Maps the object to the position of
+// its earliest store.
+func collectEscapes(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]token.Pos {
+	escaped := map[types.Object]token.Pos{}
+	record := func(e ast.Expr) {
+		id, ok := unparen(stripAddr(e)).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || !isBigPtr(obj.Type()) {
+			return
+		}
+		if prev, ok := escaped[obj]; !ok || id.Pos() < prev {
+			escaped[obj] = id.Pos()
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				switch unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					record(n.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					record(kv.Value)
+				} else {
+					record(el)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range n.Args[1:] {
+					record(a)
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+func stripAddr(e ast.Expr) ast.Expr {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		return u.X
+	}
+	return e
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isMutator reports whether fn is a math/big method that writes its
+// receiver. The math/big API contract makes this structural: every
+// mutator is a pointer-receiver method whose first result is the
+// receiver type ("sets z to ... and returns z").
+func isMutator(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "math/big" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), recv.Type())
+}
+
+// isBigPtr reports whether t is *big.Int, *big.Float or *big.Rat.
+func isBigPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big"
+}

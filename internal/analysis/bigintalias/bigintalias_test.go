@@ -1,0 +1,12 @@
+package bigintalias_test
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/analysis/analysistest"
+	"chiaroscuro/internal/analysis/bigintalias"
+)
+
+func TestBigintalias(t *testing.T) {
+	analysistest.Run(t, "testdata", bigintalias.Analyzer, "chiaroscuro/internal/homenc")
+}

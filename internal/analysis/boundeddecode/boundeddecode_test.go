@@ -1,0 +1,18 @@
+package boundeddecode_test
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/analysis/analysistest"
+	"chiaroscuro/internal/analysis/boundeddecode"
+)
+
+func TestBoundeddecode(t *testing.T) {
+	analysistest.Run(t, "testdata", boundeddecode.Analyzer, "chiaroscuro/internal/node")
+}
+
+// TestOutOfScope proves calls inside a non-network-reachable package
+// (the homenc provider itself) are not flagged.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", boundeddecode.Analyzer, "chiaroscuro/internal/homenc")
+}

@@ -1,0 +1,20 @@
+// Provider fixture for the boundeddecode analyzer: a package-level
+// decoder function with a Bound sibling in the same scope.
+package wireproto
+
+import "errors"
+
+type Hello struct {
+	Addr string
+}
+
+func UnmarshalHello(b []byte) (Hello, error) {
+	return Hello{Addr: string(b)}, nil
+}
+
+func UnmarshalHelloBound(b []byte, max int) (Hello, error) {
+	if len(b) > max {
+		return Hello{}, errors.New("too large")
+	}
+	return Hello{Addr: string(b)}, nil
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The analyzers' escape hatches are //lint:<tag> <reason> comments,
+// placed either at the end of the flagged line or as a standalone
+// comment on the line immediately above it. The reason is mandatory:
+// an annotation without one is itself a diagnostic, so every exemption
+// in the tree documents why the invariant does not apply.
+//
+// Tags in use: orderfree (maporder), wallclock and entropy (rngsource),
+// unbounded (boundeddecode), inplace (bigintalias), obs (obsalloc).
+
+type directive struct {
+	tag    string
+	reason string
+	pos    token.Pos
+}
+
+// Exempt reports whether a //lint:<tag> directive covers pos. An
+// annotation present but missing its reason still exempts the finding,
+// but reports its own diagnostic, so the suite stays red until the
+// reason is written down.
+func (p *Pass) Exempt(tag string, pos token.Pos) bool {
+	if p.directives == nil {
+		p.directives = map[string][]directive{}
+		for _, f := range p.Files {
+			fname := p.Fset.Position(f.Pos()).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c)
+					if ok {
+						p.directives[fname] = append(p.directives[fname], d)
+					}
+				}
+			}
+		}
+	}
+	at := p.Fset.Position(pos)
+	for _, d := range p.directives[at.Filename] {
+		if d.tag != tag {
+			continue
+		}
+		dl := p.Fset.Position(d.pos).Line
+		if dl == at.Line || dl == at.Line-1 {
+			if d.reason == "" {
+				p.Reportf(d.pos, "//lint:%s annotation requires a reason", tag)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:")
+	if !ok {
+		return directive{}, false
+	}
+	tag, reason, _ := strings.Cut(text, " ")
+	return directive{tag: tag, reason: strings.TrimSpace(reason), pos: c.Pos()}, true
+}

@@ -1,0 +1,18 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/analysis/analysistest"
+	"chiaroscuro/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "chiaroscuro/internal/eesum")
+}
+
+// TestOutOfScope proves the analyzer is silent outside the
+// deterministic protocol packages.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "chiaroscuro/internal/wireproto")
+}

@@ -1,0 +1,77 @@
+// Fixture for the maporder analyzer: eesum is a deterministic protocol
+// package, so naked map ranges are flagged; the collect-and-sort idiom
+// and justified //lint:orderfree annotations are not.
+package eesum
+
+import "sort"
+
+func naked(parts map[int]float64) float64 {
+	total := 0.0
+	for k := range parts { // want `range over map iterates in nondeterministic order`
+		total += parts[k]
+	}
+	return total
+}
+
+func nakedKeyValue(parts map[int]float64) float64 {
+	total := 0.0
+	for _, v := range parts { // want `range over map iterates in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+func collectAndSort(parts map[int]float64) []float64 {
+	ks := make([]int, 0, len(parts))
+	for k := range parts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	out := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, parts[k])
+	}
+	return out
+}
+
+func collectWithoutSort(parts map[int]float64) []int {
+	ks := make([]int, 0, len(parts))
+	for k := range parts { // want `range over map iterates in nondeterministic order`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func annotated(parts map[int]float64) int {
+	n := 0
+	//lint:orderfree pure count, no order-dependent effects
+	for range parts {
+		n++
+	}
+	return n
+}
+
+func annotatedSameLine(parts map[int]float64) map[int]bool {
+	out := make(map[int]bool, len(parts))
+	for k := range parts { //lint:orderfree whole-map copy into a map
+		out[k] = true
+	}
+	return out
+}
+
+func annotatedWithoutReason(parts map[int]float64) int {
+	n := 0
+	// want+1 `//lint:orderfree annotation requires a reason`
+	for range parts { //lint:orderfree
+		n++
+	}
+	return n
+}
+
+func sliceRangeIsFine(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

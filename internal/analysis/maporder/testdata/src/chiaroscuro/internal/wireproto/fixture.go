@@ -1,0 +1,11 @@
+// Out-of-scope fixture: wireproto is not a deterministic protocol
+// package, so maporder must stay silent here even on a naked map range.
+package wireproto
+
+func frameSizes(frames map[string][]byte) int {
+	total := 0
+	for _, b := range frames {
+		total += len(b)
+	}
+	return total
+}

@@ -1,0 +1,242 @@
+// Package obsalloc guards the Events() no-subscriber fast path that
+// PR 5 pinned at zero allocations (BenchmarkEventBusNoSubscriber):
+// every emission site in package chiaroscuro must check the bus's
+// atomic subscribed gate before building an event value or calling
+// emit. A site that constructs the event first — even one that then
+// checks the gate — allocates on every protocol iteration of every
+// silent run, and the benchmark only catches the sites it exercises.
+//
+// In package chiaroscuro the analyzer flags, outside the bus's own
+// implementation (methods of eventBus and subscriber):
+//
+//   - calls to eventBus.emit not dominated by an active()/
+//     subscribed.Load() guard;
+//   - composite literals of a concrete Event type not dominated by such
+//     a guard, unless passed directly to eventBus.close (the terminal
+//     Done event is built once per run, not on the fast path).
+//
+// Escape hatch: `//lint:obs <reason>` for deliberate off-fast-path
+// construction.
+package obsalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chiaroscuro/internal/analysis"
+)
+
+// Analyzer is the obsalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsalloc",
+	Doc:  "flags event allocation or emit calls on the no-subscriber Events() fast path that are not gated on the subscribed flag",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != "chiaroscuro" {
+		return nil
+	}
+	eventTypes := concreteEventTypes(pass.Pkg)
+	if len(eventTypes) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isBusInternal(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd.Body, eventTypes)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, eventTypes map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBusMethodCall(pass, n, "emit") && !guarded(pass, body, n) {
+				if !pass.Exempt("obs", n.Pos()) {
+					pass.Reportf(n.Pos(), "emit call not dominated by an active()/subscribed gate; the no-subscriber fast path must return before any event work")
+				}
+			}
+		case *ast.CompositeLit:
+			tv := pass.TypeOf(n)
+			if tv == nil {
+				return true
+			}
+			named, ok := tv.(*types.Named)
+			if !ok || !eventTypes[named.Obj()] {
+				return true
+			}
+			if closedTerminal(pass, body, n) || guarded(pass, body, n) {
+				return true
+			}
+			if !pass.Exempt("obs", n.Pos()) {
+				pass.Reportf(n.Pos(), "event value %s built without checking the subscribed gate first; this allocates on every iteration of a silent run", named.Obj().Name())
+			}
+		}
+		return true
+	})
+}
+
+// guarded reports whether node sits on the subscriber-present side of
+// an active()/subscribed.Load() check: either inside an if whose
+// condition reads the gate, or after an early-return gate check in an
+// enclosing block.
+func guarded(pass *analysis.Pass, body *ast.BlockStmt, node ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !readsGate(ifs.Cond) {
+			return true
+		}
+		// Inside the guarded branch.
+		if ifs.Body.Pos() <= node.Pos() && node.End() <= ifs.Body.End() {
+			found = true
+			return false
+		}
+		// After `if !active() { return }`.
+		if ifs.End() <= node.Pos() && endsInReturn(ifs.Body) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// readsGate reports whether expr mentions e.active() or
+// b.subscribed.Load().
+func readsGate(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "active":
+			found = true
+		case "Load":
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "subscribed" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// closedTerminal reports whether lit is an argument of a direct
+// eventBus.close call — the once-per-run terminal event.
+func closedTerminal(pass *analysis.Pass, body *ast.BlockStmt, lit *ast.CompositeLit) bool {
+	terminal := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBusMethodCall(pass, call, "close") {
+			return true
+		}
+		for _, a := range call.Args {
+			if a == lit {
+				terminal = true
+				return false
+			}
+			if u, ok := a.(*ast.UnaryExpr); ok && u.X == lit {
+				terminal = true
+				return false
+			}
+		}
+		return true
+	})
+	return terminal
+}
+
+// isBusMethodCall reports whether call invokes the named method on the
+// eventBus type.
+func isBusMethodCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	return namedTypeName(recv.Type()) == "eventBus"
+}
+
+// isBusInternal reports whether fd is a method of the bus machinery
+// itself (eventBus, subscriber), where unguarded event handling is the
+// implementation, not a leak.
+func isBusInternal(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	switch namedTypeName(t) {
+	case "eventBus", "subscriber":
+		return true
+	}
+	return false
+}
+
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// concreteEventTypes finds the package-level struct types implementing
+// the package's Event interface (the isEvent marker).
+func concreteEventTypes(pkg *types.Package) map[types.Object]bool {
+	evObj := pkg.Scope().Lookup("Event")
+	if evObj == nil {
+		return nil
+	}
+	iface, ok := evObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	out := map[types.Object]bool{}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn == evObj {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			out[tn] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package obsalloc_test
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/analysis/analysistest"
+	"chiaroscuro/internal/analysis/obsalloc"
+)
+
+func TestObsalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", obsalloc.Analyzer, "chiaroscuro")
+}

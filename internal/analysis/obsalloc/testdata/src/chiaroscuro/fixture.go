@@ -1,0 +1,78 @@
+// Fixture for the obsalloc analyzer: a miniature of the root package's
+// event machinery (Event marker interface, eventBus with an atomic
+// subscribed gate, emitter with active()), plus emission sites in and
+// out of compliance with the zero-alloc no-subscriber fast path.
+package chiaroscuro
+
+import "sync/atomic"
+
+// Event is the marker interface the analyzer discovers concrete event
+// types through.
+type Event interface{ isEvent() }
+
+// IterationEvent is a per-iteration event — the fast-path hazard.
+type IterationEvent struct{ N int }
+
+func (IterationEvent) isEvent() {}
+
+// DoneEvent is the once-per-run terminal event.
+type DoneEvent struct{ Iterations int }
+
+func (DoneEvent) isEvent() {}
+
+type eventBus struct {
+	subscribed atomic.Bool
+	ch         chan Event
+}
+
+// emit and close are the bus implementation: unguarded event handling
+// here is the mechanism, not a leak, so the analyzer skips bus methods.
+func (b *eventBus) emit(e Event) {
+	if b.ch != nil {
+		b.ch <- e
+	}
+}
+
+func (b *eventBus) close(e Event) {
+	if b.ch != nil {
+		b.ch <- e
+		close(b.ch)
+	}
+}
+
+type emitter struct{ bus *eventBus }
+
+func (e *emitter) active() bool { return e.bus.subscribed.Load() }
+
+func unguardedEmit(b *eventBus, ev Event) {
+	b.emit(ev) // want `emit call not dominated by an active\(\)/subscribed gate`
+}
+
+func unguardedBuild(b *eventBus, n int) {
+	ev := IterationEvent{N: n} // want `event value IterationEvent built without checking the subscribed gate first`
+	if b.subscribed.Load() {
+		b.emit(ev)
+	}
+}
+
+func guardedBranch(em *emitter, b *eventBus, n int) {
+	if em.active() {
+		b.emit(IterationEvent{N: n})
+	}
+}
+
+func guardedEarlyReturn(b *eventBus, n int) {
+	if !b.subscribed.Load() {
+		return
+	}
+	b.emit(IterationEvent{N: n})
+}
+
+func terminalClose(b *eventBus, n int) {
+	b.close(DoneEvent{Iterations: n}) // fine: the once-per-run terminal event
+}
+
+func annotatedSlowPath(b *eventBus, n int) {
+	//lint:obs error path, runs at most once per job
+	b.emit(IterationEvent{N: n})
+}

@@ -1,0 +1,149 @@
+// Package rngsource enforces the seeded-randomness lineage: every
+// random decision in the protocol, simulation, network and fault
+// packages must descend from an explicitly seeded source (the
+// randx/SplitMix64 family), never from math/rand's global source, a
+// wall clock, or crypto entropy.
+//
+// PR 6's fault schedules and the soak harness replay runs from a seed;
+// one call to rand.IntN or a time-seeded rand.New breaks that replay
+// silently. The analyzer flags, in the seeded packages:
+//
+//   - calls to math/rand or math/rand/v2 package-level functions that
+//     draw from the global source (IntN, N, Shuffle, Perm, Float64, ...);
+//     constructors (New, NewPCG, NewSource, ...) are fine — they take
+//     the seed explicitly;
+//   - rand.New / rand.NewSource / rand.NewPCG whose seed expression
+//     derives from time (time.Now) or crypto entropy (crypto/rand);
+//   - time.Now in the wallclock-free protocol packages, where timing
+//     must never feed protocol state (the network runtime's I/O
+//     deadlines are exempt by package).
+//
+// Escape hatches: `//lint:entropy <reason>` for a deliberate
+// non-replayable draw, `//lint:wallclock <reason>` for a deliberate
+// clock read.
+package rngsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chiaroscuro/internal/analysis"
+)
+
+// Analyzer is the rngsource analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc:  "flags global math/rand draws, time/crypto-seeded sources, and wall-clock reads that would break seed-replayability",
+	Run:  run,
+}
+
+// Constructors take their seed explicitly and are the supported way to
+// build a source; everything else at package level draws from the
+// global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.PathIn(path, analysis.SeededPackages...) {
+		return nil
+	}
+	wallclockFree := analysis.PathIn(path, analysis.WallclockFreePackages...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			switch pkgPath(fn) {
+			case "math/rand", "math/rand/v2":
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on an explicit *Rand are fine
+				}
+				if !randConstructors[fn.Name()] {
+					if !pass.Exempt("entropy", call.Pos()) {
+						pass.Reportf(call.Pos(), "%s.%s draws from the global math/rand source; derive from the seeded randx/SplitMix64 lineage so runs replay from their seed", pkgPath(fn), fn.Name())
+					}
+					return true
+				}
+				if bad, what := nonSeedEntropy(pass, call); bad {
+					if !pass.Exempt("entropy", call.Pos()) {
+						pass.Reportf(call.Pos(), "rand.%s seeded from %s is not replayable; thread an explicit seed instead", fn.Name(), what)
+					}
+				}
+			case "time":
+				if wallclockFree && fn.Name() == "Now" {
+					if !pass.Exempt("wallclock", call.Pos()) {
+						pass.Reportf(call.Pos(), "time.Now in a wallclock-free protocol package; protocol decisions must not depend on the clock (annotate //lint:wallclock if this never reaches protocol state)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nonSeedEntropy reports whether any argument of the constructor call
+// reads the clock or crypto entropy.
+func nonSeedEntropy(pass *analysis.Pass, call *ast.CallExpr) (bool, string) {
+	found := ""
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); fn != nil {
+					if pkgPath(fn) == "time" && fn.Name() == "Now" {
+						found = "time.Now"
+						return false
+					}
+					if pkgPath(fn) == "crypto/rand" {
+						found = "crypto/rand"
+						return false
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "crypto/rand" {
+						found = "crypto/rand"
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found != "" {
+			return true, found
+		}
+	}
+	return false, ""
+}
+
+// calleeFunc resolves the called package-level function or method, or
+// nil for builtins, conversions and indirect calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+func pkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

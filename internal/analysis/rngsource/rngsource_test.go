@@ -1,0 +1,20 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/analysis/analysistest"
+	"chiaroscuro/internal/analysis/rngsource"
+)
+
+// TestGlobalAndWallclock covers the global-source and wall-clock checks
+// in a wallclock-free protocol package.
+func TestGlobalAndWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", rngsource.Analyzer, "chiaroscuro/internal/sim")
+}
+
+// TestSeedLineage covers the constructor-seed check in a runtime
+// package where the wall clock itself is allowed.
+func TestSeedLineage(t *testing.T) {
+	analysistest.Run(t, "testdata", rngsource.Analyzer, "chiaroscuro/internal/mux")
+}

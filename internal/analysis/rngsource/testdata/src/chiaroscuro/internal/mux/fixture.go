@@ -1,0 +1,45 @@
+// Fixture for the rngsource analyzer's constructor-seed check: mux is a
+// seeded package (runtime, so the wall clock itself is allowed for I/O
+// deadlines) — but a source seeded from the clock or crypto entropy is
+// still not replayable.
+package mux
+
+import (
+	crand "crypto/rand"
+	"io"
+	"math/rand/v2"
+	"time"
+)
+
+func timeSeeded() *rand.Rand {
+	// Both the outer New and the inner NewPCG see the clock in their
+	// argument tree, so the line carries two diagnostics.
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // want `rand.New seeded from time.Now is not replayable` want `rand.NewPCG seeded from time.Now is not replayable`
+}
+
+func cryptoSeeded() *rand.Rand {
+	return rand.New(rand.NewPCG(readSeed(crand.Reader), 1)) // want `rand.New seeded from crypto/rand is not replayable` want `rand.NewPCG seeded from crypto/rand is not replayable`
+}
+
+func explicitSeedIsFine(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 2))
+}
+
+func deadlineIsFine(d time.Duration) time.Time {
+	return time.Now().Add(d) // mux is not wallclock-free: I/O deadlines are legitimate
+}
+
+func annotatedEntropySeed() *rand.Rand {
+	//lint:entropy port-assignment nonce, never replayed
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 3))
+}
+
+func readSeed(r io.Reader) uint64 {
+	var b [8]byte
+	_, _ = io.ReadFull(r, b[:])
+	var s uint64
+	for _, x := range b {
+		s = s<<8 | uint64(x)
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+// Fixture for the rngsource analyzer: sim is both seeded (no global
+// math/rand draws) and wallclock-free (no time.Now feeding protocol
+// decisions).
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.IntN(10) // want `math/rand/v2.IntN draws from the global math/rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand/v2.Shuffle draws from the global math/rand source`
+}
+
+func seededDrawIsFine(seed uint64) int {
+	r := rand.New(rand.NewPCG(seed, 1))
+	return r.IntN(10)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in a wallclock-free protocol package`
+}
+
+func annotatedClock() int64 {
+	t := time.Now() //lint:wallclock log timestamp only, never reaches protocol state
+	return t.UnixNano()
+}
+
+func annotatedEntropy() int {
+	return rand.IntN(3) //lint:entropy deliberate non-replayable tiebreak in a test helper
+}
+
+func durationMathIsFine(d time.Duration) time.Duration {
+	return d / 2
+}

@@ -282,6 +282,7 @@ func (dl *DecryptionLatency) adopt(to, from sim.NodeID) {
 	src := dl.sets[from]
 	dst := make(map[int32]struct{}, len(src))
 	if len(src) <= dl.Threshold {
+		//lint:orderfree whole-set copy into a set: every key lands regardless of order
 		for k := range src {
 			dst[k] = struct{}{}
 		}

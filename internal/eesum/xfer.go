@@ -193,6 +193,7 @@ func DecPartials(sch homenc.Scheme, idx int, cts []homenc.Ciphertext, workers in
 func CopyParts(parts map[int][]homenc.PartialDecryption, threshold int) map[int][]homenc.PartialDecryption {
 	dst := make(map[int][]homenc.PartialDecryption, threshold)
 	if len(parts) <= threshold {
+		//lint:orderfree whole-map copy into a map: every entry lands regardless of order
 		for k, v := range parts {
 			dst[k] = v
 		}
@@ -226,15 +227,19 @@ func CombineParts(sch homenc.Scheme, cts []homenc.Ciphertext, parts map[int][]ho
 		return nil, errors.New("eesum: decryption incomplete")
 	}
 	out := make([]*big.Int, len(cts))
+	// Select which τ shares combine over ascending share ids, never map
+	// order: the plaintext is share-set independent, but the combining
+	// subset must not vary across runs of the same seed.
+	order := sortedKeys(parts)
+	if len(order) > threshold {
+		order = order[:threshold]
+	}
 	var mu sync.Mutex
 	var firstErr error
 	parallel.ForEach(workers, len(cts), func(j int) {
 		ps := make([]homenc.PartialDecryption, 0, threshold)
-		for _, shares := range parts {
-			ps = append(ps, shares[j])
-			if len(ps) == threshold {
-				break
-			}
+		for _, k := range order {
+			ps = append(ps, parts[k][j])
 		}
 		m, err := sch.Combine(cts[j], ps)
 		if err != nil {

@@ -195,6 +195,10 @@ func TestFig3bErrorsSmall(t *testing.T) {
 }
 
 func TestFig4aLogGrowth(t *testing.T) {
+	if testing.Short() {
+		// Fig4a sweeps populations up to 10K nodes; minutes under -race.
+		t.Skip("fig4a population sweep is not short")
+	}
 	tab, err := Fig4a(ciParams())
 	if err != nil {
 		t.Fatal(err)

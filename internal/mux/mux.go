@@ -31,7 +31,7 @@ package mux
 import (
 	"errors"
 	"fmt"
-	"math/rand/v2"
+	"hash/fnv"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -41,6 +41,7 @@ import (
 	"chiaroscuro/internal/homenc"
 	"chiaroscuro/internal/kmeans"
 	"chiaroscuro/internal/node"
+	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/wireproto"
 )
 
@@ -80,8 +81,9 @@ type Host struct {
 	addr string
 	live connSet
 
-	book  *node.Book
-	sched *node.ScheduleSource
+	book   *node.Book
+	sched  *node.ScheduleSource
+	jitter *randx.Jitter // membership-pump pacing, seeded from the protocol seed
 
 	counters wireproto.CounterSet // host-side membership traffic
 
@@ -159,6 +161,9 @@ func NewHost(cfg Config) (*Host, error) {
 		nodes:  make(map[int]*node.Node),
 		stop:   make(chan struct{}),
 	}
+	// Pump pacing draws from the seeded lineage; the stream is keyed by
+	// the host's listen address so co-bootstrapping hosts decorrelate.
+	h.jitter = randx.NewJitter(cfg.Proto.Seed^0x6A177E12, addrStream(h.addr))
 	h.wg.Add(1)
 	go h.serve()
 	if cfg.Bootstrap != "" {
@@ -373,7 +378,7 @@ func (h *Host) pump() {
 		}
 		d := 10 * time.Millisecond << min(idle, 6)
 		idle++
-		t := time.NewTimer(d/2 + rand.N(d/2+1))
+		t := time.NewTimer(d/2 + h.jitter.DurationN(d/2+1))
 		select {
 		case <-h.stop:
 			t.Stop()
@@ -528,4 +533,11 @@ func (h *Host) track(conn net.Conn) net.Conn {
 		_ = conn.Close()
 	}
 	return &trackedConn{Conn: conn, h: h}
+}
+
+// addrStream folds an address string into a jitter stream id (FNV-1a).
+func addrStream(addr string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return h.Sum64()
 }

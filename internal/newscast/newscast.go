@@ -222,6 +222,7 @@ func (n *Network) exchange(a, b *Agent) {
 // and re-introduce the clique collapse.
 func (n *Network) rebuild(merged map[int]int64, self int) []Item {
 	items := make([]Item, 0, len(merged))
+	//lint:orderfree collection is canonically re-sorted by Peer two lines down before any decision
 	for peer, hb := range merged {
 		if peer == self {
 			continue
@@ -249,6 +250,7 @@ func (n *Network) rebuild(merged map[int]int64, self int) []Item {
 // is what makes cache sampling approximately uniform).
 func (n *Network) InDegrees() map[int]int {
 	deg := make(map[int]int, len(n.agents))
+	//lint:orderfree commutative integer increments into a map; no order-dependent state
 	for _, a := range n.agents {
 		for _, it := range a.cache {
 			if _, alive := n.agents[it.Peer]; alive {
@@ -263,6 +265,7 @@ func (n *Network) InDegrees() map[int]int {
 // that point to crashed peers.
 func (n *Network) StaleFraction() float64 {
 	total, stale := 0, 0
+	//lint:orderfree commutative counting; result is a ratio of totals
 	for _, a := range n.agents {
 		for _, it := range a.cache {
 			total++
@@ -287,6 +290,7 @@ func (n *Network) Connected(start int) bool {
 		return false
 	}
 	adj := make(map[int][]int, len(n.agents))
+	//lint:orderfree adjacency order varies but reachability (the returned bool) does not
 	for id, a := range n.agents {
 		for _, it := range a.cache {
 			if _, alive := n.agents[it.Peer]; alive {

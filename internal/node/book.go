@@ -1,6 +1,7 @@
 package node
 
 import (
+	"sort"
 	"sync"
 
 	"chiaroscuro/internal/wireproto"
@@ -74,14 +75,22 @@ func (b *Book) Roster() []wireproto.ViewItem {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.clock++
+	//lint:orderfree independent per-index writes of the same clock value
 	for idx := range b.locals {
 		it := b.items[idx]
 		it.Heartbeat = b.clock
 		b.items[idx] = it
 	}
-	out := make([]wireproto.ViewItem, 0, len(b.items))
-	for _, it := range b.items {
-		out = append(out, it)
+	// Emit in ascending index order: the roster is a wire payload, and a
+	// canonical encoding keeps same-seed runs byte-identical on the wire.
+	idxs := make([]int, 0, len(b.items))
+	for idx := range b.items {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	out := make([]wireproto.ViewItem, 0, len(idxs))
+	for _, idx := range idxs {
+		out = append(out, b.items[idx])
 	}
 	return out
 }

@@ -109,7 +109,7 @@ func (nd *Node) initiateWith(peer int, s slot, try func() tryOutcome) {
 				return
 			}
 			nd.counters.Retries.Add(1)
-			if !nd.sleep(backoffDelay(nd.policy.Backoff, attempt, 8*nd.policy.Backoff)) {
+			if !nd.sleep(backoffDelay(nd.jitter, nd.policy.Backoff, attempt, 8*nd.policy.Backoff)) {
 				return // shutting down
 			}
 		}
@@ -513,6 +513,7 @@ func validDecState(m wireproto.DecMsg, dim, numShares int) bool {
 	if len(m.CTs) != dim || m.Omega == nil {
 		return false
 	}
+	//lint:orderfree pure validation: rejects on any bad entry, order cannot change the verdict
 	for idx, ps := range m.Parts {
 		if idx < 1 || idx > numShares {
 			return false

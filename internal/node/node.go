@@ -30,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -188,6 +187,7 @@ type Node struct {
 	sched    *ScheduleView // cursor over the schedule mirror (never executes exchanges)
 	digest   uint64        // shared-config digest carried in hellos
 	protoRNG *randx.RNG    // base noise source; per-node streams split off
+	jitter   *randx.Jitter // timing-only draws (backoff, hello targets), seeded per node
 	acct     *dp.Accountant
 
 	counters wireproto.CounterSet
@@ -252,6 +252,7 @@ func (cs *connSet) closeAll() {
 	conns := cs.conns
 	cs.conns = nil
 	cs.mu.Unlock()
+	//lint:orderfree every connection is closed; close order is not protocol state
 	for c := range conns {
 		_ = c.Close()
 	}
@@ -374,6 +375,7 @@ func New(cfg Config) (*Node, error) {
 		digest:    ConfigDigest(cfg.Proto, cfg.N, len(cfg.Series), pack),
 		addr:      cfg.Addr,
 		protoRNG:  core.ProtocolRNG(cfg.Proto.Seed),
+		jitter:    randx.NewJitter(cfg.Proto.Seed^0x6A177E12, uint64(cfg.Index)),
 		acct:      &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
 		policy:    cfg.Policy,
 		dialer:    cfg.Dialer,
@@ -481,7 +483,7 @@ func (nd *Node) Join() error {
 		} else {
 			idle++
 		}
-		if !nd.sleep(backoffDelay(10*time.Millisecond, idle, 500*time.Millisecond)) {
+		if !nd.sleep(backoffDelay(nd.jitter, 10*time.Millisecond, idle, 500*time.Millisecond)) {
 			return errors.New("node: closed during join")
 		}
 	}
@@ -490,8 +492,10 @@ func (nd *Node) Join() error {
 
 // backoffDelay is the shared capped jittered exponential backoff:
 // base·2^attempt, capped, with ±50% jitter. The jitter decorrelates
-// retry storms across peers; it touches no protocol randomness.
-func backoffDelay(base time.Duration, attempt int, cap time.Duration) time.Duration {
+// retry storms across peers; it touches no protocol randomness, but it
+// still draws from the node's seeded jitter stream so a run replays
+// from its seed alone.
+func backoffDelay(j *randx.Jitter, base time.Duration, attempt int, cap time.Duration) time.Duration {
 	d := base
 	for i := 0; i < attempt && d < cap; i++ {
 		d *= 2
@@ -500,7 +504,7 @@ func backoffDelay(base time.Duration, attempt int, cap time.Duration) time.Durat
 		d = cap
 	}
 	half := d / 2
-	return half + rand.N(d-half+1)
+	return half + j.DurationN(d-half+1)
 }
 
 // sleep waits for d, returning false if the node shuts down first.
@@ -522,7 +526,7 @@ func (nd *Node) sleep(d time.Duration) bool {
 // then any known peer (round-robining via random choice).
 func (nd *Node) helloTarget() string {
 	if nd.cfg.Bootstrap != "" {
-		if rand.IntN(2) == 0 {
+		if nd.jitter.IntN(2) == 0 {
 			return nd.cfg.Bootstrap
 		}
 	}
@@ -536,7 +540,7 @@ func (nd *Node) helloTarget() string {
 	if len(cands) == 0 {
 		return nd.cfg.Bootstrap
 	}
-	return cands[rand.IntN(len(cands))]
+	return cands[nd.jitter.IntN(len(cands))]
 }
 
 // hello performs one hello round trip: announce (with the shared-config

@@ -187,6 +187,7 @@ func (r *registry) release(s slot) {
 func (r *registry) advance(pos slot) {
 	r.mu.Lock()
 	r.horizon = pos
+	//lint:orderfree independent per-slot close-out; each entry is handled exactly once
 	for s, ch := range r.pending {
 		if s.before(pos) {
 			select {
@@ -197,6 +198,7 @@ func (r *registry) advance(pos slot) {
 			delete(r.pending, s)
 		}
 	}
+	//lint:orderfree independent per-slot garbage collection
 	for s := range r.done {
 		if s.before(pos) {
 			delete(r.done, s)
@@ -209,6 +211,7 @@ func (r *registry) advance(pos slot) {
 func (r *registry) close() {
 	r.mu.Lock()
 	r.closed = true
+	//lint:orderfree independent per-slot drain during shutdown
 	for s, ch := range r.pending {
 		select {
 		case in := <-ch:

@@ -21,11 +21,11 @@ package p2p
 
 import (
 	"errors"
-	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/wireproto"
 )
 
@@ -51,7 +51,11 @@ type SumNetwork struct {
 	exchanges atomic.Int64
 	counters  wireproto.CounterSet
 	wg        sync.WaitGroup
-	stopped   atomic.Bool
+
+	// jitter paces the gossip loops and samples partners from a seeded
+	// stream instead of the global source (rngsource invariant).
+	jitter  *randx.Jitter
+	stopped atomic.Bool
 }
 
 type sumNode struct {
@@ -76,6 +80,7 @@ func NewSumNetwork(interval time.Duration) *SumNetwork {
 	return &SumNetwork{
 		interval: interval,
 		nodes:    make(map[int]*sumNode),
+		jitter:   randx.NewJitter(0x6A177E12, uint64(interval)),
 	}
 }
 
@@ -302,7 +307,7 @@ func (n *SumNetwork) randomPeer(exclude int) *sumNode {
 		return nil
 	}
 	for tries := 0; tries < 8; tries++ {
-		id := n.ids[rand.IntN(len(n.ids))]
+		id := n.ids[n.jitter.IntN(len(n.ids))]
 		if id != exclude {
 			return n.nodes[id]
 		}
@@ -316,7 +321,7 @@ func (node *sumNode) loop() {
 	for {
 		// Jittered pause: ±50% around the configured interval, so loops
 		// desynchronize naturally (no global rounds).
-		pause := node.net.interval/2 + time.Duration(rand.Int64N(int64(node.net.interval)))
+		pause := node.net.interval/2 + node.net.jitter.DurationN(node.net.interval)
 		select {
 		case <-node.stop:
 			return

@@ -1,0 +1,47 @@
+package randx
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Jitter is a concurrency-safe seeded source for the network runtime's
+// timing decisions: backoff jitter, gossip pacing, random peer picks.
+// It exists so no component reaches for math/rand's global source —
+// every draw in the repository descends from an explicit seed and
+// replays with it (the rngsource analyzer enforces this).
+//
+// Jitter decisions are timing-only: they never feed protocol state, so
+// they may be shared freely across a component's goroutines; the mutex
+// makes the sequence serialization racy-schedule-dependent but every
+// drawn value still comes from the seeded stream.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter returns a Jitter seeded with (seed, stream), the same
+// lineage convention as New.
+func NewJitter(seed, stream uint64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewPCG(seed, stream^0x9e3779b97f4a7c15))}
+}
+
+// IntN returns a uniform int in [0, n).
+func (j *Jitter) IntN(n int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.IntN(n)
+}
+
+// Int64N returns a uniform int64 in [0, n).
+func (j *Jitter) Int64N(n int64) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Int64N(n)
+}
+
+// DurationN returns a uniform duration in [0, d).
+func (j *Jitter) DurationN(d time.Duration) time.Duration {
+	return time.Duration(j.Int64N(int64(d)))
+}

@@ -117,6 +117,7 @@ func (ns *NewscastSampler) AfterExchange(a, b NodeID, rng *randx.RNG) {
 func (ns *NewscastSampler) rebuild(node NodeID, merged map[int32]int32) {
 	type entry struct{ id, st int32 }
 	entries := make([]entry, 0, len(merged))
+	//lint:orderfree selection below totally orders entries (stamp desc, id asc tie-break)
 	for id, st := range merged {
 		if id == int32(node) {
 			continue

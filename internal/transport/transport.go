@@ -16,12 +16,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand/v2"
+	"hash/fnv"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"chiaroscuro/internal/randx"
 	"chiaroscuro/internal/wireproto"
 )
 
@@ -51,6 +52,11 @@ type Node struct {
 	// counters mirrors the wire accounting chiaroscurod exports:
 	// exchanges by role, timeouts, byte volume.
 	counters wireproto.CounterSet
+
+	// jitter paces initiations and picks gossip partners from a seeded
+	// stream (keyed per listener address) — never the global source, so
+	// gossip runs replay from their construction order alone.
+	jitter *randx.Jitter
 }
 
 // NewNode starts a listener on 127.0.0.1 (ephemeral port) holding the
@@ -70,6 +76,7 @@ func NewNode(value float64, weight bool, interval time.Duration) (*Node, error) 
 		interval: interval,
 		timeout:  2 * time.Second,
 		stop:     make(chan struct{}),
+		jitter:   randx.NewJitter(0x6A177E12, addrStream(ln.Addr().String())),
 	}
 	if weight {
 		n.omega = 1
@@ -188,14 +195,14 @@ func (n *Node) loop() {
 		select {
 		case <-n.stop:
 			return
-		case <-time.After(n.interval/2 + time.Duration(rand.Int64N(int64(n.interval)))):
+		case <-time.After(n.interval/2 + n.jitter.DurationN(n.interval)):
 		}
 		n.mu.Lock()
 		if len(n.peers) == 0 {
 			n.mu.Unlock()
 			continue
 		}
-		peer := n.peers[rand.IntN(len(n.peers))]
+		peer := n.peers[n.jitter.IntN(len(n.peers))]
 		mine := wire{Sigma: n.sigma, Omega: n.omega}
 		n.mu.Unlock()
 
@@ -318,4 +325,12 @@ func (c *Cluster) Close() {
 			_ = node.Close()
 		}
 	}
+}
+
+// addrStream folds an address string into a jitter stream id (FNV-1a),
+// giving each listener its own seeded sequence.
+func addrStream(addr string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return h.Sum64()
 }
