@@ -135,6 +135,7 @@ func main() {
 		retries     = flag.Int("retries", 0, "exchange retry budget per slot (fault policy)")
 		suspicionK  = flag.Int("suspicion-k", 0, "evict a peer after this many consecutive exchange failures (0 = never)")
 		vnodes      = flag.Int("vnodes", 1, "host this many consecutive participants (key-file index onward) as virtual nodes behind one listener")
+		stateDir    = flag.String("state-dir", "", "directory for this node's durable crash-recovery journal; relaunch with the same -state-dir after a crash to resume the run")
 	)
 	flag.Parse()
 
@@ -198,6 +199,9 @@ func main() {
 	policy := node.Policy{MaxRetries: *retries, SuspicionK: *suspicionK}
 
 	if *vnodes > 1 {
+		if *stateDir != "" {
+			fatal(fmt.Errorf("-state-dir needs one daemon per participant; run without -vnodes to get crash recovery"))
+		}
 		runVirtual(virtualConfig{
 			kf: kf, scheme: scheme, data: data, proto: proto, prog: prog,
 			vnodes: *vnodes, population: *population,
@@ -208,6 +212,25 @@ func main() {
 	}
 
 	proto.Observer = prog.observer()
+	// -state-dir: every commit point is fsynced into a per-participant
+	// journal; a daemon relaunched with the same -state-dir (after a
+	// crash, a kill -9, or a SIGTERM) resumes the run where the journal
+	// left it, announcing itself with a Resume handshake instead of
+	// rejoining from scratch. SIGTERM flushes through the same path:
+	// the node's Close closes the journal after the last synced commit.
+	var st *node.State
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fatal(err)
+		}
+		st, err = node.OpenState(filepath.Join(*stateDir, fmt.Sprintf("node-%d.journal", kf.Index)))
+		if err != nil {
+			fatal(err)
+		}
+		if st.Resuming() {
+			fmt.Printf("chiaroscurod: journal %s holds a prior run; resuming\n", st.Path())
+		}
+	}
 	nd, err := node.New(node.Config{
 		Index:           kf.Index,
 		N:               *population,
@@ -219,8 +242,12 @@ func main() {
 		ExchangeTimeout: *timeout,
 		JoinTimeout:     *joinTimeout,
 		Policy:          policy,
+		State:           st,
 	})
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		fatal(err)
 	}
 	defer nd.Close()
@@ -530,6 +557,7 @@ func sumCounters(dst *wireproto.Counters, c wireproto.Counters) {
 	dst.Retries += c.Retries
 	dst.Suspected += c.Suspected
 	dst.Evicted += c.Evicted
+	dst.Resumed += c.Resumed
 	dst.BytesSent += c.BytesSent
 	dst.BytesRecv += c.BytesRecv
 }
@@ -582,6 +610,9 @@ func serveMetrics(addr string, nodes []*node.Node, host *mux.Host, prog *progres
 		fmt.Fprintf(w, "# HELP chiaroscuro_peers_evicted_total Peers evicted from the address book by suspicion.\n")
 		fmt.Fprintf(w, "# TYPE chiaroscuro_peers_evicted_total counter\n")
 		fmt.Fprintf(w, "chiaroscuro_peers_evicted_total %d\n", c.Evicted)
+		fmt.Fprintf(w, "# HELP chiaroscuro_peers_resumed_total Resume announcements accepted from relaunched peers.\n")
+		fmt.Fprintf(w, "# TYPE chiaroscuro_peers_resumed_total counter\n")
+		fmt.Fprintf(w, "chiaroscuro_peers_resumed_total %d\n", c.Resumed)
 		fmt.Fprintf(w, "# HELP chiaroscuro_wire_bytes_total Wire bytes by direction.\n")
 		fmt.Fprintf(w, "# TYPE chiaroscuro_wire_bytes_total counter\n")
 		fmt.Fprintf(w, "chiaroscuro_wire_bytes_total{direction=\"sent\"} %d\n", c.BytesSent)
@@ -599,8 +630,17 @@ func serveMetrics(addr string, nodes []*node.Node, host *mux.Host, prog *progres
 		fmt.Fprintf(w, "# TYPE chiaroscuro_virtual_nodes gauge\n")
 		fmt.Fprintf(w, "chiaroscuro_virtual_nodes %d\n", len(nodes))
 	})
+	// /healthz reports where in the protocol the daemon is and how far
+	// its crash-recovery journal trails the synced tail (both zero when
+	// running without -state-dir): enough for an operator to tell a
+	// healthy daemon from one wedged mid-phase or accumulating unsynced
+	// journal writes.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		iter, phase := nodes[0].Progress()
+		entries, lagBytes := nodes[0].JournalLag()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"iteration\":%d,\"phase\":%q,\"journal_lag\":{\"entries\":%d,\"bytes\":%d}}\n",
+			iter, core.Phase(phase).String(), entries, lagBytes)
 	})
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {

@@ -11,6 +11,14 @@
 //	soak -duration 30s -crash-prob 0.05 -churn 0.1 \
 //	    -retries 3 -suspicion-k 4
 //
+// The restart storm: every peer keeps a durable crash-recovery journal
+// and a supervisor kills random live peers mid-protocol, relaunching
+// each from its journal (it rebinds its recorded address and rejoins
+// with a Resume handshake). A 30-second storm:
+//
+//	soak -duration 30s -kill-prob 0.05 -retries 3 -suspicion-k 6 \
+//	    -sim-scheme -tau 2 -iterations 3
+//
 // The paper-scale load shape: -vnodes runs the whole population as
 // virtual nodes behind one mux listener (in-process pipes, one schedule
 // mirror), -sim-scheme swaps Damgård–Jurik for the arithmetic-faithful
@@ -60,6 +68,8 @@ func main() {
 		exTimeout  = flag.Duration("exchange-timeout", 0, "per-exchange deadline override (0 = 2s; large -vnodes populations need minutes)")
 		shards     = flag.Int("shards", 1, "independent sub-populations to run back to back in this process")
 		shardOff   = flag.Int("shard-offset", 0, "global id of this process's first shard (for multi-process populations)")
+		killProb   = flag.Float64("kill-prob", 0, "restart storm: per ~50ms tick probability of killing one random live peer and relaunching it from its journal (TCP shape only)")
+		stateDir   = flag.String("state-dir", "", "directory for restart-storm crash-recovery journals (default: a temp dir)")
 	)
 	flag.Parse()
 
@@ -93,6 +103,8 @@ func main() {
 			VirtualNodes:    *vnodes,
 			SimScheme:       *simScheme,
 			ExchangeTimeout: *exTimeout,
+			KillProb:        *killProb,
+			StateDir:        *stateDir,
 			Out:             os.Stdout,
 		})
 		if err != nil {
@@ -148,8 +160,11 @@ func mergeReport(dst, rep *soak.Report) {
 	a.Retries += w.Retries
 	a.Suspected += w.Suspected
 	a.Evicted += w.Evicted
+	a.Resumed += w.Resumed
 	a.BytesSent += w.BytesSent
 	a.BytesRecv += w.BytesRecv
+	dst.Kills += rep.Kills
+	dst.Resumes += rep.Resumes
 	dst.PeakGoroutines = max(dst.PeakGoroutines, rep.PeakGoroutines)
 	dst.PeakHeapBytes = max(dst.PeakHeapBytes, rep.PeakHeapBytes)
 }
@@ -162,6 +177,10 @@ func printReport(rep *soak.Report) {
 	w := rep.Wire
 	fmt.Printf("soak: exchanges %d (init %d / resp %d), timeouts %d, retries %d, suspected %d, evicted %d, bad frames %d\n",
 		w.Initiated+w.Responded, w.Initiated, w.Responded, w.Timeouts, w.Retries, w.Suspected, w.Evicted, w.BadFrames)
+	if rep.Kills > 0 || rep.Resumes > 0 || w.Resumed > 0 {
+		fmt.Printf("soak: restart storm: %d kills, %d journal resumes, %d resume announcements accepted\n",
+			rep.Kills, rep.Resumes, w.Resumed)
+	}
 	fmt.Printf("soak: wire %.1f kB sent, %.1f kB received\n",
 		float64(w.BytesSent)/1024, float64(w.BytesRecv)/1024)
 	fmt.Printf("soak: peak %d goroutines, %.1f MB heap in use\n",

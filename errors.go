@@ -1,6 +1,10 @@
 package chiaroscuro
 
-import "errors"
+import (
+	"errors"
+
+	"chiaroscuro/internal/journal"
+)
 
 // Sentinel errors of the eager Options validation: NewJob (and the
 // legacy entry points, which build Jobs underneath) reject a bad
@@ -59,4 +63,11 @@ var (
 	// ErrJobReused rejects a second Run on the same Job: a Job is one
 	// run; build a new one with NewJob.
 	ErrJobReused = errors.New("chiaroscuro: job already run (create a new Job per run)")
+	// ErrJournalCorrupt surfaces an unreadable crash-recovery journal: a
+	// record failed its checksum, a payload decoded out of bounds, or
+	// the file's framing is broken beyond the torn tail that an
+	// interrupted append legally leaves (that tail is truncated, not an
+	// error). A journal that fails this way cannot resume the run; start
+	// the participant fresh or restore the file.
+	ErrJournalCorrupt = journal.ErrCorrupt
 )

@@ -71,12 +71,15 @@ type PhaseProgress struct {
 // phases and iterations). Reason ChurnEvicted events fire in Networked
 // mode when the fault policy's peer suspicion evicts an unreachable
 // peer from the address book (Disconnected counts the evicted peers,
+// always 1 per event). Reason ChurnResumed events are the eviction's
+// inverse: a peer relaunched from its crash-recovery journal announced
+// itself and was reinstated (Disconnected counts the reinstated peers,
 // always 1 per event).
 type Churn struct {
 	Iteration    int
 	Cycle        int
 	Disconnected int
-	Reason       string // ChurnModel or ChurnEvicted
+	Reason       string // ChurnModel, ChurnEvicted or ChurnResumed
 }
 
 // Churn reasons.
@@ -86,6 +89,9 @@ const (
 	// ChurnEvicted marks a peer-suspicion eviction (Networked mode with
 	// FaultPolicy.SuspicionK > 0).
 	ChurnEvicted = core.ChurnEvicted
+	// ChurnResumed marks a crash-suspicion reversal: an evicted peer
+	// came back from its journal and rejoined the population mid-run.
+	ChurnResumed = core.ChurnResumed
 )
 
 // Done is the terminal event of every run: the stream ends right after

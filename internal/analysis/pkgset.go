@@ -30,6 +30,7 @@ var (
 		"chiaroscuro/internal/homenc",
 		"chiaroscuro/internal/gossip",
 		"chiaroscuro/internal/newscast",
+		"chiaroscuro/internal/journal",
 	}
 
 	// SeededPackages must draw every random decision from the seeded
@@ -73,6 +74,10 @@ var (
 		"chiaroscuro/internal/wireproto",
 		"chiaroscuro/internal/p2p",
 		"chiaroscuro/internal/transport",
+		// The journal decodes bytes from disk, not the wire, but a
+		// tampered or corrupted state file is the same adversary shape:
+		// every decode there must be bounded.
+		"chiaroscuro/internal/journal",
 	}
 
 	// SharedBigIntPackages hold ciphertext/share state built on big.Int

@@ -101,11 +101,13 @@ type Observer struct {
 	// is adaptive (convergence-determined rather than fixed) reports
 	// of = 0.
 	Phase func(iter int, phase Phase, cycle, of int)
-	// Churn fires whenever participants drop out of the run's view:
+	// Churn fires whenever participants drop out of the run's view —
 	// on every churn-model resampling (reason ChurnModel, with the
-	// number of disconnected nodes), and — in the networked runtime —
+	// number of disconnected nodes), and, in the networked runtime,
 	// when peer suspicion evicts an unresponsive peer from the address
-	// book (reason ChurnEvicted, down = 1).
+	// book (reason ChurnEvicted, down = 1) — and when an evicted peer
+	// comes back (reason ChurnResumed, down = 1): a crash-recovered
+	// peer's resume announcement lifted the eviction.
 	Churn func(iter, cycle, down int, reason string)
 }
 
@@ -117,6 +119,9 @@ const (
 	// runtime: a peer failed too many consecutive exchanges and was
 	// dropped from the address book.
 	ChurnEvicted = "evicted"
+	// ChurnResumed is the eviction's inverse: a peer relaunched from
+	// its crash-recovery journal announced itself and was reinstated.
+	ChurnResumed = "resumed"
 )
 
 // Config parametrizes a Chiaroscuro network run.

@@ -1,0 +1,187 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, path string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	return j, recs
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.journal")
+	j, recs := mustOpen(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Kind: 1, Payload: []byte("identity")},
+		{Kind: 2, Payload: nil},
+		{Kind: 3, Payload: make([]byte, 4096)},
+	}
+	for _, r := range want {
+		if err := j.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs = mustOpen(t, path)
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Kind != want[i].Kind || len(r.Payload) != len(want[i].Payload) {
+			t.Fatalf("record %d: kind %d len %d, want kind %d len %d",
+				i, r.Kind, len(r.Payload), want[i].Kind, len(want[i].Payload))
+		}
+	}
+}
+
+func TestTornTailIsTruncatedNotCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.journal")
+	j, _ := mustOpen(t, path)
+	if err := j.Append(1, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, []byte("torn away")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file anywhere strictly inside the second record: header
+	// fragments and body fragments are both legal torn tails.
+	firstEnd := recordHdrLen + 1 + len("committed")
+	for cut := firstEnd + 1; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: torn tail surfaced as error: %v", cut, err)
+		}
+		if len(recs) != 1 || string(recs[0].Payload) != "committed" {
+			t.Fatalf("cut %d: replayed %d records", cut, len(recs))
+		}
+		// The torn bytes are gone: a fresh append lands on the clean prefix.
+		if err := j2.Append(3, []byte("after")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs2, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != 2 || recs2[1].Kind != 3 {
+			t.Fatalf("cut %d: post-truncate append not replayed", cut)
+		}
+	}
+}
+
+func TestBitFlipIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.journal")
+	j, _ := mustOpen(t, path)
+	if err := j.Append(1, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the FIRST record's body: committed data damaged.
+	for _, bit := range []int{0, 3, 7} {
+		mut := append([]byte(nil), data...)
+		mut[recordHdrLen+1] ^= 1 << bit
+		if err := os.WriteFile(path, mut, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Open(path)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit %d: corrupted journal opened with err = %v, want ErrCorrupt", bit, err)
+		}
+	}
+}
+
+func TestImpossibleLengthIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.journal")
+	hdr := make([]byte, recordHdrLen+64)
+	binary.BigEndian.PutUint32(hdr, MaxRecord+1)
+	if err := os.WriteFile(path, hdr, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversize length opened with err = %v, want ErrCorrupt", err)
+	}
+	binary.BigEndian.PutUint32(hdr, 0)
+	if err := os.WriteFile(path, hdr, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero length opened with err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLagTracksUnsyncedAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.journal")
+	j, _ := mustOpen(t, path)
+	if e, b := j.Lag(); e != 0 || b != 0 {
+		t.Fatalf("fresh lag = %d entries %d bytes", e, b)
+	}
+	if err := j.Append(1, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	e, b := j.Lag()
+	if e != 1 || b != int64(recordHdrLen+3) {
+		t.Fatalf("lag after append = %d entries %d bytes", e, b)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if e, b := j.Lag(); e != 0 || b != 0 {
+		t.Fatalf("lag after sync = %d entries %d bytes", e, b)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.journal")
+	j, _ := mustOpen(t, path)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, nil); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Sync(); err == nil {
+		t.Fatal("sync after close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

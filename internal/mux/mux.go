@@ -333,6 +333,40 @@ func (h *Host) serveConn(conn net.Conn) {
 		_ = h.writeFrame(conn, wireproto.KindHelloAck, wireproto.MarshalView(h.book.Roster()))
 		_ = conn.Close()
 
+	case wireproto.KindResume:
+		// A crash-recovered peer re-announcing itself: validate like a
+		// hello, then reinstate it with every hosted virtual node — each
+		// keeps its own suspicion overlay over the shared book, and all
+		// of them must stop fast-failing the returned peer.
+		r, err := wireproto.UnmarshalResume(f.Payload, h.lim)
+		if err != nil || int(r.N) != h.cfg.N || int(r.Index) >= h.cfg.N {
+			h.counters.Rejected.Add(1)
+			_ = conn.Close()
+			return
+		}
+		if r.Digest != 0 && r.Digest != h.digest {
+			h.counters.Rejected.Add(1)
+			_ = h.writeFrame(conn, wireproto.KindReject, wireproto.MarshalReject(wireproto.Reject{
+				Reason: fmt.Sprintf("config digest %016x, want %016x (check population/k/frac-bits/pack-slots)", r.Digest, h.digest),
+			}))
+			_ = conn.Close()
+			return
+		}
+		h.book.Learn(int(r.Index), r.Addr)
+		h.mu.Lock()
+		nodes := make([]*node.Node, 0, len(h.nodes))
+		//lint:orderfree every hosted node is reinstated; order is not protocol state
+		for _, nd := range h.nodes {
+			nodes = append(nodes, nd)
+		}
+		h.mu.Unlock()
+		for _, nd := range nodes {
+			nd.Reinstate(int(r.Index))
+		}
+		h.counters.Resumed.Add(1)
+		_ = h.writeFrame(conn, wireproto.KindResumeAck, wireproto.MarshalView(h.book.Roster()))
+		_ = conn.Close()
+
 	case wireproto.KindView:
 		items, err := wireproto.UnmarshalView(f.Payload, h.lim)
 		if err != nil {

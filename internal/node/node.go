@@ -153,7 +153,25 @@ type Config struct {
 	// CrashHook, when set, crashes exchanges at chosen legs (tests and
 	// chaos harnesses).
 	CrashHook CrashHook
+
+	// State, when set, is the node's durable crash-recovery journal
+	// (OpenState). The node verifies it belongs to this provisioning,
+	// checkpoints every exchange commit into it (append + fsync before
+	// the initiator's FIN), and — when the journal already carries
+	// protocol records — resumes the run from the last durable commit
+	// instead of starting over. The node owns the State from here on;
+	// Close flushes and closes it.
+	State *State
+
+	// CommitHook, when set, is consulted after every exchange commit
+	// point (merge applied and journaled, initiator's FIN not yet sent);
+	// returning true kills the whole node right there — the test- and
+	// chaos-harness stand-in for kill −9 at a commit point.
+	CommitHook CommitHook
 }
+
+// CommitHook observes exchange commit points; see Config.CommitHook.
+type CommitHook func(phase, iter, cycle, seq int, initiator bool) bool
 
 // Result is the participant's own outcome of a networked run.
 type Result struct {
@@ -194,14 +212,32 @@ type Node struct {
 	iterNow  atomic.Int64 // current iteration, for metrics
 	phaseNow atomic.Int64 // current phase rank, for metrics
 
-	policy    Policy
-	dialer    Dialer
-	crashHook CrashHook
+	policy     Policy
+	dialer     Dialer
+	crashHook  CrashHook
+	commitHook CommitHook
+
+	// state is the durable crash-recovery journal (nil: volatile node);
+	// stateErr is the first journal write failure, sticky — it halts the
+	// node, and RunContext reports it. resume/resuming/resumeAnn are
+	// decoded from the journal at attach: the point to re-enter the run
+	// at, and the KindResume announcement a relaunch sends instead of a
+	// fresh hello. stateErr and resume are touched only by the main
+	// protocol loop.
+	state     *State
+	stateErr  error
+	resume    *resumePoint
+	resuming  bool
+	resumeAnn wireproto.Resume
+
 	// suspect counts consecutive initiator-side failures per peer for
 	// the suspicion policy; evicted is the node-local eviction overlay
 	// used when the book is shared (one participant's suspicion must not
-	// expel a peer for its co-located siblings). Both are touched only
-	// by the main protocol loop.
+	// expel a peer for its co-located siblings). Guarded by suspMu: the
+	// main loop writes strikes, but a resume announcement arriving on a
+	// connection goroutine reinstates peers, and responder waits consult
+	// the eviction state to release early.
+	suspMu  sync.Mutex
 	suspect map[int]int
 	evicted map[int]bool
 
@@ -364,33 +400,47 @@ func New(cfg Config) (*Node, error) {
 	fullDim := len(kmeans.Compact(cfg.Proto.InitCentroids)) * (len(cfg.Series) + 1)
 	dim := pack.PackedLen(fullDim)
 	nd := &Node{
-		cfg:       cfg,
-		codec:     codec,
-		pack:      pack,
-		lim:       wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), fullDim, cfg.Scheme.Threshold(), cfg.N),
-		epoch:     cfg.Epoch,
-		share:     cfg.Index + 1,
-		dimWk:     eesum.DimWorkers(dim, cfg.Proto.Workers),
-		maxEpoch:  core.HeadroomNeeded(cfg.Proto.Exchanges),
-		digest:    ConfigDigest(cfg.Proto, cfg.N, len(cfg.Series), pack),
-		addr:      cfg.Addr,
-		protoRNG:  core.ProtocolRNG(cfg.Proto.Seed),
-		jitter:    randx.NewJitter(cfg.Proto.Seed^0x6A177E12, uint64(cfg.Index)),
-		acct:      &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
-		policy:    cfg.Policy,
-		dialer:    cfg.Dialer,
-		crashHook: cfg.CrashHook,
-		suspect:   make(map[int]int),
-		evicted:   make(map[int]bool),
-		stop:      make(chan struct{}),
+		cfg:        cfg,
+		codec:      codec,
+		pack:       pack,
+		lim:        wireproto.NewLimits(cfg.Scheme.CiphertextBytes(), fullDim, cfg.Scheme.Threshold(), cfg.N),
+		epoch:      cfg.Epoch,
+		share:      cfg.Index + 1,
+		dimWk:      eesum.DimWorkers(dim, cfg.Proto.Workers),
+		maxEpoch:   core.HeadroomNeeded(cfg.Proto.Exchanges),
+		digest:     ConfigDigest(cfg.Proto, cfg.N, len(cfg.Series), pack),
+		addr:       cfg.Addr,
+		protoRNG:   core.ProtocolRNG(cfg.Proto.Seed),
+		jitter:     randx.NewJitter(cfg.Proto.Seed^0x6A177E12, uint64(cfg.Index)),
+		acct:       &dp.Accountant{Cap: cfg.Proto.Epsilon * (1 + 1e-9)},
+		policy:     cfg.Policy,
+		dialer:     cfg.Dialer,
+		crashHook:  cfg.CrashHook,
+		commitHook: cfg.CommitHook,
+		suspect:    make(map[int]int),
+		evicted:    make(map[int]bool),
+		stop:       make(chan struct{}),
 	}
 	if !cfg.External {
-		ln, err := net.Listen("tcp", cfg.Listen)
-		if err != nil {
-			return nil, err
+		// A relaunch first tries the address its journal recorded: Go
+		// listeners set SO_REUSEADDR, so rebinding the dead process's
+		// port works immediately and every peer's address book stays
+		// valid across the kill window. Any bind failure (the port went
+		// to someone else) falls back to the configured address.
+		if saved := cfg.State.savedAddr(); saved != "" {
+			if ln, err := net.Listen("tcp", saved); err == nil {
+				nd.ln = ln
+				nd.addr = ln.Addr().String()
+			}
 		}
-		nd.ln = ln
-		nd.addr = ln.Addr().String()
+		if nd.ln == nil {
+			ln, err := net.Listen("tcp", cfg.Listen)
+			if err != nil {
+				return nil, err
+			}
+			nd.ln = ln
+			nd.addr = ln.Addr().String()
+		}
 	}
 	nd.sched = cfg.Schedule
 	if nd.sched == nil {
@@ -418,6 +468,14 @@ func New(cfg Config) (*Node, error) {
 	}
 	nd.book.AddLocal(cfg.Index, nd.addr)
 	nd.reg = newRegistry(nd.stop)
+	if cfg.State != nil {
+		if err := nd.attachState(cfg.State); err != nil {
+			if nd.ln != nil {
+				_ = nd.ln.Close()
+			}
+			return nil, err
+		}
+	}
 	if !cfg.External {
 		nd.wg.Add(1)
 		go nd.serve()
@@ -544,19 +602,27 @@ func (nd *Node) helloTarget() string {
 }
 
 // hello performs one hello round trip: announce (with the shared-config
-// digest), merge the ack roster. A KindReject answer — the peer's
-// digest differs — is recorded as a sticky typed error that aborts the
-// join: retrying cannot reconcile inconsistent provisioning.
+// digest), merge the ack roster. A node relaunched from its journal
+// announces KindResume — identity plus journal position — instead, so
+// receivers reinstate it from suspicion rather than treating it as a
+// fresh joiner. A KindReject answer — the peer's digest differs — is
+// recorded as a sticky typed error that aborts the join: retrying
+// cannot reconcile inconsistent provisioning.
 func (nd *Node) hello(addr string) {
 	conn, err := nd.dialAddr(addr)
 	if err != nil {
 		return
 	}
 	defer conn.Close()
+	kind, ackKind := wireproto.KindHello, wireproto.KindHelloAck
 	payload := wireproto.MarshalHello(wireproto.Hello{
 		Index: uint32(nd.cfg.Index), Addr: nd.addr, N: uint32(nd.cfg.N), Digest: nd.digest,
 	})
-	if err := nd.writeFrame(conn, wireproto.KindHello, payload); err != nil {
+	if nd.resuming {
+		kind, ackKind = wireproto.KindResume, wireproto.KindResumeAck
+		payload = wireproto.MarshalResume(nd.resumeAnn)
+	}
+	if err := nd.writeFrame(conn, kind, payload); err != nil {
 		return
 	}
 	f, err := nd.readFrame(conn)
@@ -572,7 +638,7 @@ func (nd *Node) hello(addr string) {
 		nd.joinReject = fmt.Errorf("%w: peer %s: %s", ErrConfigMismatch, addr, r.Reason)
 		return
 	}
-	if f.Kind != wireproto.KindHelloAck {
+	if f.Kind != ackKind {
 		return
 	}
 	items, err := wireproto.UnmarshalView(f.Payload, nd.lim)
@@ -581,6 +647,33 @@ func (nd *Node) hello(addr string) {
 		return
 	}
 	nd.book.Merge(items)
+}
+
+// resumeSweep announces the resume to every peer the roster knows,
+// best-effort: peers that evicted this node by suspicion fast-fail its
+// slots until they hear the reinstatement, so a single announcement to
+// whichever peer answered the join is not enough — the whole population
+// should learn the comeback before the run re-enters the protocol.
+func (nd *Node) resumeSweep() {
+	payload := wireproto.MarshalResume(nd.resumeAnn)
+	for _, it := range nd.book.Roster() {
+		if int(it.Index) == nd.cfg.Index || it.Addr == "" {
+			continue
+		}
+		conn, err := nd.dialPeer(int(it.Index), it.Addr, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if nd.writeFrame(conn, wireproto.KindResume, payload) == nil {
+			if f, err := nd.readFrame(conn); err == nil && f.Kind == wireproto.KindResumeAck {
+				if items, err := wireproto.UnmarshalView(f.Payload, nd.lim); err == nil {
+					nd.book.Merge(items)
+				}
+			}
+		}
+		_ = conn.Close()
+	}
 }
 
 // viewLoop gossips the address-book view with random known peers — the
@@ -651,7 +744,23 @@ func (nd *Node) Close() error {
 	nd.live.closeAll()
 	nd.reg.close()
 	nd.wg.Wait()
+	// Flush and close the crash-recovery journal last: a SIGTERM that
+	// lands here (the daemon's signal handler calls Close) leaves every
+	// committed exchange durable on disk.
+	if nd.state != nil {
+		if cerr := nd.state.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// JournalLag reports the crash-recovery journal's unsynced tail, or
+// zeros for a volatile node. Between commits it is always zero (every
+// checkpoint fsyncs), so a non-zero lag on /healthz means a commit is
+// being written right now — or fsync is failing.
+func (nd *Node) JournalLag() (entries int, bytes int64) {
+	return nd.state.Lag()
 }
 
 // serve accepts connections; each is one interaction (membership round
@@ -718,6 +827,32 @@ func (nd *Node) dispatch(conn net.Conn, f wireproto.Frame) {
 		}
 		nd.book.Learn(int(h.Index), h.Addr)
 		_ = nd.writeFrame(conn, wireproto.KindHelloAck, wireproto.MarshalView(nd.book.Roster()))
+		_ = conn.Close()
+
+	case wireproto.KindResume:
+		// A restarted peer re-announcing itself mid-run: same validation
+		// as a hello, but additionally lift any suspicion eviction — the
+		// peer is provably back, and fast-failing its slots would turn
+		// its recovery into a permanent hole in the schedule.
+		r, err := wireproto.UnmarshalResume(f.Payload, nd.lim)
+		if err != nil || int(r.N) != nd.cfg.N || int(r.Index) >= nd.cfg.N {
+			nd.counters.Rejected.Add(1)
+			_ = conn.Close()
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(nd.cfg.ExchangeTimeout))
+		if r.Digest != 0 && r.Digest != nd.digest {
+			nd.counters.Rejected.Add(1)
+			_ = nd.writeFrame(conn, wireproto.KindReject, wireproto.MarshalReject(wireproto.Reject{
+				Reason: fmt.Sprintf("config digest %016x, want %016x (check population/k/frac-bits/pack-slots)", r.Digest, nd.digest),
+			}))
+			_ = conn.Close()
+			return
+		}
+		nd.book.Learn(int(r.Index), r.Addr)
+		nd.Reinstate(int(r.Index))
+		nd.counters.Resumed.Add(1)
+		_ = nd.writeFrame(conn, wireproto.KindResumeAck, wireproto.MarshalView(nd.book.Roster()))
 		_ = conn.Close()
 
 	case wireproto.KindView:
@@ -820,7 +955,10 @@ func (nd *Node) dialPeer(peer int, addr string, timeout time.Duration) (net.Conn
 // deadline as its dial budget, so a blackholed first dial cannot eat
 // the retries' time.
 func (nd *Node) dial(idx int) (net.Conn, error) {
-	if nd.evicted[idx] {
+	nd.suspMu.Lock()
+	ev := nd.evicted[idx]
+	nd.suspMu.Unlock()
+	if ev {
 		return nil, errNoAddress
 	}
 	addr := nd.book.Addr(idx)
@@ -846,29 +984,37 @@ var errNoAddress = errors.New("node: no address for peer")
 // --- peer suspicion ---
 
 // peerOK and peerFailed track consecutive initiator-side outcomes per
-// peer; both run only on the main protocol loop. After SuspicionK
+// peer; strikes are charged only by the main protocol loop, but the
+// maps are shared with Reinstate (connection goroutines) and the
+// responder's early-release check, hence suspMu. After SuspicionK
 // consecutive failures a peer is evicted: later exchanges fast-fail
 // instead of burning their deadline, and the churn observer reports the
 // eviction. With a private book the eviction is recorded there, and a
 // direct hello from the peer reinstates it (Book.Learn clears the gone
 // mark); with a shared book the eviction lives in the node-local
 // overlay instead — one participant's suspicion must not expel a peer
-// for every co-located sibling — and is permanent for this node.
+// for every co-located sibling. Either way a KindResume announcement
+// from the peer lifts the eviction (Reinstate).
 func (nd *Node) peerOK(peer int) {
+	nd.suspMu.Lock()
 	delete(nd.suspect, peer)
+	nd.suspMu.Unlock()
 }
 
 func (nd *Node) peerFailed(peer int, s slot) {
 	if nd.policy.SuspicionK <= 0 {
 		return
 	}
+	nd.suspMu.Lock()
 	nd.suspect[peer]++
 	nd.counters.Suspected.Add(1)
 	if nd.suspect[peer] < nd.policy.SuspicionK {
+		nd.suspMu.Unlock()
 		return
 	}
 	delete(nd.suspect, peer)
 	if nd.evicted[peer] || nd.book.Addr(peer) == "" {
+		nd.suspMu.Unlock()
 		return // already unreachable (departed or evicted)
 	}
 	if nd.sharedBook {
@@ -876,10 +1022,44 @@ func (nd *Node) peerFailed(peer int, s slot) {
 	} else {
 		nd.book.MarkGone(peer)
 	}
+	nd.suspMu.Unlock()
 	nd.counters.Evicted.Add(1)
 	if hook := nd.cfg.Proto.Observer.Churn; hook != nil {
 		hook(s.iter, s.cycle, 1, core.ChurnEvicted)
 	}
+}
+
+// Reinstate clears a peer's suspicion state — a resume announcement
+// proved it alive. A lifted eviction is reported to the churn observer
+// as a "resumed" event, the inverse of the eviction it undoes. Safe to
+// call from connection goroutines.
+func (nd *Node) Reinstate(peer int) {
+	if peer < 0 || peer >= nd.cfg.N || peer == nd.cfg.Index {
+		return
+	}
+	nd.suspMu.Lock()
+	wasEvicted := nd.evicted[peer]
+	delete(nd.suspect, peer)
+	delete(nd.evicted, peer)
+	nd.suspMu.Unlock()
+	if wasEvicted {
+		if hook := nd.cfg.Proto.Observer.Churn; hook != nil {
+			hook(int(nd.iterNow.Load()), 0, 1, core.ChurnResumed)
+		}
+	}
+}
+
+// peerUnreachable reports whether a peer is currently hopeless to hear
+// from: evicted by this node's suspicion, or without an address in the
+// book (departed, or evicted there). The responder's await loop uses it
+// to stop burning a full exchange deadline on an initiator that is
+// known to be down — if the initiator resumes, its announcement
+// reinstates it before it re-enters the schedule.
+func (nd *Node) peerUnreachable(peer int) bool {
+	nd.suspMu.Lock()
+	ev := nd.evicted[peer]
+	nd.suspMu.Unlock()
+	return ev || nd.book.Addr(peer) == ""
 }
 
 // encryptState builds this participant's initial EESum state for one

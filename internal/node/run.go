@@ -53,7 +53,37 @@ func (nd *Node) RunContext(ctx context.Context) (*Result, error) {
 	}
 	centroids := kmeans.Compact(nd.cfg.Proto.InitCentroids)
 	res := &Result{}
-	for it := 1; it <= nd.cfg.Proto.MaxIterations; it++ {
+	startIter := 1
+	rz := nd.resume
+	nd.resume = nil
+	if rz != nil {
+		// Crash recovery: re-enter the run where the journal left it.
+		// The announcement sweep lifts suspicion evictions across the
+		// population before any exchange is re-attempted, then the loop
+		// variables, the privacy accountant and the shared-seed RNG
+		// cursor are replayed to their pre-crash positions — the journal
+		// stores results, not randomness, so the RNG state is recovered
+		// by re-drawing (and discarding) what the completed iterations
+		// consumed.
+		nd.resumeSweep()
+		startIter = rz.iter
+		centroids = rz.centroids
+		res.TotalEpsilon = rz.totalBefore
+		res.Traces = append(res.Traces, rz.traces...)
+		if rz.totalBefore > 0 {
+			if err := nd.acct.Spend(rz.totalBefore); err != nil {
+				return nil, err
+			}
+		}
+		perIter := nd.cfg.Proto.Exchanges + nd.cfg.Proto.DissCycles + nd.cfg.Proto.DecryptCycles
+		for i := 0; i < (startIter-1)*perIter; i++ {
+			_ = nd.sched.DrawCycle()
+		}
+		for it := 1; it < startIter; it++ {
+			_ = eesum.NodeNoiseStreams(nd.protoRNG, nd.cfg.N)
+		}
+	}
+	for it := startIter; it <= nd.cfg.Proto.MaxIterations; it++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -65,8 +95,28 @@ func (nd *Node) RunContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		nd.iterNow.Store(int64(it))
-		trace, next, err := nd.iterate(it, centroids, epsIter)
+		// Journal the iteration boundary — except when resuming into
+		// this very iteration, whose record (and checkpoints) the
+		// journal already holds: appending it again would supersede
+		// those checkpoints and make a second crash replay committed
+		// exchanges.
+		if nd.state != nil && (rz == nil || it != rz.iter) {
+			if err := nd.state.saveIteration(iterationRecord{
+				iter: it, epsIter: epsIter, totalBefore: res.TotalEpsilon,
+				centroids: centroids, traces: res.Traces, counters: nd.counters.Snapshot(),
+			}); err != nil {
+				return nil, fmt.Errorf("node %d: journal write failed: %w", nd.cfg.Index, err)
+			}
+		}
+		var rzIter *resumePoint
+		if rz != nil && it == rz.iter && rz.pos != nil {
+			rzIter = rz
+		}
+		trace, next, err := nd.iterate(it, centroids, epsIter, rzIter)
 		if err != nil {
+			if nd.stateErr != nil {
+				return nil, nd.stateErr
+			}
 			return nil, ctxErr(ctx, err)
 		}
 		res.TotalEpsilon += epsIter
@@ -99,72 +149,102 @@ func ctxErr(ctx context.Context, err error) error {
 	return err
 }
 
-// iterate runs one full protocol iteration over the wire.
-func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) (*core.IterationTrace, []timeseries.Series, error) {
+// iterate runs one full protocol iteration over the wire. A non-nil rz
+// resumes the iteration mid-flight from its journaled checkpoint: the
+// restored state replaces the locally-built one, every slot at or
+// before the checkpointed position is skipped (its merge is already in
+// the restored state — re-executing it would double-apply), and the
+// shared-seed noise draws the pre-crash run consumed are replayed and
+// discarded so the stream cursor advances identically. Phase-boundary
+// transitions the pre-crash run already performed (the correction
+// proposal, the noise perturbation) are likewise skipped — their
+// results are in the restored ciphertexts.
+func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64, rz *resumePoint) (*core.IterationTrace, []timeseries.Series, error) {
 	k := len(centroids)
 	n := len(nd.cfg.Series)
 	trace := &core.IterationTrace{Iteration: it, CentroidsIn: len(kmeans.Compact(centroids)), EpsilonSpent: epsIter}
 
-	// --- Assignment step (local, cleartext). The contribution is packed
-	// into the deployment's shared slot layout before encryption.
-	st := &iterState{}
-	st.means = nd.encryptState(nd.pack.Pack(core.BuildContribution(nd.cfg.Series, centroids, nd.codec)))
+	var st *iterState
+	var after *slot
+	if rz != nil {
+		st, after = rz.st, rz.pos
+	}
 
-	// --- Noise shares: drawn from this node's own stream of the shared
-	// seed's stream family (every participant derives the same family
-	// and keeps stream Index — the simulator materializes all of them).
+	// --- Noise streams: every participant derives the same family from
+	// the shared seed and keeps stream Index (the simulator materializes
+	// all of them). Deriving the family consumes base-RNG draws, so a
+	// resumed iteration derives it too.
 	streams := eesum.NodeNoiseStreams(nd.protoRNG, nd.cfg.N)
 	myStream := streams[nd.cfg.Index]
 	noiseCfg := eesum.NoiseConfig{
 		Lambdas: core.NoiseLambdas(k, n, epsIter, nd.cfg.Proto.SumShare, nd.cfg.Proto.DMin, nd.cfg.Proto.DMax),
 		NShares: nd.cfg.Proto.NoiseShares,
 	}
-	shares := eesum.NoiseShareVector(myStream, noiseCfg)
-	noiseVec := make([]*big.Int, len(shares))
-	for j, x := range shares {
-		noiseVec[j] = nd.codec.Encode(x)
-	}
-	st.noise = nd.encryptState(nd.pack.Pack(noiseVec))
-	st.ctrS = 1
-	if nd.cfg.Index == 0 {
-		st.ctrW = 1
+	if st == nil {
+		// --- Assignment step (local, cleartext). The contribution is
+		// packed into the deployment's shared slot layout before
+		// encryption; the noise shares come from this node's own stream.
+		st = &iterState{}
+		st.means = nd.encryptState(nd.pack.Pack(core.BuildContribution(nd.cfg.Series, centroids, nd.codec)))
+		shares := eesum.NoiseShareVector(myStream, noiseCfg)
+		noiseVec := make([]*big.Int, len(shares))
+		for j, x := range shares {
+			noiseVec[j] = nd.codec.Encode(x)
+		}
+		st.noise = nd.encryptState(nd.pack.Pack(noiseVec))
+		st.ctrS = 1
+		if nd.cfg.Index == 0 {
+			st.ctrW = 1
+		}
+	} else {
+		// Resume: the restored ciphertexts already contain these shares;
+		// replay the draw so the stream cursor matches the crashed run.
+		_ = eesum.NoiseShareVector(myStream, noiseCfg)
 	}
 
 	// --- Algorithm 3 (a): means and noise sums in lockstep, counter
 	// piggybacking, over the wire.
 	nd.phaseNow.Store(int64(phaseSum))
-	nd.runPhase(it, phaseSum, nd.cfg.Proto.Exchanges, st)
+	nd.runPhase(it, phaseSum, nd.cfg.Proto.Exchanges, st, after)
 	trace.SumCycles = nd.cfg.Proto.Exchanges
 
 	// --- Algorithm 3 (b): correction proposal from own stream, min-
-	// identifier dissemination, local application.
+	// identifier dissemination, local application. The counter freezes
+	// when the sum phase ends, so a resume past that point replays the
+	// proposal with the identical estimate and discards it (the restored
+	// corID/corVec may already have adopted a lower identifier).
 	est, ok := 0.0, st.ctrW > 0
 	if ok {
 		est = st.ctrS / st.ctrW
 	}
-	st.corID, st.corVec = eesum.CorrectionProposal(myStream, noiseCfg, est, ok)
+	corID, corVec := eesum.CorrectionProposal(myStream, noiseCfg, est, ok)
+	if after == nil || after.phase < phaseDiss {
+		st.corID, st.corVec = corID, corVec
+	}
 	nd.phaseNow.Store(int64(phaseDiss))
-	nd.runPhase(it, phaseDiss, nd.cfg.Proto.DissCycles, st)
+	nd.runPhase(it, phaseDiss, nd.cfg.Proto.DissCycles, st, after)
 	trace.DissCycles = nd.cfg.Proto.DissCycles
-	cor := make([]*big.Int, len(st.corVec))
-	for j, x := range st.corVec {
-		cor[j] = new(big.Int).Neg(nd.codec.Encode(x))
-	}
-	// Packing is linear, so the packed negated correction subtracts
-	// exactly per slot.
-	if err := eesum.AddEncryptedState(nd.cfg.Scheme, st.noise, nd.pack.Pack(cor), nd.dimWk); err != nil {
-		return nil, nil, err
-	}
-	if err := eesum.PerturbState(nd.cfg.Scheme, st.means, st.noise); err != nil {
-		return nil, nil, fmt.Errorf("node %d: %w", nd.cfg.Index, err)
-	}
+	if after == nil || after.phase < phaseDec {
+		cor := make([]*big.Int, len(st.corVec))
+		for j, x := range st.corVec {
+			cor[j] = new(big.Int).Neg(nd.codec.Encode(x))
+		}
+		// Packing is linear, so the packed negated correction subtracts
+		// exactly per slot.
+		if err := eesum.AddEncryptedState(nd.cfg.Scheme, st.noise, nd.pack.Pack(cor), nd.dimWk); err != nil {
+			return nil, nil, err
+		}
+		if err := eesum.PerturbState(nd.cfg.Scheme, st.means, st.noise); err != nil {
+			return nil, nil, fmt.Errorf("node %d: %w", nd.cfg.Index, err)
+		}
 
-	// --- Algorithm 3 (c): epidemic threshold decryption over the wire.
-	st.decCTs = st.means.CTs
-	st.decOmega = st.means.Omega
-	st.decParts = make(map[int][]homenc.PartialDecryption, nd.cfg.Scheme.Threshold())
+		// --- Algorithm 3 (c): epidemic threshold decryption over the wire.
+		st.decCTs = st.means.CTs
+		st.decOmega = st.means.Omega
+		st.decParts = make(map[int][]homenc.PartialDecryption, nd.cfg.Scheme.Threshold())
+	}
 	nd.phaseNow.Store(int64(phaseDec))
-	nd.runPhase(it, phaseDec, nd.cfg.Proto.DecryptCycles, st)
+	nd.runPhase(it, phaseDec, nd.cfg.Proto.DecryptCycles, st, after)
 	trace.DecryptCycles = nd.cfg.Proto.DecryptCycles
 
 	tau := nd.cfg.Scheme.Threshold()
@@ -197,8 +277,12 @@ func (nd *Node) iterate(it int, centroids []timeseries.Series, epsIter float64) 
 // runPhase executes one phase's fixed cycle budget: every cycle's
 // schedule is drawn from the mirror engine (identical on every
 // participant), and this node's participations execute strictly in
-// schedule order.
-func (nd *Node) runPhase(it, phase, cycles int, st *iterState) {
+// schedule order. A non-nil after is the resume position: slots at or
+// before it were committed (and journaled) by the pre-crash run and are
+// skipped — the cycle is still drawn (the schedule cursor must advance)
+// and the registry horizon still moves (stale deliveries from retrying
+// peers get closed out instead of stranding connections).
+func (nd *Node) runPhase(it, phase, cycles int, st *iterState, after *slot) {
 	me := nd.cfg.Index
 	for c := 0; c < cycles; c++ {
 		if nd.stopped.Load() {
@@ -213,6 +297,9 @@ func (nd *Node) runPhase(it, phase, cycles int, st *iterState) {
 				return
 			}
 			s := slot{iter: it, phase: phase, cycle: c, seq: seq}
+			if after != nil && !after.before(s) {
+				continue // already executed before the crash
+			}
 			if ex.A == me {
 				nd.initiate(phase, st, ex.B, s, ex.Full)
 			} else {

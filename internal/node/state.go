@@ -1,0 +1,624 @@
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/homenc"
+	"chiaroscuro/internal/journal"
+	"chiaroscuro/internal/timeseries"
+	"chiaroscuro/internal/wireproto"
+)
+
+// This file is the node's durable crash-recovery layer: what gets
+// written to the journal, when, and how a relaunched process turns the
+// journal back into a live participant that is bit-identical to one
+// that never crashed.
+//
+// Three record kinds, in strict append order:
+//
+//	recIdentity    once, at first open: who this journal belongs to
+//	               (digest/index/population/epoch/seed/listen address).
+//	               A reopen that disagrees is refused — replaying a
+//	               journal under different provisioning would corrupt
+//	               the population, not just this peer.
+//	recIteration   at each iteration start: the input centroids, the
+//	               iteration's privacy spend, and everything already
+//	               accumulated (traces, budget, counters).
+//	recCheckpoint  at each exchange commit point: the full iteration
+//	               state plus the committed slot. The append and fsync
+//	               happen after the merge and before the initiator's
+//	               FIN leg, which is what makes recovery exact — see
+//	               the WAL-ordering note on journalCommit.
+//
+// Replay keeps only the newest iteration record and the newest
+// checkpoint belonging to it (an iteration record supersedes the
+// previous iteration's checkpoints). Resume then re-executes the run
+// from the top, skipping every slot at or before the checkpointed
+// position and replaying (and discarding) the shared-seed RNG draws the
+// pre-crash run consumed, so the RNG cursors, the schedule mirror and
+// the privacy accountant all sit exactly where they did at the crash.
+
+// Journal record kinds.
+const (
+	recIdentity   byte = 1
+	recIteration  byte = 2
+	recCheckpoint byte = 3
+)
+
+// stateVecMax bounds decoded centroid/trace vector lengths in state
+// records. The journal is this node's own writing, but a corrupted or
+// hostile file must fail with ErrCorrupt, never an absurd allocation.
+const stateVecMax = 1 << 20
+
+// State is a node's durable protocol position: a crc-framed journal
+// (internal/journal) holding the identity, per-iteration and per-commit
+// records described above. Open it with OpenState and hand it to the
+// node via Config.State; the node owns it afterwards (Close flushes and
+// closes it).
+type State struct {
+	j        *journal.Journal
+	identity *identity
+	lastIter []byte // newest iteration record payload, raw
+	lastCkpt []byte // newest checkpoint payload belonging to lastIter
+}
+
+// identity pins a journal to the participant that wrote it.
+type identity struct {
+	digest uint64
+	index  int
+	n      int
+	epoch  uint64
+	seed   uint64
+	addr   string
+}
+
+// OpenState opens (or creates) a node state journal and replays it. A
+// torn final record — the crash landed mid-append — is truncated away
+// by the journal layer; anything else that does not decode is
+// journal.ErrCorrupt.
+func OpenState(path string) (*State, error) {
+	j, recs, err := journal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{j: j}
+	for _, r := range recs {
+		switch r.Kind {
+		case recIdentity:
+			id, err := decodeIdentity(r.Payload)
+			if err != nil {
+				_ = j.Close()
+				return nil, err
+			}
+			st.identity = &id
+		case recIteration:
+			// A new iteration supersedes the previous iteration's
+			// checkpoints: they describe state the run has moved past.
+			st.lastIter = r.Payload
+			st.lastCkpt = nil
+		case recCheckpoint:
+			st.lastCkpt = r.Payload
+		default:
+			_ = j.Close()
+			return nil, fmt.Errorf("%w: unknown state record kind %d", journal.ErrCorrupt, r.Kind)
+		}
+	}
+	if st.identity == nil && (st.lastIter != nil || st.lastCkpt != nil) {
+		_ = j.Close()
+		return nil, fmt.Errorf("%w: protocol records precede the identity record", journal.ErrCorrupt)
+	}
+	return st, nil
+}
+
+// Path returns the journal's file path.
+func (st *State) Path() string { return st.j.Path() }
+
+// Lag reports the journal's unsynced tail (entries and bytes appended
+// since the last fsync) — zero whenever the node is between commits,
+// which is what /healthz reports as journal lag.
+func (st *State) Lag() (entries int, bytes int64) {
+	if st == nil || st.j == nil {
+		return 0, 0
+	}
+	return st.j.Lag()
+}
+
+// Close flushes and closes the journal.
+func (st *State) Close() error {
+	if st == nil || st.j == nil {
+		return nil
+	}
+	return st.j.Close()
+}
+
+// Resuming reports whether the journal already carries an identity —
+// i.e. this open is a relaunch of an existing participant, not a first
+// start.
+func (st *State) Resuming() bool { return st != nil && st.identity != nil }
+
+// savedAddr returns the listen address the journal's identity recorded,
+// or "" (nil-safe). A relaunch tries to rebind it so peers' address
+// books stay valid across the kill window.
+func (st *State) savedAddr() string {
+	if st == nil || st.identity == nil {
+		return ""
+	}
+	return st.identity.addr
+}
+
+// --- binary cursors (journal-local; mirrors wireproto's enc/dec) ---
+
+type senc struct{ b []byte }
+
+func (e *senc) u8(v byte) { e.b = append(e.b, v) }
+func (e *senc) u32(v uint32) {
+	e.b = append(e.b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (e *senc) u64(v uint64) {
+	e.u32(uint32(v >> 32))
+	e.u32(uint32(v))
+}
+func (e *senc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *senc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *senc) blob(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+type sdec struct {
+	b   []byte
+	err error
+}
+
+func (d *sdec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", journal.ErrCorrupt, msg)
+	}
+}
+
+func (d *sdec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail("short state record")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *sdec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail("short state record")
+		return 0
+	}
+	v := uint32(d.b[0])<<24 | uint32(d.b[1])<<16 | uint32(d.b[2])<<8 | uint32(d.b[3])
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *sdec) u64() uint64 {
+	hi := d.u32()
+	return uint64(hi)<<32 | uint64(d.u32())
+}
+
+func (d *sdec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *sdec) str(maxLen int) string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen || len(d.b) < n {
+		d.fail("string exceeds bound")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *sdec) blob(maxLen int) []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen || len(d.b) < n {
+		d.fail("blob exceeds bound")
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *sdec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: trailing bytes in state record", journal.ErrCorrupt)
+	}
+	return nil
+}
+
+// --- identity record ---
+
+func encodeIdentity(id identity) []byte {
+	var e senc
+	e.u64(id.digest)
+	e.u32(uint32(id.index))
+	e.u32(uint32(id.n))
+	e.u64(id.epoch)
+	e.u64(id.seed)
+	e.str(id.addr)
+	return e.b
+}
+
+func decodeIdentity(p []byte) (identity, error) {
+	d := sdec{b: p}
+	id := identity{
+		digest: d.u64(),
+		index:  int(d.u32()),
+		n:      int(d.u32()),
+		epoch:  d.u64(),
+		seed:   d.u64(),
+	}
+	id.addr = d.str(256)
+	return id, d.done()
+}
+
+// --- iteration record ---
+
+// iterationRecord is what RunContext needs to re-enter the loop at the
+// top of iteration iter: its input centroids (nil slots preserved — the
+// protocol dimensions are population-wide constants), the budget
+// already spent, the traces already released, and the wire counters.
+type iterationRecord struct {
+	iter        int
+	epsIter     float64
+	totalBefore float64
+	centroids   []timeseries.Series
+	traces      []core.IterationTrace
+	counters    wireproto.Counters
+}
+
+func encodeCounters(e *senc, c wireproto.Counters) {
+	for _, v := range []int64{
+		c.Initiated, c.Responded, c.Timeouts, c.Rejected, c.BadFrames,
+		c.Retries, c.Suspected, c.Evicted, c.Resumed, c.BytesSent, c.BytesRecv,
+	} {
+		e.u64(uint64(v))
+	}
+}
+
+func decodeCounters(d *sdec) wireproto.Counters {
+	var c wireproto.Counters
+	for _, p := range []*int64{
+		&c.Initiated, &c.Responded, &c.Timeouts, &c.Rejected, &c.BadFrames,
+		&c.Retries, &c.Suspected, &c.Evicted, &c.Resumed, &c.BytesSent, &c.BytesRecv,
+	} {
+		*p = int64(d.u64())
+	}
+	return c
+}
+
+func encodeIteration(r iterationRecord) []byte {
+	var e senc
+	e.u32(uint32(r.iter))
+	e.f64(r.epsIter)
+	e.f64(r.totalBefore)
+	e.u32(uint32(len(r.centroids)))
+	for _, c := range r.centroids {
+		if c == nil {
+			e.u8(0)
+			continue
+		}
+		e.u8(1)
+		e.u32(uint32(len(c)))
+		for _, v := range c {
+			e.f64(v)
+		}
+	}
+	e.u32(uint32(len(r.traces)))
+	for _, t := range r.traces {
+		e.u32(uint32(t.Iteration))
+		e.u32(uint32(t.CentroidsIn))
+		e.u32(uint32(t.CentroidsOut))
+		e.f64(t.EpsilonSpent)
+		e.u32(uint32(t.SumCycles))
+		e.u32(uint32(t.DissCycles))
+		e.u32(uint32(t.DecryptCycles))
+		e.f64(t.Agreement)
+		e.u32(uint32(len(t.Deviants)))
+		for _, dv := range t.Deviants {
+			e.u32(uint32(dv))
+		}
+		e.f64(t.PreInertia)
+		e.f64(t.PostInertia)
+	}
+	encodeCounters(&e, r.counters)
+	return e.b
+}
+
+func decodeIteration(p []byte) (iterationRecord, error) {
+	d := sdec{b: p}
+	r := iterationRecord{
+		iter:        int(d.u32()),
+		epsIter:     d.f64(),
+		totalBefore: d.f64(),
+	}
+	k := int(d.u32())
+	if d.err == nil && k > stateVecMax {
+		d.fail("centroid count exceeds bound")
+	}
+	for i := 0; i < k && d.err == nil; i++ {
+		if d.u8() == 0 {
+			r.centroids = append(r.centroids, nil)
+			continue
+		}
+		dim := int(d.u32())
+		if d.err == nil && dim > stateVecMax {
+			d.fail("centroid length exceeds bound")
+			break
+		}
+		c := make(timeseries.Series, 0, minInt(dim, len(d.b)/8+1))
+		for j := 0; j < dim && d.err == nil; j++ {
+			c = append(c, d.f64())
+		}
+		r.centroids = append(r.centroids, c)
+	}
+	nt := int(d.u32())
+	if d.err == nil && nt > stateVecMax {
+		d.fail("trace count exceeds bound")
+	}
+	for i := 0; i < nt && d.err == nil; i++ {
+		var t core.IterationTrace
+		t.Iteration = int(d.u32())
+		t.CentroidsIn = int(d.u32())
+		t.CentroidsOut = int(d.u32())
+		t.EpsilonSpent = d.f64()
+		t.SumCycles = int(d.u32())
+		t.DissCycles = int(d.u32())
+		t.DecryptCycles = int(d.u32())
+		t.Agreement = d.f64()
+		ndv := int(d.u32())
+		if d.err == nil && ndv > stateVecMax {
+			d.fail("deviant count exceeds bound")
+			break
+		}
+		for j := 0; j < ndv && d.err == nil; j++ {
+			t.Deviants = append(t.Deviants, int(d.u32()))
+		}
+		t.PreInertia = d.f64()
+		t.PostInertia = d.f64()
+		r.traces = append(r.traces, t)
+	}
+	r.counters = decodeCounters(&d)
+	if err := d.done(); err != nil {
+		return iterationRecord{}, err
+	}
+	return r, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- checkpoint record ---
+
+// checkpointRecord is one commit point's full iteration state. The
+// three protocol segments reuse the wire codecs (with zeroed exchange
+// headers): the journal speaks the same canonical encoding as the wire,
+// so the bounded decoders and their fuzzing cover both.
+type checkpointRecord struct {
+	pos      slot
+	sum      wireproto.SumMsg
+	diss     wireproto.DissMsg
+	dec      wireproto.DecMsg
+	counters wireproto.Counters
+}
+
+func encodeCheckpoint(s slot, st *iterState, ctrs wireproto.Counters) []byte {
+	var e senc
+	e.u32(uint32(s.iter))
+	e.u32(uint32(s.phase))
+	e.u32(uint32(s.cycle))
+	e.u32(uint32(s.seq))
+	e.blob(wireproto.MarshalSum(wireproto.SumMsg{
+		Means: st.means, Noise: st.noise, CtrSigma: st.ctrS, CtrOmega: st.ctrW,
+	}))
+	e.blob(wireproto.MarshalDiss(wireproto.DissMsg{ID: st.corID, Vec: st.corVec}))
+	e.blob(wireproto.MarshalDec(wireproto.DecMsg{
+		CTs: st.decCTs, Omega: st.decOmega, Parts: st.decParts,
+	}))
+	encodeCounters(&e, ctrs)
+	return e.b
+}
+
+func decodeCheckpoint(p []byte, lim wireproto.Limits) (checkpointRecord, error) {
+	d := sdec{b: p}
+	r := checkpointRecord{pos: slot{
+		iter:  int(d.u32()),
+		phase: int(d.u32()),
+		cycle: int(d.u32()),
+		seq:   int(d.u32()),
+	}}
+	sumB := d.blob(lim.MaxFrameLen)
+	dissB := d.blob(lim.MaxFrameLen)
+	decB := d.blob(lim.MaxFrameLen)
+	r.counters = decodeCounters(&d)
+	if err := d.done(); err != nil {
+		return checkpointRecord{}, err
+	}
+	if r.pos.phase < phaseSum || r.pos.phase > phaseDec {
+		return checkpointRecord{}, fmt.Errorf("%w: checkpoint phase %d out of range", journal.ErrCorrupt, r.pos.phase)
+	}
+	var err error
+	if r.sum, err = wireproto.UnmarshalSum(sumB, lim); err != nil {
+		return checkpointRecord{}, fmt.Errorf("%w: checkpoint sum segment: %v", journal.ErrCorrupt, err)
+	}
+	if r.diss, err = wireproto.UnmarshalDiss(dissB, lim); err != nil {
+		return checkpointRecord{}, fmt.Errorf("%w: checkpoint diss segment: %v", journal.ErrCorrupt, err)
+	}
+	if r.dec, err = wireproto.UnmarshalDec(decB, lim); err != nil {
+		return checkpointRecord{}, fmt.Errorf("%w: checkpoint dec segment: %v", journal.ErrCorrupt, err)
+	}
+	return r, nil
+}
+
+// restoreIterState rebuilds the live iteration state from a checkpoint.
+// Fields belonging to phases the checkpoint had not reached yet stay
+// unset: the resumed iterate computes them at the phase boundary
+// exactly as an uncrashed run would.
+func restoreIterState(ck checkpointRecord) *iterState {
+	st := &iterState{
+		means: ck.sum.Means,
+		noise: ck.sum.Noise,
+		ctrS:  ck.sum.CtrSigma,
+		ctrW:  ck.sum.CtrOmega,
+	}
+	if ck.pos.phase >= phaseDiss {
+		st.corID, st.corVec = ck.diss.ID, ck.diss.Vec
+	}
+	if ck.pos.phase >= phaseDec {
+		st.decCTs, st.decOmega, st.decParts = ck.dec.CTs, ck.dec.Omega, ck.dec.Parts
+		if st.decParts == nil {
+			st.decParts = make(map[int][]homenc.PartialDecryption)
+		}
+	}
+	return st
+}
+
+// --- append paths ---
+
+func (st *State) append(kind byte, payload []byte) error {
+	if err := st.j.Append(kind, payload); err != nil {
+		return err
+	}
+	return st.j.Sync()
+}
+
+func (st *State) saveIdentity(id identity) error {
+	if err := st.append(recIdentity, encodeIdentity(id)); err != nil {
+		return err
+	}
+	st.identity = &id
+	return nil
+}
+
+func (st *State) saveIteration(r iterationRecord) error {
+	return st.append(recIteration, encodeIteration(r))
+}
+
+func (st *State) saveCheckpoint(s slot, is *iterState, ctrs wireproto.Counters) error {
+	return st.append(recCheckpoint, encodeCheckpoint(s, is, ctrs))
+}
+
+// --- node integration ---
+
+// resumePoint is a decoded journal handed to RunContext: where to
+// re-enter the protocol and with what state.
+type resumePoint struct {
+	iter        int     // iteration to re-enter
+	epsIter     float64 // its recorded privacy spend (sanity only; recomputed)
+	totalBefore float64 // budget spent by completed iterations
+	centroids   []timeseries.Series
+	traces      []core.IterationTrace
+	pos         *slot      // last committed slot, nil: resume at the iteration start
+	st          *iterState // restored live state, non-nil iff pos is
+}
+
+// attachState binds an opened journal to the node: a fresh journal gets
+// the identity record; an existing one is verified against this
+// provisioning and decoded into the resume point RunContext consumes.
+// Called from New before any background goroutine starts.
+func (nd *Node) attachState(st *State) error {
+	if st.identity != nil {
+		id := st.identity
+		if id.digest != nd.digest || id.index != nd.cfg.Index || id.n != nd.cfg.N ||
+			id.epoch != nd.epoch || id.seed != nd.cfg.Proto.Seed {
+			return fmt.Errorf("%w: journal %s was written by participant %d of %d under digest %016x, epoch %d",
+				ErrConfigMismatch, st.Path(), id.index, id.n, id.digest, id.epoch)
+		}
+		nd.resuming = true
+	} else if err := st.saveIdentity(identity{
+		digest: nd.digest, index: nd.cfg.Index, n: nd.cfg.N,
+		epoch: nd.epoch, seed: nd.cfg.Proto.Seed, addr: nd.addr,
+	}); err != nil {
+		return err
+	}
+	nd.state = st
+	nd.resumeAnn = wireproto.Resume{
+		Index: uint32(nd.cfg.Index), Addr: nd.addr,
+		N: uint32(nd.cfg.N), Digest: nd.digest,
+	}
+	if st.lastIter == nil {
+		return nil
+	}
+	itRec, err := decodeIteration(st.lastIter)
+	if err != nil {
+		return err
+	}
+	rp := &resumePoint{
+		iter:        itRec.iter,
+		epsIter:     itRec.epsIter,
+		totalBefore: itRec.totalBefore,
+		centroids:   itRec.centroids,
+		traces:      itRec.traces,
+	}
+	ctrs := itRec.counters
+	if st.lastCkpt != nil {
+		ck, err := decodeCheckpoint(st.lastCkpt, nd.lim)
+		if err != nil {
+			return err
+		}
+		if ck.pos.iter == itRec.iter {
+			pos := ck.pos
+			rp.pos = &pos
+			rp.st = restoreIterState(ck)
+			ctrs = ck.counters
+			nd.resumeAnn.Iter = uint32(pos.iter)
+			nd.resumeAnn.Phase = uint32(pos.phase)
+			nd.resumeAnn.Cycle = uint32(pos.cycle)
+			nd.resumeAnn.Seq = uint32(pos.seq)
+		}
+	}
+	nd.counters.Restore(ctrs)
+	nd.resume = rp
+	return nil
+}
+
+// journalCommit makes one exchange commit durable. Ordering is the
+// whole point: the merge has been applied, the journal append+fsync
+// happens HERE, and only then does the initiator send its FIN. A crash
+// in the merge→fsync window loses at most this one merge, and both
+// directions of that loss are legal protocol outcomes: an initiator
+// that loses it never sent the FIN, so the responder never merged and
+// the exchange simply didn't happen; a responder that loses it leaves
+// the initiator committed alone — exactly the paper's Section 6.1.5
+// half-completed exchange. A resume never double-applies because it
+// skips every slot at or before the journaled position.
+//
+// A journal that stops taking writes halts the node instead of running
+// on: continuing un-journaled would let a later crash replay exchanges
+// the population already saw happen.
+func (nd *Node) journalCommit(s slot, st *iterState, initiator bool) {
+	if nd.state != nil && nd.stateErr == nil {
+		if err := nd.state.saveCheckpoint(s, st, nd.counters.Snapshot()); err != nil {
+			nd.stateErr = fmt.Errorf("node %d: journal write failed: %w", nd.cfg.Index, err)
+			_ = nd.Close()
+			return
+		}
+	}
+	if nd.commitHook != nil && nd.commitHook(s.phase, s.iter, s.cycle, s.seq, initiator) {
+		_ = nd.Close() // simulated kill −9 at a commit point
+	}
+}

@@ -22,7 +22,11 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"chiaroscuro/internal/core"
@@ -75,6 +79,16 @@ type Config struct {
 	// thousand-peer virtual populations need minutes — a cycle's worth
 	// of serial exchanges can sit ahead of a slot).
 	ExchangeTimeout time.Duration
+	// KillProb turns the soak into a restart storm: every ~50ms a
+	// seeded supervisor coin-flips with this probability and, on heads,
+	// kills one random live peer outright and relaunches it from its
+	// crash-recovery journal. Requires the TCP shape (not VirtualNodes);
+	// each peer runs with a durable journal under StateDir.
+	KillProb float64
+	// StateDir is where restart-storm journals live (one per peer per
+	// run, under a per-seed subdirectory). Empty with KillProb set means
+	// a temp directory that is removed when the soak ends.
+	StateDir string
 	// Out, when set, receives a progress line per run.
 	Out io.Writer
 }
@@ -89,6 +103,8 @@ type Report struct {
 	Wire      wireproto.Counters
 	Seed      uint64 // fault seed of run 0 (run r used Seed + r)
 	LastErr   error  // last per-run error, if any
+	Kills     int    // restart storm: peers killed mid-run by the supervisor
+	Resumes   int    // restart storm: relaunches that resumed from a journal
 
 	// Resource peaks observed across the soak (sampled every ~200ms):
 	// the capacity numbers behind the PERF.md peers-per-process table.
@@ -148,6 +164,17 @@ func (c Config) Scheme() (homenc.Scheme, error) {
 // provisioning errors abort the soak.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.KillProb > 0 && cfg.VirtualNodes {
+		return nil, fmt.Errorf("soak: restart storm (KillProb) needs the TCP shape, not VirtualNodes")
+	}
+	if cfg.KillProb > 0 && cfg.StateDir == "" {
+		dir, err := os.MkdirTemp("", "chiaroscuro-soak-")
+		if err != nil {
+			return nil, err
+		}
+		cfg.StateDir = dir
+		defer os.RemoveAll(dir)
+	}
 	scheme, err := cfg.Scheme()
 	if err != nil {
 		return nil, err
@@ -171,7 +198,18 @@ func Run(cfg Config) (*Report, error) {
 		plan.Seed = cfg.Plan.Seed + uint64(run)
 		rep.Runs++
 		runStart := time.Now()
-		res, counters, err := runOnce(cfg, scheme, data, seeds, plan)
+		var (
+			res            *node.Result
+			counters       wireproto.Counters
+			kills, resumes int
+		)
+		if cfg.KillProb > 0 {
+			res, counters, kills, resumes, err = runRestartStorm(cfg, scheme, data, seeds, plan)
+			rep.Kills += kills
+			rep.Resumes += resumes
+		} else {
+			res, counters, err = runOnce(cfg, scheme, data, seeds, plan)
+		}
 		addCounters(&rep.Wire, counters)
 		if err != nil {
 			rep.Failures++
@@ -189,9 +227,9 @@ func Run(cfg Config) (*Report, error) {
 		rep.Cycles += cycles
 		rep.Centroids = len(res.Centroids)
 		if cfg.Out != nil {
-			fmt.Fprintf(cfg.Out, "soak: run %d seed %d ok in %s: %d cycles, %d centroids, retries %d, evicted %d\n",
+			fmt.Fprintf(cfg.Out, "soak: run %d seed %d ok in %s: %d cycles, %d centroids, retries %d, evicted %d, kills %d, resumes %d\n",
 				run, plan.Seed, time.Since(runStart).Round(time.Millisecond),
-				cycles, len(res.Centroids), counters.Retries, counters.Evicted)
+				cycles, len(res.Centroids), counters.Retries, counters.Evicted, kills, resumes)
 		}
 	}
 	rep.Elapsed = time.Since(start)
@@ -368,6 +406,202 @@ func runOnce(cfg Config, scheme homenc.Scheme, data *timeseries.Dataset, seeds [
 	return results[0], agg, nil
 }
 
+// runRestartStorm is runOnce's restart-storm variant: the TCP-shape
+// population runs with one durable journal per peer, and a seeded
+// supervisor ticker kills random live peers mid-protocol — the process
+// dies with whatever its last fsynced commit recorded, exactly the
+// kill -9 contract — then relaunches each victim from its journal. The
+// relaunched peer rebinds its recorded listen address (SO_REUSEADDR),
+// announces itself with a Resume handshake, and re-enters the run
+// where its journal left off. Returns participant 0's result, the
+// final-instance aggregated counters (resumed instances restore their
+// predecessors' counters from the journal, so final instances carry
+// the whole history), and the kill/resume totals.
+func runRestartStorm(cfg Config, scheme homenc.Scheme, data *timeseries.Dataset, seeds []timeseries.Series, plan faultnet.Plan) (*node.Result, wireproto.Counters, int, int, error) {
+	proto := protoFor(cfg, seeds, plan)
+	inj := faultnet.New(plan)
+	var agg wireproto.Counters
+
+	// One subdirectory per fault seed: journals encode the run's seed in
+	// their identity record, so a stale journal from another seed would
+	// be (correctly) refused at relaunch. Start clean.
+	dir := filepath.Join(cfg.StateDir, fmt.Sprintf("seed-%d", plan.Seed))
+	_ = os.RemoveAll(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, agg, 0, 0, err
+	}
+
+	type cell struct {
+		mu     sync.Mutex
+		nd     *node.Node
+		killed bool // supervisor closed this instance; its runner relaunches
+		done   bool // runner finished for good (success or terminal failure)
+	}
+	cells := make([]*cell, cfg.N)
+	for i := range cells {
+		cells[i] = &cell{}
+	}
+	addrs := make([]string, cfg.N) // stable: relaunches rebind the saved addr
+
+	faults := make([]*faultnet.NodeFaults, cfg.N)
+	for i := range faults {
+		faults[i] = inj.Node(i)
+	}
+
+	launch := func(i int) (*node.Node, error) {
+		st, err := node.OpenState(filepath.Join(dir, fmt.Sprintf("node-%d.journal", i)))
+		if err != nil {
+			return nil, err
+		}
+		bootstrap := ""
+		for j := range addrs {
+			if j != i && addrs[j] != "" {
+				bootstrap = addrs[j]
+				break
+			}
+		}
+		nf := faults[i]
+		nd, err := node.New(node.Config{
+			Index:           i,
+			N:               cfg.N,
+			Series:          data.Row(i),
+			Scheme:          scheme,
+			Proto:           proto,
+			Bootstrap:       bootstrap,
+			ExchangeTimeout: cfg.ExchangeTimeout,
+			FinTimeout:      400 * time.Millisecond,
+			JoinTimeout:     30 * time.Second,
+			Policy:          cfg.Policy,
+			Dialer:          nf,
+			CrashHook:       nf.Crash,
+			State:           st,
+		})
+		if err != nil {
+			_ = st.Close()
+			return nil, err
+		}
+		addrs[i] = nd.Addr()
+		return nd, nil
+	}
+
+	defer func() {
+		for _, c := range cells {
+			c.mu.Lock()
+			nd := c.nd
+			c.mu.Unlock()
+			if nd != nil {
+				_ = nd.Close()
+			}
+		}
+	}()
+
+	// Join flood, as in runOnce: node 0 first so the rest have a
+	// bootstrap peer.
+	for i := 0; i < cfg.N; i++ {
+		nd, err := launch(i)
+		if err != nil {
+			return nil, agg, 0, 0, err
+		}
+		cells[i].nd = nd
+	}
+
+	var kills, resumes atomic.Int64
+	stopKiller := make(chan struct{})
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		rng := randx.New(plan.Seed^0xC4A5, 9)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopKiller:
+				return
+			case <-t.C:
+				if !rng.Bernoulli(cfg.KillProb) {
+					continue
+				}
+				c := cells[rng.IntN(cfg.N)]
+				c.mu.Lock()
+				nd := c.nd
+				if nd == nil || c.done || c.killed {
+					c.mu.Unlock()
+					continue
+				}
+				c.killed = true
+				c.mu.Unlock()
+				_ = nd.Close()
+				kills.Add(1)
+			}
+		}
+	}()
+
+	results := make([]*node.Result, cfg.N)
+	errs := make([]error, cfg.N)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cells[i]
+			// Bound relaunches so a pathological schedule cannot spin a
+			// runner forever; 64 restarts of one peer in one run is far
+			// beyond any plausible storm.
+			for attempt := 0; ; attempt++ {
+				c.mu.Lock()
+				nd := c.nd
+				c.mu.Unlock()
+				res, err := nd.Run()
+				c.mu.Lock()
+				wasKilled := c.killed
+				c.killed = false
+				// A killed instance's result is discarded even when Run
+				// limped to a nil error: Close only severs the network
+				// runtime, but the contract under test is kill -9 — the
+				// whole process dies — so the victim must come back
+				// through its journal, not coast on an in-memory result.
+				if !wasKilled || attempt >= 64 {
+					c.done = true
+					c.mu.Unlock()
+					results[i], errs[i] = res, err
+					return
+				}
+				c.mu.Unlock()
+				nd2, lerr := launch(i)
+				if lerr != nil {
+					c.mu.Lock()
+					c.done = true
+					c.mu.Unlock()
+					errs[i] = fmt.Errorf("relaunch: %w", lerr)
+					return
+				}
+				resumes.Add(1)
+				c.mu.Lock()
+				c.nd = nd2
+				c.mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopKiller)
+	<-killerDone
+
+	for _, c := range cells {
+		agg2 := c.nd.Counters()
+		addCounters(&agg, agg2)
+	}
+	nKills, nResumes := int(kills.Load()), int(resumes.Load())
+	for i, err := range errs {
+		if err != nil {
+			return nil, agg, nKills, nResumes, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	if len(results[0].Centroids) == 0 {
+		return nil, agg, nKills, nResumes, fmt.Errorf("run released no centroids")
+	}
+	return results[0], agg, nKills, nResumes, nil
+}
+
 func addCounters(dst *wireproto.Counters, c wireproto.Counters) {
 	dst.Initiated += c.Initiated
 	dst.Responded += c.Responded
@@ -377,6 +611,7 @@ func addCounters(dst *wireproto.Counters, c wireproto.Counters) {
 	dst.Retries += c.Retries
 	dst.Suspected += c.Suspected
 	dst.Evicted += c.Evicted
+	dst.Resumed += c.Resumed
 	dst.BytesSent += c.BytesSent
 	dst.BytesRecv += c.BytesRecv
 }

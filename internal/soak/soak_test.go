@@ -96,6 +96,52 @@ func TestSoakVirtualMatchesSeededReplay(t *testing.T) {
 	}
 }
 
+// TestSoakRestartStorm pins the crash-recovery runtime end to end: a
+// TCP population runs with per-peer journals while the supervisor
+// kills random live peers mid-protocol and relaunches them from their
+// journals. The run must still converge and release centroids, peers
+// must have actually died and resumed, and the population must have
+// accepted Resume announcements over the wire.
+func TestSoakRestartStorm(t *testing.T) {
+	rep, err := Run(Config{
+		N:               6,
+		SimScheme:       true,
+		Tau:             2,
+		Plan:            faultnet.Plan{Seed: 11},
+		Iterations:      3,
+		Policy:          node.Policy{MaxRetries: 3, SuspicionK: 6},
+		KillProb:        0.4,
+		StateDir:        t.TempDir(),
+		ExchangeTimeout: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("storm run failed: %v", rep.LastErr)
+	}
+	if rep.Cycles == 0 || rep.Centroids == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.Kills == 0 {
+		t.Fatal("supervisor killed nobody; storm did not storm (run too fast or killer not wired)")
+	}
+	if rep.Resumes == 0 {
+		t.Fatal("no peer resumed from its journal")
+	}
+	if rep.Wire.Resumed == 0 {
+		t.Fatal("no Resume announcement accepted on the wire")
+	}
+}
+
+// TestSoakRestartStormRejectsVirtualNodes pins the shape guard.
+func TestSoakRestartStormRejectsVirtualNodes(t *testing.T) {
+	_, err := Run(Config{N: 4, VirtualNodes: true, KillProb: 0.1})
+	if err == nil {
+		t.Fatal("VirtualNodes + KillProb accepted; want refusal")
+	}
+}
+
 // TestSchemeSelection pins the scheme factory switch.
 func TestSchemeSelection(t *testing.T) {
 	sim, err := Config{N: 8, SimScheme: true}.Scheme()

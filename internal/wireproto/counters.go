@@ -16,6 +16,7 @@ type CounterSet struct {
 	Retries   atomic.Int64 // exchange attempts retried after a transient failure
 	Suspected atomic.Int64 // consecutive-failure strikes recorded against peers
 	Evicted   atomic.Int64 // peers evicted from the address book by suspicion
+	Resumed   atomic.Int64 // resume announcements accepted from restarted peers
 	BytesSent atomic.Int64
 	BytesRecv atomic.Int64
 }
@@ -30,6 +31,7 @@ type Counters struct {
 	Retries   int64
 	Suspected int64
 	Evicted   int64
+	Resumed   int64
 	BytesSent int64
 	BytesRecv int64
 }
@@ -45,9 +47,28 @@ func (c *CounterSet) Snapshot() Counters {
 		Retries:   c.Retries.Load(),
 		Suspected: c.Suspected.Load(),
 		Evicted:   c.Evicted.Load(),
+		Resumed:   c.Resumed.Load(),
 		BytesSent: c.BytesSent.Load(),
 		BytesRecv: c.BytesRecv.Load(),
 	}
+}
+
+// Restore overwrites the live counters with a snapshot — the
+// crash-recovery path: a node relaunched from its journal continues
+// counting where its last durable checkpoint left off, so replayed
+// runs report totals comparable to uncrashed ones.
+func (c *CounterSet) Restore(s Counters) {
+	c.Initiated.Store(s.Initiated)
+	c.Responded.Store(s.Responded)
+	c.Timeouts.Store(s.Timeouts)
+	c.Rejected.Store(s.Rejected)
+	c.BadFrames.Store(s.BadFrames)
+	c.Retries.Store(s.Retries)
+	c.Suspected.Store(s.Suspected)
+	c.Evicted.Store(s.Evicted)
+	c.Resumed.Store(s.Resumed)
+	c.BytesSent.Store(s.BytesSent)
+	c.BytesRecv.Store(s.BytesRecv)
 }
 
 // Exchanges returns the total exchange count (both roles).

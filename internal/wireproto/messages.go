@@ -97,6 +97,51 @@ func UnmarshalHello(data []byte, lim Limits) (Hello, error) {
 	return h, d.done()
 }
 
+// Resume is a restarted peer's re-announcement: the Hello identity
+// fields plus the protocol position its journal replayed to (the last
+// committed slot; zero position for a peer that crashed before any
+// commit). Receivers validate it exactly like a Hello — same digest
+// refusal — then reinstate the peer (suspicion strikes and eviction
+// overlays cleared, address relearned) instead of treating it as new.
+type Resume struct {
+	Index  uint32
+	Addr   string
+	N      uint32
+	Digest uint64
+	Iter   uint32
+	Phase  uint32
+	Cycle  uint32
+	Seq    uint32
+}
+
+// MarshalResume encodes a Resume payload (KindResume).
+func MarshalResume(r Resume) []byte {
+	var e enc
+	e.u32(r.Index)
+	e.str(r.Addr)
+	e.u32(r.N)
+	e.u64(r.Digest)
+	e.u32(r.Iter)
+	e.u32(r.Phase)
+	e.u32(r.Cycle)
+	e.u32(r.Seq)
+	return e.bytes()
+}
+
+// UnmarshalResume decodes a Resume payload.
+func UnmarshalResume(data []byte, lim Limits) (Resume, error) {
+	d := dec{b: data}
+	r := Resume{Index: d.u32()}
+	r.Addr = d.str(lim.MaxAddrLen)
+	r.N = d.u32()
+	r.Digest = d.u64()
+	r.Iter = d.u32()
+	r.Phase = d.u32()
+	r.Cycle = d.u32()
+	r.Seq = d.u32()
+	return r, d.done()
+}
+
 // Reject is a handshake refusal with a human-readable reason, sent in
 // place of a HelloAck when the peers' provisioning disagrees.
 type Reject struct {

@@ -50,6 +50,12 @@ const (
 	KindView     byte = 0x03 // Newscast view push (either direction)
 	KindLeave    byte = 0x04 // graceful departure notice
 	KindReject   byte = 0x05 // handshake refusal: typed reason (config mismatch)
+	// Crash recovery: a peer relaunched from its journal re-announces
+	// itself with its protocol position instead of joining as new, so
+	// receivers reconcile the roster and reinstate it from suspicion
+	// rather than treating it as a fresh (or evicted) participant.
+	KindResume    byte = 0x06 // restarted peer -> anyone: identity + journal position
+	KindResumeAck byte = 0x07 // receiver -> restarted peer: current roster view
 
 	// Encrypted sum phase (means + noise EESum lockstep + counter).
 	KindSumReq  byte = 0x10 // initiator state push

@@ -220,6 +220,7 @@ type WireStats struct {
 	Retries   int64 // exchange attempts retried after a transient failure
 	Suspected int64 // consecutive-failure strikes recorded against peers
 	Evicted   int64 // peers evicted from address books by suspicion
+	Resumed   int64 // resume announcements accepted from restarted peers
 	BytesSent int64
 	BytesRecv int64
 }
@@ -719,6 +720,7 @@ func (g *netEngine) run(ctx context.Context, em *emitter) (*Result, error) {
 		wire.Retries += c.Retries
 		wire.Suspected += c.Suspected
 		wire.Evicted += c.Evicted
+		wire.Resumed += c.Resumed
 		wire.BytesSent += c.BytesSent
 		wire.BytesRecv += c.BytesRecv
 	}
