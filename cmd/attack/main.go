@@ -1,0 +1,160 @@
+// Command attack runs the adversarial privacy bench: it sweeps the
+// clustering backends across privacy budgets and packing layouts,
+// mounts the reconstruction and linkage attacks of internal/attack on
+// every run's observer-visible trace, and prints the measured
+// identification and reconstruction rates next to their in-suite
+// random-guess baselines.
+//
+//	attack -n 48 -k 4 -modes centralized,simulated -eps 0.693,100,1e6
+//	attack -json out/ -check        # CI privacy-regression gate
+//
+// With -json DIR each sweep additionally writes a machine-readable
+// ATTACK_<dataset>.json report; two same-seed invocations write
+// byte-identical files. With -check the pinned thresholds of
+// attack.DefaultThresholds are enforced and any violation exits 1:
+// rates at the paper's ε = ln 2 must stay at their random baselines,
+// and the non-private reference rows must stay well above them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"chiaroscuro"
+	"chiaroscuro/internal/attack"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "cer", "cer or numed")
+		n          = flag.Int("n", 48, "population (series count)")
+		k          = flag.Int("k", 4, "clusters")
+		iters      = flag.Int("iterations", 4, "max clustering iterations per run")
+		modes      = flag.String("modes", "centralized,centralizeddp,simulated", "comma-separated backends (centralized, centralizeddp, simulated, networked)")
+		eps        = flag.String("eps", "", "comma-separated ε grid (default 0.693,100,1e4,1e6)")
+		pack       = flag.String("pack", "0", "comma-separated PackSlots grid for the distributed modes")
+		exchanges  = flag.Int("exchanges", 20, "sum-phase gossip cycles (distributed modes)")
+		seed       = flag.Uint64("seed", 1, "deterministic sweep seed")
+		reps       = flag.Int("profile-reps", 1, "attacker profile observations per user")
+		noise      = flag.Float64("profile-noise", 2.0, "attacker profile observation noise (σ, measure units)")
+		topk       = flag.String("topk", "1,5", "comma-separated identification ranks to score")
+		realCrypto = flag.Bool("real-crypto", false, "run distributed modes on the Damgård–Jurik test scheme")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "networked exchange timeout")
+		jsonDir    = flag.String("json", "", "also write ATTACK_*.json to this directory")
+		check      = flag.Bool("check", false, "enforce the pinned privacy-regression thresholds; exit 1 on violation")
+	)
+	flag.Parse()
+
+	cfg := attack.SweepConfig{
+		Dataset:       *dataset,
+		Population:    *n,
+		K:             *k,
+		MaxIterations: *iters,
+		Exchanges:     *exchanges,
+		Seed:          *seed,
+		ProfileReps:   *reps,
+		ProfileNoise:  *noise,
+		RealCrypto:    *realCrypto,
+		Workers:       *workers,
+		Timeout:       *timeout,
+	}
+	var err error
+	if cfg.Modes, err = parseModes(*modes); err != nil {
+		fatal(err)
+	}
+	if cfg.Epsilons, err = parseFloats(*eps); err != nil {
+		fatal(fmt.Errorf("-eps: %w", err))
+	}
+	if cfg.PackSlots, err = parseInts(*pack); err != nil {
+		fatal(fmt.Errorf("-pack: %w", err))
+	}
+	if cfg.TopK, err = parseInts(*topk); err != nil {
+		fatal(fmt.Errorf("-topk: %w", err))
+	}
+
+	rep, err := attack.Sweep(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	attack.WriteTable(os.Stdout, rep)
+
+	if *jsonDir != "" {
+		path, err := attack.WriteReport(*jsonDir, rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "attack: wrote %s\n", path)
+	}
+	if *check {
+		if violations := attack.DefaultThresholds().Check(rep); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "attack: FAIL:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "attack: privacy-regression gate passed")
+	}
+}
+
+func parseModes(s string) ([]chiaroscuro.Mode, error) {
+	var out []chiaroscuro.Mode
+	for _, f := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(f)) {
+		case "":
+		case "centralized":
+			out = append(out, chiaroscuro.Centralized)
+		case "centralizeddp", "centralized-dp", "centraldp":
+			out = append(out, chiaroscuro.CentralizedDP)
+		case "simulated":
+			out = append(out, chiaroscuro.Simulated)
+		case "networked":
+			out = append(out, chiaroscuro.Networked)
+		default:
+			return nil, fmt.Errorf("-modes: unknown mode %q", f)
+		}
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attack:", err)
+	os.Exit(1)
+}

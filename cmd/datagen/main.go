@@ -3,9 +3,22 @@
 //	datagen -dataset cer   -n 100000 -o cer.csv
 //	datagen -dataset numed -n 100000 -o numed.csv
 //	datagen -dataset a3    -replicas 100 -o a3.csv
+//
+// With -profiles it instead emits the labeled per-user candidate
+// profile set the adversarial privacy bench (internal/attack,
+// cmd/attack) links against released centroids: for every series of the
+// dataset, -profile-reps noisy side-channel observations (Gaussian
+// observation noise of -profile-noise standard deviation, clamped to
+// the dataset range), each row prefixed with its ground-truth user and
+// repetition labels. The observation stream draws from a SplitMix64
+// seed derived from -seed (printed, like cmd/soak's shard seeds) so the
+// profile set replays on its own:
+//
+//	datagen -dataset cer -n 1000 -profiles -profile-noise 2 -o profiles.csv
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -22,22 +35,63 @@ func main() {
 		replicas = flag.Int("replicas", 100, "replication factor (a3)")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		out      = flag.String("o", "", "output file (default stdout)")
+
+		profiles     = flag.Bool("profiles", false, "emit the labeled per-user candidate profile set instead of the raw dataset")
+		profileReps  = flag.Int("profile-reps", 1, "noisy observations per user (-profiles)")
+		profileNoise = flag.Float64("profile-noise", 2.0, "observation-noise standard deviation in measure units (-profiles)")
 	)
 	flag.Parse()
 
-	var d *chiaroscuro.Dataset
+	var (
+		d      *chiaroscuro.Dataset
+		lo, hi float64
+	)
 	switch *dataset {
 	case "cer":
 		d, _ = chiaroscuro.GenerateCER(*n, *seed)
+		lo, hi = datasets.CERMin, datasets.CERMax
 	case "numed":
 		d, _ = chiaroscuro.GenerateNUMED(*n, *seed)
+		lo, hi = datasets.NUMEDMin, datasets.NUMEDMax
 	case "a3":
 		rng := randx.New(*seed, 0xA3)
 		base, _ := datasets.GenerateA3Base(rng)
 		d = datasets.ReplicateJitter(base, *replicas, 0.5, rng)
+		lo, hi = datasets.A3Min, datasets.A3Max
 	default:
 		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dataset)
 		os.Exit(2)
+	}
+
+	if *profiles {
+		pseed := datasets.ProfileSeed(*seed)
+		ps := datasets.GenerateProfiles(d, *profileReps, *profileNoise, lo, hi,
+			randx.New(pseed, 0x90F))
+		fmt.Fprintf(os.Stderr, "datagen: profile seed %d (replays the observation stream alone)\n", pseed)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := datasets.WriteProfilesCSV(bw, ps); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		if err := bw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			fmt.Printf("wrote %d profiles (%d users × %d reps) to %s\n",
+				len(ps), d.Len(), *profileReps, *out)
+		}
+		return
 	}
 
 	if *out == "" {

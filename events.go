@@ -39,10 +39,23 @@ func (p Phase) String() string { return core.Phase(p).String() }
 // after the threshold decryption (or after the local perturbation in
 // the centralized modes). One event fires per protocol iteration, as
 // soon as the release exists.
+//
+// EpsilonSpent and EpsilonTotal together give an observer the complete
+// per-release budget accounting: what this release cost, and how much
+// of the global ε the run has disclosed up to and including it. That
+// is exactly the bookkeeping an honest-but-curious observer performs
+// (and what internal/attack replays) — publishing it here makes the
+// leakage surface explicit instead of reconstructable only from the
+// terminal Result.TotalEpsilon aggregate.
 type IterationReleased struct {
 	Iteration    int      // 1-based
 	Centroids    []Series // released centroids (shared with the run; do not mutate)
 	EpsilonSpent float64  // privacy budget this iteration consumed (0 in Centralized mode)
+	// EpsilonTotal is the cumulative privacy budget the run has consumed
+	// through this release, i.e. the running sum of EpsilonSpent over
+	// the iterations released so far. After the final release it equals
+	// Result.TotalEpsilon. Always 0 in Centralized mode.
+	EpsilonTotal float64
 	// Inertia is the iteration's quality metric when the mode computes
 	// one: the intra-cluster inertia in Centralized mode, the released-
 	// centroid (post) inertia in CentralizedDP and in Simulated mode
@@ -202,15 +215,24 @@ func (b *eventBus) close(final Event) {
 
 // emitter is the hook surface the engines feed: one self-gating method
 // per event type, safe to call unconditionally from the hot loops.
-type emitter struct{ bus *eventBus }
+// It also carries the run's cumulative ε accounting so every
+// IterationReleased can report EpsilonTotal; the accumulation happens
+// before the subscriber gate so a mid-run subscriber still sees the
+// correct running total (a float add, so the no-subscriber path stays
+// allocation-free).
+type emitter struct {
+	bus      *eventBus
+	epsTotal float64
+}
 
 func (e *emitter) active() bool { return e.bus.subscribed.Load() }
 
 func (e *emitter) iteration(it int, centroids []Series, eps, inertia float64) {
+	e.epsTotal += eps
 	if !e.active() {
 		return
 	}
-	e.bus.emit(IterationReleased{Iteration: it, Centroids: centroids, EpsilonSpent: eps, Inertia: inertia})
+	e.bus.emit(IterationReleased{Iteration: it, Centroids: centroids, EpsilonSpent: eps, EpsilonTotal: e.epsTotal, Inertia: inertia})
 }
 
 func (e *emitter) phase(it int, p Phase, cycle, of int) {

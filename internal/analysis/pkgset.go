@@ -23,6 +23,10 @@ var (
 	// range over a map there is a determinism bug unless proven
 	// order-free (maporder's invariant, the PR 3 bug class).
 	DeterministicPackages = []string{
+		// The adversarial privacy bench's contract is byte-identical
+		// same-seed ATTACK_*.json reports; any ordering or rng drift
+		// there silently un-pins the CI privacy-regression gate.
+		"chiaroscuro/internal/attack",
 		"chiaroscuro/internal/eesum",
 		"chiaroscuro/internal/core",
 		"chiaroscuro/internal/sim",

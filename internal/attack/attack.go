@@ -1,0 +1,118 @@
+// Package attack is Chiaroscuro's adversarial privacy bench: it replays
+// the observer-visible surface of a clustering run — the Events()
+// release stream every participant (and any honest-but-curious peer)
+// sees — and mounts concrete, seeded attacks against it, turning the DP
+// budget claims into measured identification and reconstruction rates.
+//
+// # Threat model
+//
+// The adversary is honest-but-curious: it follows the protocol and
+// records everything the protocol discloses by design. Per iteration
+// that is the cleartext differentially-private centroid release
+// (IterationReleased: centroids, per-release ε spent and the cumulative
+// total), the phase/cycle progress, and the churn observations; the
+// wire exposes nothing more to a passive peer — exchange payloads are
+// ciphertexts, and the e2e tests pin that a networked run releases
+// bit-identically to the simulator. The linkage attack additionally
+// assumes the deployment's per-user cluster adoption is observable
+// (each device acts on its assignment — the service a user queries
+// learns which released centroid the user adopted), plus auxiliary
+// side-channel profiles from internal/datasets.GenerateProfiles.
+//
+// # Attacks
+//
+// Reconstruct mounts the temporal-correlation reconstruction of
+// arXiv 2511.07073 adapted to our release surface: cross-iteration
+// centroid trajectories are matched, inverse-variance denoised using
+// the published per-release ε, shrunk toward the no-information
+// estimate when the trajectory's own variance says the noise dominates,
+// and scored per series against ground truth.
+//
+// Link mounts the profile-matching attack of arXiv 1710.00197: each
+// user's observable assignment trajectory across releases is matched
+// against every candidate profile's predicted trajectory (agreement
+// first, ε-weighted centroid proximity second, seeded tie-break last),
+// scoring top-k identification rates against analytic and empirical
+// random-guess baselines.
+//
+// Everything is deterministic per seed: two same-seed sweeps produce
+// byte-identical ATTACK_*.json reports (the package is in
+// chiaroscurolint's deterministic/seeded sets), so CI can pin the
+// measured leakage and fail when a change regresses it.
+package attack
+
+import (
+	"context"
+
+	"chiaroscuro"
+	"chiaroscuro/internal/timeseries"
+)
+
+// Release is one iteration's observer-visible disclosure, deep-copied
+// out of the event stream.
+type Release struct {
+	Iteration    int
+	Centroids    []timeseries.Series
+	Epsilon      float64 // ε spent by this release
+	EpsilonTotal float64 // cumulative ε through this release
+}
+
+// Trace is the full observer-visible surface of one run: the release
+// stream plus the progress metadata a passive peer also sees. It is
+// everything the attacks are allowed to read.
+type Trace struct {
+	Releases []Release
+	// PhaseCycles counts the PhaseProgress events observed (gossip
+	// cycles across all phases and iterations).
+	PhaseCycles int
+	// ChurnEvents and ChurnDisconnected aggregate the observed churn.
+	ChurnEvents       int
+	ChurnDisconnected int
+}
+
+// Final returns the last release's centroids (nil when the run released
+// nothing — a fully noise-drowned run).
+func (tr *Trace) Final() []timeseries.Series {
+	if len(tr.Releases) == 0 {
+		return nil
+	}
+	return tr.Releases[len(tr.Releases)-1].Centroids
+}
+
+// Capture runs the job while recording its observer-visible surface.
+// The subscription is made before the run starts, so the trace is
+// complete; centroids are deep-copied because the stream shares its
+// slices with the run.
+func Capture(ctx context.Context, job *chiaroscuro.Job) (*Trace, *chiaroscuro.Result, error) {
+	events := job.Events()
+	tr := &Trace{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			switch e := ev.(type) {
+			case chiaroscuro.IterationReleased:
+				rel := Release{
+					Iteration:    e.Iteration,
+					Epsilon:      e.EpsilonSpent,
+					EpsilonTotal: e.EpsilonTotal,
+				}
+				for _, c := range e.Centroids {
+					rel.Centroids = append(rel.Centroids, c.Clone())
+				}
+				tr.Releases = append(tr.Releases, rel)
+			case chiaroscuro.PhaseProgress:
+				tr.PhaseCycles++
+			case chiaroscuro.Churn:
+				tr.ChurnEvents++
+				tr.ChurnDisconnected += e.Disconnected
+			}
+		}
+	}()
+	res, err := job.Run(ctx)
+	<-done
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, res, nil
+}

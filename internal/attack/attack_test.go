@@ -1,0 +1,231 @@
+package attack
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"chiaroscuro"
+)
+
+// quickSweep is the shared small grid: the non-private reference, the
+// paper's ε = ln 2, and two points up the leakage transition.
+func quickSweep(t *testing.T, seed uint64) *Report {
+	t.Helper()
+	rep, err := Sweep(context.Background(), SweepConfig{
+		Population:    48,
+		K:             4,
+		MaxIterations: 4,
+		Modes:         []chiaroscuro.Mode{chiaroscuro.Centralized, chiaroscuro.Simulated},
+		Epsilons:      []float64{0.6931471805599453, 1000, 1_000_000},
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func findRow(t *testing.T, rep *Report, mode string, eps float64) *Row {
+	t.Helper()
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		if r.Mode == mode && r.Epsilon == eps {
+			return r
+		}
+	}
+	t.Fatalf("no row %s ε=%g in %d rows", mode, eps, len(rep.Rows))
+	return nil
+}
+
+// TestSweepDeterministic pins the acceptance criterion directly: two
+// same-seed sweeps must marshal to byte-identical reports.
+func TestSweepDeterministic(t *testing.T) {
+	a, err := json.Marshal(quickSweep(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(quickSweep(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("same-seed sweeps diverge:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestMonotoneTrend asserts the sweep's shape: attack rates rise with
+// ε, the ε → 0 end is statistically indistinguishable from the
+// in-suite random baselines, and the non-private reference sits well
+// above them. The pinned DefaultThresholds must also hold, since CI
+// enforces them on this same configuration.
+func TestMonotoneTrend(t *testing.T) {
+	rep := quickSweep(t, 1)
+
+	paper := findRow(t, rep, "simulated", 0.6931471805599453)
+	mid := findRow(t, rep, "simulated", 1000)
+	open := findRow(t, rep, "simulated", 1_000_000)
+	ref := findRow(t, rep, "centralized", 0)
+
+	// ε → 0: both attacks at their baselines. The linkage bound is the
+	// analytic baseline plus two binomial standard deviations.
+	id1, base1 := paper.IDRate(1)
+	if slack := 2 * 0.0208; id1 > base1+slack {
+		t.Errorf("paper-ε ID@1 = %.3f, want ≤ baseline %.3f + %.3f", id1, base1, slack)
+	}
+	if paper.ReconAdvantage > 0.05 {
+		t.Errorf("paper-ε reconstruction advantage = %.3f, want ≈ 0", paper.ReconAdvantage)
+	}
+
+	// Monotone: strictly more leakage at the open end than at the
+	// paper's budget, and no regression from mid to open.
+	openID1, _ := open.IDRate(1)
+	midID1, _ := mid.IDRate(1)
+	if !(open.ReconAdvantage > paper.ReconAdvantage+0.3) {
+		t.Errorf("reconstruction advantage not rising: paper %.3f, open %.3f",
+			paper.ReconAdvantage, open.ReconAdvantage)
+	}
+	if !(mid.ReconAdvantage > paper.ReconAdvantage) || !(open.ReconAdvantage >= mid.ReconAdvantage-0.05) {
+		t.Errorf("reconstruction advantage not monotone: %.3f, %.3f, %.3f",
+			paper.ReconAdvantage, mid.ReconAdvantage, open.ReconAdvantage)
+	}
+	if !(openID1 > id1) || !(midID1 > id1) {
+		t.Errorf("ID@1 not rising with ε: paper %.3f, mid %.3f, open %.3f", id1, midID1, openID1)
+	}
+	if !(open.MeanTrueRank < paper.MeanTrueRank/2) {
+		t.Errorf("true rank not falling with ε: paper %.1f, open %.1f",
+			paper.MeanTrueRank, open.MeanTrueRank)
+	}
+
+	// Reference: the attacks must have real power against the
+	// non-private release, or the ε-side assertions are vacuous.
+	refID1, refBase1 := ref.IDRate(1)
+	if !(refID1 >= 3*refBase1) {
+		t.Errorf("reference ID@1 = %.3f, want ≥ 3× baseline %.3f", refID1, refBase1)
+	}
+	if !(ref.ReconAdvantage > 0.5) {
+		t.Errorf("reference reconstruction advantage = %.3f, want > 0.5", ref.ReconAdvantage)
+	}
+
+	if v := DefaultThresholds().Check(rep); len(v) != 0 {
+		t.Errorf("pinned thresholds violated: %v", v)
+	}
+}
+
+// TestNetworkedRow runs one small real-TCP cell end to end: the bench
+// must capture a networked trace and the paper-ε row must stay at
+// baseline there too (the wire exposes nothing beyond the simulator).
+func TestNetworkedRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked e2e")
+	}
+	rep, err := Sweep(context.Background(), SweepConfig{
+		Population:    16,
+		K:             3,
+		MaxIterations: 2,
+		Modes:         []chiaroscuro.Mode{chiaroscuro.Networked},
+		Epsilons:      []float64{0.6931471805599453, 1_000_000},
+		Exchanges:     12,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := findRow(t, rep, "networked", 0.6931471805599453)
+	open := findRow(t, rep, "networked", 1_000_000)
+	if paper.ReconAdvantage > 0.05 {
+		t.Errorf("networked paper-ε advantage = %.3f, want ≈ 0", paper.ReconAdvantage)
+	}
+	if !(open.ReconAdvantage > paper.ReconAdvantage+0.3) {
+		t.Errorf("networked advantage not rising: %.3f → %.3f",
+			paper.ReconAdvantage, open.ReconAdvantage)
+	}
+	if open.Iterations == 0 {
+		t.Error("networked trace captured no releases")
+	}
+}
+
+// TestThresholdsCheckCatches feeds Check hand-built regressing rows and
+// asserts every gate direction fires.
+func TestThresholdsCheckCatches(t *testing.T) {
+	leaky := &Report{Rows: []Row{{
+		Mode: "simulated", Private: true, Epsilon: 0.5,
+		ReconAdvantage: 0.4,
+		IDRates:        []RateAtK{{K: 1, Rate: 0.5, BaselineAnalytic: 0.02}},
+	}}}
+	if v := DefaultThresholds().Check(leaky); len(v) != 2 {
+		t.Errorf("leaky paper-ε row: got %d violations, want 2: %v", len(v), v)
+	}
+
+	vacuous := &Report{Rows: []Row{{
+		Mode: "centralized", Private: false,
+		ReconAdvantage: 0.01,
+		IDRates:        []RateAtK{{K: 1, Rate: 0.02, BaselineAnalytic: 0.02}},
+	}}}
+	if v := DefaultThresholds().Check(vacuous); len(v) != 2 {
+		t.Errorf("powerless reference row: got %d violations, want 2: %v", len(v), v)
+	}
+
+	fine := &Report{Rows: []Row{
+		{Mode: "simulated", Private: true, Epsilon: 0.693,
+			ReconAdvantage: 0.0,
+			IDRates:        []RateAtK{{K: 1, Rate: 0.02, BaselineAnalytic: 0.02}}},
+		{Mode: "simulated", Private: true, Epsilon: 1e6,
+			ReconAdvantage: 0.9, // high ε may leak; not gated
+			IDRates:        []RateAtK{{K: 1, Rate: 0.3, BaselineAnalytic: 0.02}}},
+		{Mode: "centralized", Private: false,
+			ReconAdvantage: 0.9,
+			IDRates:        []RateAtK{{K: 1, Rate: 0.2, BaselineAnalytic: 0.02}}},
+	}}
+	if v := DefaultThresholds().Check(fine); len(v) != 0 {
+		t.Errorf("healthy report flagged: %v", v)
+	}
+}
+
+// TestCaptureSurface checks the trace records the progress metadata a
+// passive peer also observes, and that the ε accounting in the stream
+// is a running sum.
+func TestCaptureSurface(t *testing.T) {
+	data, _ := chiaroscuro.GenerateCER(16, 3)
+	scheme, err := chiaroscuro.NewSimulationScheme(256, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.Simulated,
+		Scheme:        scheme,
+		InitCentroids: chiaroscuro.SeedCentroids("cer", 3, 4),
+		K:             3,
+		DMin:          chiaroscuro.CERMin,
+		DMax:          chiaroscuro.CERMax,
+		Epsilon:       1e5,
+		MaxIterations: 3,
+		Exchanges:     12,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, res, err := Capture(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(tr.Releases) == 0 {
+		t.Fatal("no releases captured")
+	}
+	if tr.PhaseCycles == 0 {
+		t.Error("no phase progress observed")
+	}
+	var cum float64
+	for _, rel := range tr.Releases {
+		cum += rel.Epsilon
+		if rel.EpsilonTotal != cum {
+			t.Fatalf("iteration %d: EpsilonTotal = %v, want running sum %v",
+				rel.Iteration, rel.EpsilonTotal, cum)
+		}
+	}
+	if last := tr.Releases[len(tr.Releases)-1]; last.EpsilonTotal != res.TotalEpsilon {
+		t.Errorf("final EpsilonTotal %v != Result.TotalEpsilon %v",
+			last.EpsilonTotal, res.TotalEpsilon)
+	}
+}

@@ -1,0 +1,125 @@
+package attack
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chiaroscuro"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden_trace.json from the current implementation")
+
+// goldenTrace is the serialized observer-visible surface: exact float64
+// bit patterns (so the comparison is bit-exact, not formatting-exact)
+// plus the per-release ε accounting sequence.
+type goldenTrace struct {
+	Releases []goldenRelease `json:"releases"`
+}
+
+type goldenRelease struct {
+	Iteration    int        `json:"iteration"`
+	Epsilon      float64    `json:"epsilon"`
+	EpsilonTotal float64    `json:"epsilon_total"`
+	Centroids    [][]string `json:"centroids"` // %016x float64 bits per measure
+}
+
+func traceToGolden(tr *Trace) goldenTrace {
+	var g goldenTrace
+	for _, rel := range tr.Releases {
+		gr := goldenRelease{
+			Iteration:    rel.Iteration,
+			Epsilon:      rel.Epsilon,
+			EpsilonTotal: rel.EpsilonTotal,
+		}
+		for _, c := range rel.Centroids {
+			bits := make([]string, len(c))
+			for j, v := range c {
+				bits[j] = fmt.Sprintf("%016x", math.Float64bits(v))
+			}
+			gr.Centroids = append(gr.Centroids, bits)
+		}
+		g.Releases = append(g.Releases, gr)
+	}
+	return g
+}
+
+// TestGoldenObserverTrace pins the exact observer-visible release trace
+// — centroid float bits, per-release ε and the cumulative total, in
+// stream order — of a fixed simulated run. Any change to what an
+// honest-but-curious peer sees (noise draws, budget split, aberrant
+// filter, release ordering) trips this test; run with -update to accept
+// an intentional change, and justify it in the commit message.
+func TestGoldenObserverTrace(t *testing.T) {
+	data, _ := chiaroscuro.GenerateCER(16, 7)
+	scheme, err := chiaroscuro.NewSimulationScheme(256, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := chiaroscuro.NewJob(data, chiaroscuro.Options{
+		Mode:          chiaroscuro.Simulated,
+		Scheme:        scheme,
+		InitCentroids: chiaroscuro.SeedCentroids("cer", 3, 8),
+		K:             3,
+		DMin:          chiaroscuro.CERMin,
+		DMax:          chiaroscuro.CERMax,
+		Epsilon:       1e5,
+		MaxIterations: 2,
+		Exchanges:     12,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := Capture(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := traceToGolden(tr)
+	if len(got.Releases) == 0 {
+		t.Fatal("run released nothing; the golden config must produce a trace")
+	}
+
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d releases)", path, len(got.Releases))
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/attack -run GoldenObserverTrace -update` to create it)", err)
+	}
+	var want goldenTrace
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range want.Releases {
+			if i >= len(got.Releases) {
+				t.Fatalf("trace truncated: got %d releases, want %d", len(got.Releases), len(want.Releases))
+			}
+			if !reflect.DeepEqual(got.Releases[i], want.Releases[i]) {
+				t.Fatalf("observer trace drifted at release %d:\n got  %+v\n want %+v",
+					i, got.Releases[i], want.Releases[i])
+			}
+		}
+		t.Fatalf("observer trace drifted: got %d releases, want %d", len(got.Releases), len(want.Releases))
+	}
+}

@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteReport writes rep to dir as ATTACK_<name>.json. The encoding is
+// deterministic — struct-ordered fields, no maps, no timestamps — so
+// two same-seed sweeps write byte-identical files.
+func WriteReport(dir string, rep *Report) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	buf = append(buf, '\n')
+	name := strings.NewReplacer("/", "_", string(filepath.Separator), "_").Replace(rep.Name)
+	path := filepath.Join(dir, "ATTACK_"+name+".json")
+	return path, os.WriteFile(path, buf, 0o644)
+}
+
+// WriteTable renders the report as an aligned human-readable table.
+func WriteTable(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "adversarial privacy bench — %s (n=%d, k=%d, seed=%d)\n",
+		rep.Dataset, rep.Population, rep.K, rep.Seed)
+	fmt.Fprintf(w, "%-14s %10s %5s %5s %9s %9s %8s %8s %8s %9s\n",
+		"mode", "ε", "pack", "rel", "recon", "blind", "adv", "ID@1", "base@1", "rank")
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		eps := "—"
+		if r.Private {
+			eps = fmt.Sprintf("%.4g", r.Epsilon)
+		}
+		id1, base1 := r.IDRate(1)
+		fmt.Fprintf(w, "%-14s %10s %5d %5d %9.3f %9.3f %8.3f %8.3f %8.3f %9.1f\n",
+			r.Mode, eps, r.PackSlots, r.Iterations,
+			r.ReconErr, r.ReconBaselineBlind, r.ReconAdvantage,
+			id1, base1, r.MeanTrueRank)
+	}
+}
+
+// Thresholds pin the measured leakage for the CI privacy-regression
+// gate. Two directions are checked: paper-regime rows (private, ε at or
+// below PaperEpsilon) must stay statistically indistinguishable from
+// the random-guess baselines, and the non-private reference rows must
+// stay clearly above them — otherwise the attacks have silently broken
+// and the ε-side check means nothing.
+type Thresholds struct {
+	// PaperEpsilon bounds the rows held to the privacy side of the
+	// gate (default ln 2, the paper's operating budget).
+	PaperEpsilon float64
+	// ID1Slack is the allowed excess of the paper-regime top-1
+	// identification rate over its analytic baseline (default 0.09 —
+	// about two binomial standard deviations at bench populations).
+	ID1Slack float64
+	// ReconSlack is the allowed paper-regime reconstruction advantage
+	// over the blind baseline (default 0.05).
+	ReconSlack float64
+	// RefID1Factor is the minimum ratio of the reference rows' top-1
+	// identification rate to its analytic baseline (default 2).
+	RefID1Factor float64
+	// RefReconAdv is the minimum reference-row reconstruction
+	// advantage (default 0.15).
+	RefReconAdv float64
+}
+
+// DefaultThresholds returns the pinned CI gate.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		PaperEpsilon: 0.6931471805599453,
+		ID1Slack:     0.09,
+		ReconSlack:   0.05,
+		RefID1Factor: 2,
+		RefReconAdv:  0.15,
+	}
+}
+
+func (t Thresholds) normalize() Thresholds {
+	d := DefaultThresholds()
+	if t.PaperEpsilon == 0 {
+		t.PaperEpsilon = d.PaperEpsilon
+	}
+	if t.ID1Slack == 0 {
+		t.ID1Slack = d.ID1Slack
+	}
+	if t.ReconSlack == 0 {
+		t.ReconSlack = d.ReconSlack
+	}
+	if t.RefID1Factor == 0 {
+		t.RefID1Factor = d.RefID1Factor
+	}
+	if t.RefReconAdv == 0 {
+		t.RefReconAdv = d.RefReconAdv
+	}
+	return t
+}
+
+// Check returns one violation string per row that breaks the gate
+// (empty = pass). Zero-valued fields take their defaults.
+func (t Thresholds) Check(rep *Report) []string {
+	t = t.normalize()
+	var v []string
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		tag := fmt.Sprintf("%s ε=%g pack=%d", r.Mode, r.Epsilon, r.PackSlots)
+		id1, base1 := r.IDRate(1)
+		switch {
+		case r.Private && r.Epsilon <= t.PaperEpsilon:
+			if id1 > base1+t.ID1Slack {
+				v = append(v, fmt.Sprintf("%s: ID@1 %.3f exceeds baseline %.3f + slack %.3f — linkage leakage at the paper's budget",
+					tag, id1, base1, t.ID1Slack))
+			}
+			if r.ReconAdvantage > t.ReconSlack {
+				v = append(v, fmt.Sprintf("%s: reconstruction advantage %.3f exceeds slack %.3f — release leaks beyond public knowledge at the paper's budget",
+					tag, r.ReconAdvantage, t.ReconSlack))
+			}
+		case !r.Private:
+			if id1 < t.RefID1Factor*base1 {
+				v = append(v, fmt.Sprintf("%s: reference ID@1 %.3f below %.1f× baseline %.3f — linkage attack lost its power, the gate is vacuous",
+					tag, id1, t.RefID1Factor, base1))
+			}
+			if r.ReconAdvantage < t.RefReconAdv {
+				v = append(v, fmt.Sprintf("%s: reference reconstruction advantage %.3f below %.3f — reconstruction attack lost its power, the gate is vacuous",
+					tag, r.ReconAdvantage, t.RefReconAdv))
+			}
+		}
+	}
+	return v
+}

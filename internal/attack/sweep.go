@@ -1,0 +1,291 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"chiaroscuro"
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/randx"
+	"chiaroscuro/internal/timeseries"
+)
+
+// SweepConfig drives one adversarial sweep: both attacks mounted
+// against every (mode, ε, PackSlots) cell. Zero values take bench
+// defaults sized for CI.
+type SweepConfig struct {
+	// Dataset is the generator family: "cer" or "numed".
+	Dataset string
+	// Population is the number of participants/series (default 48).
+	Population int
+	// K is the cluster count (default 4).
+	K int
+	// MaxIterations bounds each run (default 4).
+	MaxIterations int
+	// Modes lists the backends to sweep (default Simulated).
+	Modes []chiaroscuro.Mode
+	// Epsilons is the privacy-budget grid for the private modes. The
+	// paper's ε = ln 2 belongs on it (default {0.693…, 100, 10_000,
+	// 1_000_000} — at bench populations the leakage transition sits
+	// orders of magnitude above the paper's multi-million-participant
+	// operating point, so the grid spans it).
+	Epsilons []float64
+	// PackSlots values swept in the distributed modes (default {0}).
+	// Packing changes the release granularity, which is exactly why
+	// the bench sweeps it; centralized modes ignore it.
+	PackSlots []int
+	// Exchanges fixes the sum-phase gossip budget of the distributed
+	// modes (default 20; 0 would mean Theorem 3's population-derived
+	// value, too slow for a bench grid).
+	Exchanges int
+	// Seed makes the whole sweep replayable: dataset, profiles,
+	// protocol runs, baselines and tie-breaks all derive from it.
+	Seed uint64
+	// ProfileReps and ProfileNoise shape the attacker's candidate set
+	// (defaults 1 observation per user, σ = 2 measure units).
+	ProfileReps  int
+	ProfileNoise float64
+	// TopK lists the identification ranks scored (default {1, 5}).
+	TopK []int
+	// RealCrypto runs the distributed modes on the deterministic
+	// Damgård–Jurik test scheme instead of the structure-preserving
+	// simulation scheme.
+	RealCrypto bool
+	// Workers bounds the worker pool (0 = one per CPU). Results are
+	// seed-deterministic for any value.
+	Workers int
+	// Timeout bounds each networked exchange (default 30s).
+	Timeout time.Duration
+}
+
+func (c *SweepConfig) normalize() {
+	if c.Dataset == "" {
+		c.Dataset = "cer"
+	}
+	if c.Population == 0 {
+		c.Population = 48
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 4
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []chiaroscuro.Mode{chiaroscuro.Simulated}
+	}
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{0.6931471805599453, 100, 10_000, 1_000_000}
+	}
+	if len(c.PackSlots) == 0 {
+		c.PackSlots = []int{0}
+	}
+	if c.Exchanges == 0 {
+		c.Exchanges = 20
+	}
+	if c.ProfileReps == 0 {
+		c.ProfileReps = 1
+	}
+	if c.ProfileNoise == 0 {
+		c.ProfileNoise = 2
+	}
+	if len(c.TopK) == 0 {
+		c.TopK = []int{1, 5}
+	}
+}
+
+// Row is one sweep cell: both attacks' scores for one
+// (mode, ε, PackSlots) run. Private is false on the plain-k-means
+// reference rows, whose Epsilon is recorded as 0.
+type Row struct {
+	Mode      string  `json:"mode"`
+	Private   bool    `json:"private"`
+	Epsilon   float64 `json:"epsilon"`
+	PackSlots int     `json:"pack_slots"`
+
+	Iterations int     `json:"iterations"` // releases observed
+	EpsSpent   float64 `json:"eps_spent"`  // cumulative ε the trace disclosed
+
+	ReconErr             float64 `json:"recon_rmse"`
+	ReconBaselineBlind   float64 `json:"recon_baseline_blind"`
+	ReconBaselineUniform float64 `json:"recon_baseline_uniform"`
+	ReconAdvantage       float64 `json:"recon_advantage"`
+
+	IDRates []RateAtK `json:"id_rates"`
+	// MeanTrueRank is the linkage attack's average true-profile rank
+	// (lower = more identifiable).
+	MeanTrueRank float64 `json:"mean_true_rank"`
+}
+
+// IDRate returns the top-k identification rate and its analytic
+// baseline (0, 0 when k was not scored).
+func (r *Row) IDRate(k int) (rate, baseline float64) {
+	for _, x := range r.IDRates {
+		if x.K == k {
+			return x.Rate, x.BaselineAnalytic
+		}
+	}
+	return 0, 0
+}
+
+// Report is one sweep's machine-readable outcome — the ATTACK_*.json
+// payload. It contains no wall-clock fields: two same-seed sweeps
+// marshal byte-identically, which the regression suite relies on.
+type Report struct {
+	Name       string  `json:"name"`
+	Dataset    string  `json:"dataset"`
+	Population int     `json:"population"`
+	K          int     `json:"k"`
+	Seed       uint64  `json:"seed"`
+	ProfileSd  float64 `json:"profile_noise"`
+	Rows       []Row   `json:"rows"`
+}
+
+// Sweep runs the full grid and mounts both attacks on every cell.
+func Sweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
+	cfg.normalize()
+
+	var (
+		data   *timeseries.Dataset
+		lo, hi float64
+	)
+	switch cfg.Dataset {
+	case "cer":
+		data, _ = chiaroscuro.GenerateCER(cfg.Population, cfg.Seed)
+		lo, hi = datasets.CERMin, datasets.CERMax
+	case "numed":
+		data, _ = chiaroscuro.GenerateNUMED(cfg.Population, cfg.Seed)
+		lo, hi = datasets.NUMEDMin, datasets.NUMEDMax
+	default:
+		return nil, fmt.Errorf("attack: unknown dataset %q", cfg.Dataset)
+	}
+	profiles := datasets.GenerateProfiles(data, cfg.ProfileReps, cfg.ProfileNoise, lo, hi,
+		randx.New(datasets.ProfileSeed(cfg.Seed), 0x90F))
+	profData, owners := datasets.ProfilesDataset(profiles)
+
+	rep := &Report{
+		Name:       "attack_" + cfg.Dataset,
+		Dataset:    cfg.Dataset,
+		Population: cfg.Population,
+		K:          cfg.K,
+		Seed:       cfg.Seed,
+		ProfileSd:  cfg.ProfileNoise,
+	}
+	for _, mode := range cfg.Modes {
+		cells := gridFor(mode, cfg)
+		for _, cell := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tr, err := runCell(ctx, data, lo, hi, mode, cell, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("attack: %s ε=%g pack=%d: %w", mode, cell.eps, cell.pack, err)
+			}
+			row := scoreCell(tr, data, profData, owners, lo, hi, cfg)
+			row.Mode = mode.String()
+			row.Private = cell.private
+			row.Epsilon = cell.eps
+			row.PackSlots = cell.pack
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// cell is one grid point of a mode's sweep.
+type cell struct {
+	eps     float64
+	pack    int
+	private bool
+}
+
+// gridFor expands a mode into its grid: the centralized reference is a
+// single non-private cell, CentralizedDP sweeps ε only, and the
+// distributed modes sweep ε × PackSlots.
+func gridFor(mode chiaroscuro.Mode, cfg SweepConfig) []cell {
+	switch mode {
+	case chiaroscuro.Centralized:
+		return []cell{{private: false}}
+	case chiaroscuro.CentralizedDP:
+		cells := make([]cell, 0, len(cfg.Epsilons))
+		for _, e := range cfg.Epsilons {
+			cells = append(cells, cell{eps: e, private: true})
+		}
+		return cells
+	default:
+		cells := make([]cell, 0, len(cfg.Epsilons)*len(cfg.PackSlots))
+		for _, p := range cfg.PackSlots {
+			for _, e := range cfg.Epsilons {
+				cells = append(cells, cell{eps: e, pack: p, private: true})
+			}
+		}
+		return cells
+	}
+}
+
+// runCell executes one job and captures its observer-visible trace.
+func runCell(ctx context.Context, data *timeseries.Dataset, lo, hi float64, mode chiaroscuro.Mode, c cell, cfg SweepConfig) (*Trace, error) {
+	opts := chiaroscuro.Options{
+		Mode:          mode,
+		InitCentroids: chiaroscuro.SeedCentroids(cfg.Dataset, cfg.K, cfg.Seed+1),
+		K:             cfg.K,
+		DMin:          lo,
+		DMax:          hi,
+		Epsilon:       c.eps,
+		MaxIterations: cfg.MaxIterations,
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+	}
+	if mode == chiaroscuro.Simulated || mode == chiaroscuro.Networked {
+		opts.Exchanges = cfg.Exchanges
+		opts.PackSlots = c.pack
+		opts.ExchangeTimeout = cfg.Timeout
+		tau := data.Len() / 4
+		if tau < 2 {
+			tau = 2
+		}
+		var (
+			sch chiaroscuro.Scheme
+			err error
+		)
+		if cfg.RealCrypto {
+			sch, err = chiaroscuro.NewTestScheme(128, 4, data.Len(), tau)
+		} else {
+			sch, err = chiaroscuro.NewSimulationScheme(256, data.Len(), tau)
+		}
+		if err != nil {
+			return nil, err
+		}
+		opts.Scheme = sch
+	}
+	job, err := chiaroscuro.NewJob(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := Capture(ctx, job)
+	return tr, err
+}
+
+// scoreCell mounts both attacks on one trace.
+func scoreCell(tr *Trace, data, profData *timeseries.Dataset, owners []int, lo, hi float64, cfg SweepConfig) Row {
+	rec := Reconstruct(tr, data, ReconstructionConfig{
+		DMin: lo, DMax: hi,
+		Population: data.Len(),
+		Seed:       cfg.Seed,
+	})
+	lk := Link(tr, data, profData, owners, LinkageConfig{TopK: cfg.TopK, Seed: cfg.Seed})
+	row := Row{
+		Iterations:           len(tr.Releases),
+		ReconErr:             rec.MeanErr,
+		ReconBaselineBlind:   rec.BaselineBlind,
+		ReconBaselineUniform: rec.BaselineUniform,
+		ReconAdvantage:       rec.Advantage,
+		IDRates:              lk.Rates,
+		MeanTrueRank:         lk.MeanTrueRank,
+	}
+	if n := len(tr.Releases); n > 0 {
+		row.EpsSpent = tr.Releases[n-1].EpsilonTotal
+	}
+	return row
+}

@@ -352,6 +352,7 @@ func TestJobEventsSimulated(t *testing.T) {
 		t.Fatalf("%d IterationReleased events for %d iterations (max %d)",
 			len(released), len(res.Traces), opts.MaxIterations)
 	}
+	var cum float64
 	for i, rel := range released {
 		if rel.Iteration != i+1 {
 			t.Fatalf("release %d has iteration %d", i, rel.Iteration)
@@ -362,9 +363,17 @@ func TestJobEventsSimulated(t *testing.T) {
 		if rel.EpsilonSpent <= 0 {
 			t.Fatalf("iteration %d spent no budget", rel.Iteration)
 		}
+		cum += rel.EpsilonSpent
+		if rel.EpsilonTotal != cum {
+			t.Fatalf("iteration %d: EpsilonTotal = %v, want running sum %v",
+				rel.Iteration, rel.EpsilonTotal, cum)
+		}
 		if rel.Inertia == 0 {
 			t.Fatalf("iteration %d has no inertia under TraceQuality", rel.Iteration)
 		}
+	}
+	if last := released[len(released)-1]; last.EpsilonTotal != res.TotalEpsilon {
+		t.Fatalf("final EpsilonTotal %v != Result.TotalEpsilon %v", last.EpsilonTotal, res.TotalEpsilon)
 	}
 	// The last release is the final result, by construction.
 	sameCentroids(t, released[len(released)-1].Centroids, res.Centroids)
